@@ -1,0 +1,211 @@
+// Package repro's benchmark harness regenerates every table and figure of
+// the WATOS paper as testing.B benchmarks: `go test -bench=BenchmarkFig15`
+// reruns the Fig 15 architectural DSE and reports its headline metric.
+// Ablation benchmarks cover the design decisions called out in DESIGN.md §5.
+package repro
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/experiments"
+	"repro/internal/hw"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/predictor"
+	"repro/internal/recompute"
+	"repro/internal/sched"
+)
+
+// benchExperiment runs one figure/table runner per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner, ok := experiments.Registry()[id]
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	for i := 0; i < b.N; i++ {
+		t, err := runner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(t.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkFig01(b *testing.B)   { benchExperiment(b, "1") }
+func BenchmarkFig02(b *testing.B)   { benchExperiment(b, "2") }
+func BenchmarkFig05a(b *testing.B)  { benchExperiment(b, "5a") }
+func BenchmarkFig05b(b *testing.B)  { benchExperiment(b, "5b") }
+func BenchmarkFig05c(b *testing.B)  { benchExperiment(b, "5c") }
+func BenchmarkFig06a(b *testing.B)  { benchExperiment(b, "6a") }
+func BenchmarkFig06b(b *testing.B)  { benchExperiment(b, "6b") }
+func BenchmarkFig10b(b *testing.B)  { benchExperiment(b, "10b") }
+func BenchmarkFig10c(b *testing.B)  { benchExperiment(b, "10c") }
+func BenchmarkFig15(b *testing.B)   { benchExperiment(b, "15") }
+func BenchmarkFig16(b *testing.B)   { benchExperiment(b, "16") }
+func BenchmarkFig17(b *testing.B)   { benchExperiment(b, "17") }
+func BenchmarkFig18(b *testing.B)   { benchExperiment(b, "18") }
+func BenchmarkFig19(b *testing.B)   { benchExperiment(b, "19") }
+func BenchmarkFig20(b *testing.B)   { benchExperiment(b, "20") }
+func BenchmarkFig21(b *testing.B)   { benchExperiment(b, "21") }
+func BenchmarkFig22(b *testing.B)   { benchExperiment(b, "22") }
+func BenchmarkFig23(b *testing.B)   { benchExperiment(b, "23") }
+func BenchmarkFig24a(b *testing.B)  { benchExperiment(b, "24a") }
+func BenchmarkFig24b(b *testing.B)  { benchExperiment(b, "24b") }
+func BenchmarkFig25(b *testing.B)   { benchExperiment(b, "25") }
+func BenchmarkTableI(b *testing.B)  { benchExperiment(b, "table1") }
+func BenchmarkTableII(b *testing.B) { benchExperiment(b, "table2") }
+
+var benchPred = predictor.NewLookupTable(predictor.TileLevel{})
+
+func benchWork() model.Workload {
+	return model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
+}
+
+// BenchmarkAblationGCMR compares GCMR against naive local-only
+// recomputation (DESIGN.md §5): the ratio of the two searches' throughputs
+// is reported as gcmr-gain-x.
+func BenchmarkAblationGCMR(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		gcmr, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
+			sched.Options{FixedTP: 8, FixedPP: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		naive, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
+			sched.Options{FixedTP: 8, FixedPP: 7, NaiveRecompute: true, DisableMemScheduler: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = gcmr.Best.Report.Throughput / naive.Best.Report.Throughput
+	}
+	b.ReportMetric(gain, "gcmr-gain-x")
+}
+
+// BenchmarkAblationPlacement compares location-aware placement with the
+// serpentine baseline on the Fig 11 workload.
+func BenchmarkAblationPlacement(b *testing.B) {
+	m := mesh.New(hw.Config3())
+	pipe := make([]float64, 8)
+	for i := range pipe {
+		pipe[i] = 1e9
+	}
+	wl := placement.Workload{
+		PipelineBytes: pipe,
+		Pairs: []recompute.MemPair{
+			{Sender: 0, Helper: 7, Bytes: 2e9},
+			{Sender: 1, Helper: 6, Bytes: 2e9},
+		},
+	}
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		serp, err := placement.Serpentine(m, 7, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opt, err := placement.Optimize(m, 7, 8, wl, rand.New(rand.NewSource(int64(i))))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ratio = placement.GlobalCost(m, serp, wl) / placement.GlobalCost(m, opt, wl)
+	}
+	b.ReportMetric(ratio, "cost-reduction-x")
+}
+
+// BenchmarkAblationDataflow compares the hybrid dataflow selection with a
+// fixed output-stationary schedule.
+func BenchmarkAblationDataflow(b *testing.B) {
+	die := predictor.Context(hw.Config3())
+	_ = die
+	for i := 0; i < b.N; i++ {
+		g, err := sched.Search(hw.Config3(), model.Llama3_70B(), benchWork(), benchPred,
+			sched.Options{FixedTP: 4, FixedPP: 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = g
+	}
+}
+
+// BenchmarkAblationGA measures the GA's refinement over the greedy solution.
+func BenchmarkAblationGA(b *testing.B) {
+	var gain float64
+	for i := 0; i < b.N; i++ {
+		greedy, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
+			sched.Options{FixedTP: 4, FixedPP: 14})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ga, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
+			sched.Options{FixedTP: 4, FixedPP: 14, UseGA: true, GAGenerations: 40})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gain = ga.Best.Report.Throughput / greedy.Best.Report.Throughput
+	}
+	b.ReportMetric(gain, "ga-gain-x")
+}
+
+// BenchmarkAblationPruning measures how much of the search space the early
+// pruner removes.
+func BenchmarkAblationPruning(b *testing.B) {
+	var prunedFrac float64
+	for i := 0; i < b.N; i++ {
+		res, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred, sched.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prunedFrac = float64(res.PrunedCount) / float64(len(res.Explored))
+	}
+	b.ReportMetric(prunedFrac*100, "pruned-%")
+}
+
+// BenchmarkCollectives measures the collective algorithms' raw cost on an
+// 8-die group (Fig 21 substrate).
+func BenchmarkCollectives(b *testing.B) {
+	m := mesh.New(hw.Config3())
+	group := collective.Rectangle(0, 0, 4, 2)
+	for _, algo := range []collective.Algorithm{collective.Ring, collective.BiRing, collective.TwoD, collective.TACOS} {
+		b.Run(strings.ReplaceAll(algo.String(), "/", "-"), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := collective.AllReduce(m, group, 1e9, algo); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSearch measures one full strategy search (the DSE inner loop; the
+// paper reports 0.274 s per 100 optimizer steps on a Xeon).
+func BenchmarkSearch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred, sched.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPredictor measures lookup-table hit latency (§IV-F "negligible
+// overhead" claim).
+func BenchmarkPredictor(b *testing.B) {
+	die := predictor.Context(hw.Config3())
+	g, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred,
+		sched.Options{FixedTP: 4, FixedPP: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	_ = g
+	samples := predictor.Corpus([]predictor.DieContext{die}, rand.New(rand.NewSource(1)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchPred.Predict(samples[i%len(samples)].Op, die)
+	}
+}

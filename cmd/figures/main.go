@@ -1,0 +1,49 @@
+// Command figures regenerates the tables and figures of the WATOS paper's
+// evaluation. With no arguments it runs every experiment; -fig selects one.
+//
+//	figures            # all experiments
+//	figures -fig 16    # overall-performance comparison only
+//	figures -list      # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "", "experiment ID to run (e.g. 1, 5a, 15, table2); empty = all")
+	list := flag.Bool("list", false, "list available experiment IDs")
+	flag.Parse()
+
+	reg := experiments.Registry()
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), " "))
+		return
+	}
+	ids := experiments.IDs()
+	if *fig != "" {
+		if _, ok := reg[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; available: %s\n", *fig, strings.Join(ids, " "))
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+	failed := 0
+	for _, id := range ids {
+		t, err := reg[id]()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		t.Fprint(os.Stdout)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,113 @@
+// Command watos runs a WATOS co-exploration: given a model name and an
+// optional architecture restriction, it searches training strategies (and
+// architectures) and prints the best configuration with its performance
+// report.
+//
+//	watos -model Llama3-70B                 # strategy+arch co-exploration over Table II
+//	watos -model GPT-175B -config config3   # strategy search on one architecture
+//	watos -model Llama2-30B -batch 128 -seq 4096 -ga
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func main() {
+	modelName := flag.String("model", "Llama2-30B", "model name from the zoo (see -models)")
+	configName := flag.String("config", "", "pin one architecture: config1..config4, mesh-switch; empty = explore Table II")
+	batch := flag.Int("batch", 64, "global batch size (sequences per iteration)")
+	micro := flag.Int("micro", 1, "micro-batch size per pipeline stage")
+	seq := flag.Int("seq", 0, "sequence length (0 = model default, capped at 4096)")
+	useGA := flag.Bool("ga", false, "enable the genetic-algorithm global optimizer")
+	listModels := flag.Bool("models", false, "list available models")
+	flag.Parse()
+
+	if *listModels {
+		for _, s := range append(append(model.EvaluationModels(), model.EmergingModels()...), model.UltraLargeModels()...) {
+			fmt.Printf("%-24s %6.1fB params  %s\n", s.Name, s.EffectiveParams()/1e9, s.Arch)
+		}
+		return
+	}
+
+	spec, ok := model.ByName(*modelName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown model %q (use -models to list)\n", *modelName)
+		os.Exit(2)
+	}
+	seqLen := *seq
+	if seqLen == 0 {
+		seqLen = spec.DefaultSeqLen
+		if seqLen > 4096 {
+			seqLen = 4096
+		}
+	}
+	work := model.Workload{GlobalBatch: *batch, MicroBatch: *micro, SeqLen: seqLen}
+	if err := work.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	fw := core.New()
+	fw.Options = sched.Options{UseGA: *useGA}
+
+	var candidates []hw.WaferConfig
+	switch *configName {
+	case "":
+		candidates = hw.TableII()
+	case "config1":
+		candidates = []hw.WaferConfig{hw.Config1()}
+	case "config2":
+		candidates = []hw.WaferConfig{hw.Config2()}
+	case "config3":
+		candidates = []hw.WaferConfig{hw.Config3()}
+	case "config4":
+		candidates = []hw.WaferConfig{hw.Config4()}
+	case "mesh-switch":
+		candidates = []hw.WaferConfig{hw.Config3MeshSwitch()}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown config %q\n", *configName)
+		os.Exit(2)
+	}
+
+	res, err := fw.Explore(candidates, spec, work)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("model:    %s (%.1fB params, %s)\n", spec.Name, spec.EffectiveParams()/1e9, spec.Arch)
+	fmt.Printf("workload: batch %d, micro-batch %d, seq %d\n", work.GlobalBatch, work.MicroBatch, work.SeqLen)
+	fmt.Printf("best architecture: %s\n", res.Best.Wafer)
+	b := res.Best.Result.Best
+	fmt.Printf("best strategy:     TP=%d PP=%d DP=%d, collective=%s\n", b.TP, b.PP, b.Report.DP, b.Collective)
+	fmt.Printf("iteration time:    %.3f s\n", b.Report.IterationTime)
+	fmt.Printf("throughput:        %.1f TFLOP/s useful (%.1f incl. recompute)\n",
+		b.Report.Throughput/units.TFLOPS, b.Report.TotalThroughput/units.TFLOPS)
+	fmt.Printf("recompute frac:    %.1f%%   bubbles: %.1f%%   compute util: %.1f%%\n",
+		b.Report.RecomputeFraction*100, b.Report.BubbleFraction*100, b.Report.ComputeUtilization*100)
+	fmt.Printf("DRAM util:         %.1f%%   D2D util: %.1f%%\n",
+		b.Report.DRAMUtilization*100, b.Report.MeanLinkUtilization*100)
+	if b.Strategy.Recompute != nil && len(b.Strategy.Recompute.Pairs) > 0 {
+		fmt.Printf("mem pairs:         %d (overflow %.1f GB balanced on-wafer)\n",
+			len(b.Strategy.Recompute.Pairs), b.Strategy.Recompute.OverflowBytes/units.GB)
+	}
+	fmt.Printf("explored:          %d strategy candidates", len(res.Best.Result.Explored))
+	fmt.Printf(" (%d pruned early)\n", res.Best.Result.PrunedCount)
+	for _, ar := range res.PerArch {
+		status := "ok"
+		if ar.Err != nil {
+			status = ar.Err.Error()
+		} else if ar.Result != nil && ar.Result.Best != nil {
+			status = fmt.Sprintf("%.1f TFLOP/s (TP=%d PP=%d)",
+				ar.Result.Best.Report.Throughput/units.TFLOPS, ar.Result.Best.TP, ar.Result.Best.PP)
+		}
+		fmt.Printf("  %-10s %s\n", ar.Wafer.Name, status)
+	}
+}

@@ -1,0 +1,49 @@
+// Multi-wafer scaling example (§VI-F): train Llama3-405B on a node of four
+// config-3 wafers. The model's resident state (~6.5 TB) does not fit one
+// wafer, so the pipeline spans two wafers and data parallelism uses the
+// other two; wafer-to-wafer bandwidth decides how much of the single-wafer
+// advantage survives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/baselines"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+func main() {
+	spec := model.Llama3_405B()
+	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 4096}
+	pred := predictor.NewLookupTable(predictor.TileLevel{})
+
+	fmt.Printf("model %s: %.1f TB resident state, %.1f TB per wafer\n",
+		spec.Name, spec.ModelPBytes()/units.TB, hw.Config3().TotalDRAM()/units.TB)
+
+	for _, bw := range []float64{400 * units.GB, 1.8 * units.TB} {
+		node := hw.MultiWafer(hw.Config3(), 4, bw)
+		res, err := sched.Search(node, spec, work, pred, sched.Options{
+			FixedTP: 8, FixedPP: 14, PipelineWafers: 2,
+		})
+		if err != nil {
+			log.Fatalf("W2W %.1f TB/s: %v", bw/units.TB, err)
+		}
+		b := res.Best
+		fmt.Printf("W2W %.1f TB/s: TP=%d PP=%d across 2 wafers, DP=%d  ->  %.3f s/iter, %.1f TFLOP/s\n",
+			bw/units.TB, b.TP, b.PP, b.Report.DP,
+			b.Report.IterationTime, b.Report.Throughput/units.TFLOPS)
+	}
+
+	// Megatron on a 4-node GPU cluster for reference.
+	if gr, err := baselines.MegatronGPU(hw.MegatronCluster(4), spec, work); err == nil {
+		fmt.Printf("Megatron 4x8 GPUs: TP=%d PP=%d DP=%d -> %.3f s/iter, %.1f TFLOP/s\n",
+			gr.TP, gr.PP, gr.DP, gr.IterationTime, gr.Throughput/units.TFLOPS)
+	} else {
+		fmt.Println("Megatron 4x8 GPUs:", err)
+	}
+}

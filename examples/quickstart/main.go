@@ -1,0 +1,44 @@
+// Quickstart: run a WATOS training-strategy search for Llama2-30B on the
+// paper's best wafer configuration (Table II config 3) and print the chosen
+// parallelism, recomputation plan and performance report.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+func main() {
+	// 1. Pick a wafer architecture and a model from the zoo.
+	wafer := hw.Config3()
+	spec := model.Llama2_30B()
+	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 4096}
+
+	// 2. Create the framework (tile-level predictor behind the offline
+	//    lookup table) and search training strategies.
+	watos := core.New()
+	res, err := watos.SearchStrategy(wafer, spec, work)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Inspect the best strategy.
+	best := res.Best
+	fmt.Printf("wafer:      %s\n", wafer)
+	fmt.Printf("model:      %s (%.1fB params)\n", spec.Name, spec.EffectiveParams()/1e9)
+	fmt.Printf("strategy:   TP=%d PP=%d DP=%d via %s collectives\n",
+		best.TP, best.PP, best.Report.DP, best.Collective)
+	fmt.Printf("iteration:  %.3f s  (%.1f TFLOP/s useful)\n",
+		best.Report.IterationTime, best.Report.Throughput/units.TFLOPS)
+	fmt.Printf("recompute:  %.1f%% extra work,  bubbles %.1f%%\n",
+		best.Report.RecomputeFraction*100, best.Report.BubbleFraction*100)
+	fmt.Printf("memory:     %.1f%% mean DRAM occupancy across dies\n",
+		best.Report.DRAMUtilization*100)
+	fmt.Printf("explored:   %d candidates, %d pruned early\n",
+		len(res.Explored), res.PrunedCount)
+}

@@ -1,0 +1,147 @@
+package baselines
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/hw"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/opgraph"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/units"
+)
+
+// MegatronWafer transplants Megatron's scheduling policy onto the WSC
+// (§V-C "MG-wafer"): TP and PP sizes from Megatron's heuristic (TP = 8,
+// PP = dies/TP), naive serpentine placement (Fig 11a), local-only
+// recomputation, and no wafer-aware memory scheduling. All feasible physical
+// shapes are implicit in the serpentine partition; the best feasible
+// configuration is reported.
+func MegatronWafer(w hw.WaferConfig, spec model.Spec, work model.Workload, pred predictor.Predictor) (*sched.Result, error) {
+	dies := w.Dies()
+	tp := 8
+	if dies < 8 {
+		tp = dies
+	}
+	var lastErr error
+	// Megatron would pick PP = dies/TP; if that OOMs even with full
+	// recomputation, deepen TP the way a GPU practitioner would not —
+	// instead report the failure.
+	for _, pp := range []int{dies / tp, dies / tp / 2, dies / tp * 2} {
+		if pp < 1 || tp*pp > dies || pp > spec.Layers {
+			continue
+		}
+		res, err := sched.Search(w, spec, work, pred, sched.Options{
+			FixedTP:             tp,
+			FixedPP:             pp,
+			NaiveRecompute:      true,
+			DisableMemScheduler: true,
+		})
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("baselines: MG-wafer found no feasible config: %w", lastErr)
+}
+
+// CerebrasReport summarises a weight-streaming iteration.
+type CerebrasReport struct {
+	IterationTime float64
+	Throughput    float64
+	// StreamTime is the exposed weight/gradient streaming time.
+	StreamTime  float64
+	ComputeTime float64
+}
+
+// Cerebras models the weight-streaming wafer training strategy: the whole
+// wafer executes one layer at a time in pure data parallelism; layer weights
+// stream in (and weight gradients stream out) between layer executions.
+// Streaming overlaps with compute; the exposed remainder scales with the
+// weight volume — which is why small batches and short sequences hurt
+// (§V-C: the communication cost of weight streaming scales with model
+// parallelism degree).
+func Cerebras(w hw.WaferConfig, spec model.Spec, work model.Workload, pred predictor.Predictor) (CerebrasReport, error) {
+	if err := work.Validate(); err != nil {
+		return CerebrasReport{}, err
+	}
+	m := mesh.New(w)
+	die := predictor.Context(w)
+	dies := float64(w.Dies())
+
+	// Per-layer compute on the whole wafer: the batch is sharded across
+	// dies (data parallel), every die executes the full layer.
+	// Ceil: when the batch does not divide the die count, straggler dies
+	// process one extra sample and the whole wafer waits (weight streaming
+	// is bulk-synchronous per layer) — the small-batch penalty of §V-C.
+	perDieBatch := int(math.Ceil(float64(work.GlobalBatch) / dies))
+	g, err := opgraph.Build(spec, 1, perDieBatch, work.SeqLen)
+	if err != nil {
+		return CerebrasReport{}, err
+	}
+	var layerCompute float64
+	for _, op := range g.Ops {
+		est := pred.Predict(op, die)
+		ratio := 2.0
+		if op.FwdFLOPs > 0 {
+			ratio = op.BwdFLOPs / op.FwdFLOPs
+		}
+		layerCompute += est.Latency * (1 + ratio)
+	}
+
+	// Per-layer weight streaming: broadcast weights to all dies, reduce
+	// weight gradients back. The mesh broadcast pipelines along rows and
+	// columns; effective bandwidth is a single link's.
+	layerWeightBytes := g.WeightBytes() // tp=1 ⇒ full layer weights
+	streamIn, err := collective.AllGather(m, allDies(m), layerWeightBytes, collective.BiRing)
+	if err != nil {
+		return CerebrasReport{}, err
+	}
+	gradOut, err := collective.AllReduce(m, allDies(m), layerWeightBytes, collective.BiRing)
+	if err != nil {
+		return CerebrasReport{}, err
+	}
+	// Weights stream in for both forward and backward passes; weight
+	// gradients return in FP32 for the optimizer update.
+	layerStream := 2*streamIn.Time + 2*gradOut.Time
+	// Per-layer bulk-synchronous barrier across the wafer.
+	diameter := float64(m.Cols + m.Rows)
+	layerStream += 3 * diameter * m.LinkLatency
+
+	// Layers execute sequentially; streaming of layer l+1 overlaps with
+	// compute of layer l.
+	perLayer := math.Max(layerCompute, layerStream)
+	exposed := math.Max(0, layerStream-layerCompute) * float64(spec.Layers)
+	iter := perLayer*float64(spec.Layers) + layerStream // first layer exposed fully
+
+	// Memory: only the live layer's weights and activations are resident;
+	// Cerebras streaming rarely OOMs but activations of the full batch
+	// must fit.
+	actBytes := (g.CheckpointBytes() + g.BoundaryBytes()) * float64(spec.Layers)
+	if actBytes > w.DieDRAM() {
+		// Spill to recomputation: re-run forward per layer (adds 1/3).
+		iter *= 4.0 / 3.0
+	}
+
+	useful := spec.FLOPsPerIteration(work)
+	_ = units.GB
+	return CerebrasReport{
+		IterationTime: iter,
+		Throughput:    useful / iter,
+		StreamTime:    exposed,
+		ComputeTime:   layerCompute * float64(spec.Layers),
+	}, nil
+}
+
+func allDies(m *mesh.Mesh) []mesh.DieID {
+	var out []mesh.DieID
+	for y := 0; y < m.Rows; y++ {
+		for x := 0; x < m.Cols; x++ {
+			out = append(out, mesh.DieID{X: x, Y: y})
+		}
+	}
+	return out
+}

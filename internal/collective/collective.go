@@ -1,0 +1,338 @@
+// Package collective implements the communication algorithms WATOS uses on
+// the wafer's 2D mesh (§IV-E-1, §VI-B): unidirectional and bidirectional
+// ring all-reduce/all-gather, RingBiOdd for odd group sizes, 2D tensor
+// parallelism (GSPMD-style), a TACOS-like topology-aware synthesised
+// collective, and multitree broadcast/reduce.
+//
+// Costs follow the α–β model of Eq 1 applied per mesh link, with explicit
+// per-link load accounting so ring embeddings that contend on physical
+// links (or leave links idle, Fig 5b) are visible to the evaluator.
+package collective
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// Algorithm selects the collective implementation.
+type Algorithm int
+
+const (
+	// Ring is the classic unidirectional ring all-reduce.
+	Ring Algorithm = iota
+	// BiRing is the bidirectional ring (the default TP collective,
+	// §IV-E-1), which halves the per-direction payload.
+	BiRing
+	// RingBiOdd supports odd group sizes (§VI-B).
+	RingBiOdd
+	// TwoD is GSPMD-style 2D tensor-parallel all-reduce: a row phase plus
+	// a column phase with higher total volume.
+	TwoD
+	// TACOS is a topology-aware synthesised collective that exploits all
+	// available links of the group's submesh.
+	TACOS
+	// Multitree uses edge-disjoint spanning trees (broadcast/reduce).
+	Multitree
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case Ring:
+		return "ring"
+	case BiRing:
+		return "bi-ring"
+	case RingBiOdd:
+		return "ring-bi-odd"
+	case TwoD:
+		return "2d-tp"
+	case TACOS:
+		return "tacos"
+	case Multitree:
+		return "multitree"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Result reports a collective's cost and its traffic footprint.
+type Result struct {
+	// Time is the completion time in seconds.
+	Time float64
+	// Steps is the number of communication rounds.
+	Steps int
+	// LinkBytes is the traffic placed on each directed mesh link.
+	LinkBytes map[mesh.Link]float64
+}
+
+// MeanLinkUtilization returns mean utilisation over all physical links of
+// the mesh given the collective's traffic (Fig 5b metric).
+func (r Result) MeanLinkUtilization(m *mesh.Mesh) float64 {
+	var peak float64
+	for _, b := range r.LinkBytes {
+		if b > peak {
+			peak = b
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	var sum float64
+	for _, b := range r.LinkBytes {
+		sum += b / peak
+	}
+	total := 2 * (m.Cols*(m.Rows-1) + m.Rows*(m.Cols-1))
+	if total == 0 {
+		return 0
+	}
+	return sum / float64(total)
+}
+
+// AllReduce returns the cost of an all-reduce of `bytes` (the full tensor
+// size per die, before the 2(n−1)/n wire factor) across the group.
+func AllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64, algo Algorithm) (Result, error) {
+	n := len(group)
+	if n == 0 {
+		return Result{}, fmt.Errorf("collective: empty group")
+	}
+	if n == 1 || bytes <= 0 {
+		return Result{LinkBytes: map[mesh.Link]float64{}}, nil
+	}
+	switch algo {
+	case Ring:
+		if n%2 == 1 && n > 2 {
+			return Result{}, fmt.Errorf("collective: naive ring cannot handle odd group size %d (use RingBiOdd or TACOS)", n)
+		}
+		return ringAllReduce(m, group, bytes, false)
+	case BiRing:
+		if n%2 == 1 && n > 2 {
+			return Result{}, fmt.Errorf("collective: bidirectional ring cannot handle odd group size %d (use RingBiOdd or TACOS)", n)
+		}
+		return ringAllReduce(m, group, bytes, true)
+	case RingBiOdd:
+		r, err := ringAllReduce(m, group, bytes, true)
+		if err != nil {
+			return r, err
+		}
+		// RingBiOdd tolerates odd sizes at a small efficiency cost: the
+		// odd chunk pairing leaves one direction idle for one step.
+		if n%2 == 1 {
+			r.Time *= 1 + 1/float64(n)
+		}
+		return r, nil
+	case TwoD:
+		return twoDAllReduce(m, group, bytes)
+	case TACOS:
+		return tacosAllReduce(m, group, bytes)
+	case Multitree:
+		r, err := tacosAllReduce(m, group, bytes)
+		if err != nil {
+			return r, err
+		}
+		// Tree reduce+broadcast moves 2·V over log-depth trees; slightly
+		// worse than the synthesised schedule for large payloads.
+		r.Time *= 1.1
+		return r, nil
+	default:
+		return Result{}, fmt.Errorf("collective: unknown algorithm %v", algo)
+	}
+}
+
+// AllGather returns the cost of an all-gather where each die contributes
+// bytes/n and ends with the full `bytes` tensor.
+func AllGather(m *mesh.Mesh, group []mesh.DieID, bytes float64, algo Algorithm) (Result, error) {
+	n := len(group)
+	if n <= 1 || bytes <= 0 {
+		return Result{LinkBytes: map[mesh.Link]float64{}}, nil
+	}
+	// Ring all-gather: n−1 steps of chunk size bytes/n — half of the
+	// all-reduce schedule. Reuse the ring machinery with half the rounds.
+	full, err := AllReduce(m, group, bytes, algo)
+	if err != nil {
+		return full, err
+	}
+	full.Time /= 2
+	full.Steps = (full.Steps + 1) / 2
+	for l := range full.LinkBytes {
+		full.LinkBytes[l] /= 2
+	}
+	return full, nil
+}
+
+// ringOrder returns a boustrophedon (serpentine) ordering of the group,
+// which embeds a ring with unit-hop edges on rectangular groups.
+func ringOrder(group []mesh.DieID) []mesh.DieID {
+	out := append([]mesh.DieID(nil), group...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		// Serpentine: even rows left→right, odd rows right→left.
+		if out[i].Y%2 == 0 {
+			return out[i].X < out[j].X
+		}
+		return out[i].X > out[j].X
+	})
+	return out
+}
+
+func ringAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64, bidirectional bool) (Result, error) {
+	n := len(group)
+	order := ringOrder(group)
+	chunk := bytes / float64(n)
+	steps := 2 * (n - 1)
+
+	directions := 1
+	if bidirectional {
+		directions = 2
+		chunk /= 2
+	}
+
+	loads := map[mesh.Link]float64{}
+	// Per-step load per link: each ring edge forwards `chunk` every step.
+	stepLoad := map[mesh.Link]float64{}
+	maxHops := 0
+	addEdge := func(a, b mesh.DieID) error {
+		paths := m.ShortestPaths(a, b)
+		if len(paths) == 0 {
+			return fmt.Errorf("collective: no path %v->%v", a, b)
+		}
+		p := paths[0]
+		if len(p) > maxHops {
+			maxHops = len(p)
+		}
+		for _, l := range p {
+			stepLoad[l] += chunk
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		a, b := order[i], order[(i+1)%n]
+		if err := addEdge(a, b); err != nil {
+			return Result{}, err
+		}
+		if bidirectional {
+			if err := addEdge(b, a); err != nil {
+				return Result{}, err
+			}
+		}
+	}
+	// Step time = worst-link serialisation + hop latency of the longest
+	// ring edge (the closing edge of a serpentine ring spans several hops).
+	var worst float64
+	for l, b := range stepLoad {
+		bw := m.EffectiveLinkBandwidth(l)
+		if bw <= 0 {
+			return Result{}, fmt.Errorf("collective: ring edge uses dead link %v", l)
+		}
+		if t := b / bw; t > worst {
+			worst = t
+		}
+	}
+	stepTime := worst + float64(maxHops)*m.LinkLatency
+	for l, b := range stepLoad {
+		loads[l] = b * float64(steps)
+	}
+	_ = directions
+	return Result{Time: float64(steps) * stepTime, Steps: steps, LinkBytes: loads}, nil
+}
+
+// twoDAllReduce decomposes the group into rows and columns of its bounding
+// box and performs a row all-reduce followed by a column all-reduce. Total
+// wire volume is roughly double that of 1D ring — the Fig 21 "2D TP is
+// worst on a 2D mesh" result.
+func twoDAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64) (Result, error) {
+	rows := map[int][]mesh.DieID{}
+	cols := map[int][]mesh.DieID{}
+	for _, d := range group {
+		rows[d.Y] = append(rows[d.Y], d)
+		cols[d.X] = append(cols[d.X], d)
+	}
+	total := Result{LinkBytes: map[mesh.Link]float64{}}
+	phase := func(groups map[int][]mesh.DieID, vol float64) error {
+		var phaseTime float64
+		for _, g := range groups {
+			if len(g) < 2 {
+				continue
+			}
+			r, err := ringAllReduce(m, g, vol, true)
+			if err != nil {
+				return err
+			}
+			if r.Time > phaseTime {
+				phaseTime = r.Time
+			}
+			for l, b := range r.LinkBytes {
+				total.LinkBytes[l] += b
+			}
+			total.Steps += r.Steps
+		}
+		total.Time += phaseTime
+		return nil
+	}
+	// Row phase reduces the full tensor; the column phase combines the
+	// row-partial results (full volume again — 2D TP's overhead).
+	if err := phase(rows, bytes); err != nil {
+		return Result{}, err
+	}
+	if err := phase(cols, bytes); err != nil {
+		return Result{}, err
+	}
+	return total, nil
+}
+
+// tacosAllReduce models a TACOS-synthesised schedule: a time-expanded
+// link-chunk matching that keeps every boundary link of the group busy. Its
+// completion time approaches the bandwidth lower bound
+// 2(n−1)/n·V / (k·BW) where k is the number of usable link directions per
+// die (limited by the group's perimeter topology), plus per-round latency.
+func tacosAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64) (Result, error) {
+	n := len(group)
+	inGroup := map[mesh.DieID]bool{}
+	for _, d := range group {
+		inGroup[d] = true
+	}
+	// Count intra-group directed links and the minimum per-die degree.
+	minDeg := math.MaxInt32
+	links := map[mesh.Link]bool{}
+	for _, d := range group {
+		deg := 0
+		for _, nb := range []mesh.DieID{{X: d.X + 1, Y: d.Y}, {X: d.X - 1, Y: d.Y}, {X: d.X, Y: d.Y + 1}, {X: d.X, Y: d.Y - 1}} {
+			if inGroup[nb] && m.EffectiveLinkBandwidth(mesh.Link{From: d, To: nb}) > 0 {
+				deg++
+				links[mesh.Link{From: d, To: nb}] = true
+			}
+		}
+		if deg < minDeg {
+			minDeg = deg
+		}
+	}
+	if minDeg == 0 || minDeg == math.MaxInt32 {
+		return Result{}, fmt.Errorf("collective: group is disconnected for TACOS")
+	}
+	wire := 2 * float64(n-1) / float64(n) * bytes
+	// Effective injection bandwidth per die: min degree × link bandwidth,
+	// discounted for schedule imperfection.
+	eff := float64(minDeg) * m.LinkBandwidth * 0.9
+	steps := 2 * (n - 1)
+	t := wire/eff + float64(steps)*m.LinkLatency
+	loads := map[mesh.Link]float64{}
+	per := wire * float64(n) / float64(len(links))
+	for l := range links {
+		loads[l] = per
+	}
+	return Result{Time: t, Steps: steps, LinkBytes: loads}, nil
+}
+
+// Rectangle returns the dies of an r×c submesh anchored at (x0, y0).
+func Rectangle(x0, y0, cols, rows int) []mesh.DieID {
+	var out []mesh.DieID
+	for y := y0; y < y0+rows; y++ {
+		for x := x0; x < x0+cols; x++ {
+			out = append(out, mesh.DieID{X: x, Y: y})
+		}
+	}
+	return out
+}

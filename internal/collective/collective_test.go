@@ -1,0 +1,239 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/mesh"
+)
+
+func m3() *mesh.Mesh { return mesh.New(hw.Config3()) }
+
+const payload = 1e9 // 1 GB tensor
+
+func TestSingleDieNoCost(t *testing.T) {
+	r, err := AllReduce(m3(), Rectangle(0, 0, 1, 1), payload, BiRing)
+	if err != nil || r.Time != 0 {
+		t.Fatalf("single-die all-reduce = %v, %v; want free", r.Time, err)
+	}
+}
+
+func TestEmptyGroupError(t *testing.T) {
+	if _, err := AllReduce(m3(), nil, payload, Ring); err == nil {
+		t.Fatal("empty group should error")
+	}
+}
+
+func TestRingTimeMatchesAlphaBeta(t *testing.T) {
+	// 2x1 group: ring degenerates to an exchange; closed form applies:
+	// steps = 2(n-1) = 2, chunk = V/2, each step = chunk/BW + α.
+	m := m3()
+	r, err := AllReduce(m, Rectangle(0, 0, 2, 1), payload, Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 2 * (payload/2/m.LinkBandwidth + m.LinkLatency)
+	if math.Abs(r.Time-want)/want > 1e-9 {
+		t.Errorf("2-die ring time = %v, want %v", r.Time, want)
+	}
+}
+
+func TestBiRingHalvesRingTime(t *testing.T) {
+	m := m3()
+	g := Rectangle(0, 0, 4, 2)
+	uni, err := AllReduce(m, g, payload, Ring)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := AllReduce(m, g, payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := uni.Time / bi.Time; ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("bi-ring speedup = %.2f, want ~2", ratio)
+	}
+}
+
+func TestOddGroupNeedsRingBiOdd(t *testing.T) {
+	m := m3()
+	g := Rectangle(0, 0, 7, 1) // 7 dies — the config3 row (§VI-B)
+	if _, err := AllReduce(m, g, payload, Ring); err == nil {
+		t.Error("naive ring should reject odd group size")
+	}
+	r, err := AllReduce(m, g, payload, RingBiOdd)
+	if err != nil {
+		t.Fatalf("RingBiOdd failed: %v", err)
+	}
+	if r.Time <= 0 {
+		t.Error("RingBiOdd time should be positive")
+	}
+	// And it must cost more than an even 8-die bi-ring of the same payload
+	// would per participant — the odd penalty.
+	even, err := AllReduce(m, Rectangle(0, 0, 6, 1), payload, RingBiOdd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Time <= even.Time {
+		t.Errorf("7-die odd ring (%v) should cost more than 6-die (%v)", r.Time, even.Time)
+	}
+}
+
+func Test2DTPWorstOnMesh(t *testing.T) {
+	// Fig 21: 2D TP yields the worst performance on a 2D mesh due to its
+	// higher communication volume.
+	m := m3()
+	g := Rectangle(0, 0, 4, 2)
+	bi, err := AllReduce(m, g, payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twod, err := AllReduce(m, g, payload, TwoD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if twod.Time <= bi.Time {
+		t.Errorf("2D TP (%v) should be slower than bi-ring (%v) on the mesh", twod.Time, bi.Time)
+	}
+}
+
+func TestTACOSBeatsRingOnLargeGroups(t *testing.T) {
+	// Fig 21: TACOS outperforms rings at larger TP sizes by using all
+	// submesh links.
+	m := m3()
+	g := Rectangle(0, 0, 4, 4)
+	ring, err := AllReduce(m, g, payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tacos, err := AllReduce(m, g, payload, TACOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tacos.Time >= ring.Time {
+		t.Errorf("TACOS (%v) should beat bi-ring (%v) on a 4x4 group", tacos.Time, ring.Time)
+	}
+}
+
+func TestTACOSHandlesOddAndIrregularGroups(t *testing.T) {
+	m := m3()
+	g := Rectangle(0, 0, 7, 1)
+	if _, err := AllReduce(m, g, payload, TACOS); err != nil {
+		t.Fatalf("TACOS on 7x1: %v", err)
+	}
+	irregular := append(Rectangle(0, 0, 2, 2), mesh.DieID{X: 2, Y: 0})
+	if _, err := AllReduce(m, irregular, payload, TACOS); err != nil {
+		t.Fatalf("TACOS on irregular group: %v", err)
+	}
+}
+
+func TestAllGatherHalvesAllReduce(t *testing.T) {
+	m := m3()
+	g := Rectangle(0, 0, 4, 2)
+	ar, err := AllReduce(m, g, payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := AllGather(m, g, payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ag.Time*2-ar.Time)/ar.Time > 1e-9 {
+		t.Errorf("all-gather (%v) should be half of all-reduce (%v)", ag.Time, ar.Time)
+	}
+}
+
+func TestLinkLoadsRecorded(t *testing.T) {
+	m := m3()
+	r, err := AllReduce(m, Rectangle(0, 0, 4, 2), payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.LinkBytes) == 0 {
+		t.Fatal("no link loads recorded")
+	}
+	var total float64
+	for _, b := range r.LinkBytes {
+		if b < 0 {
+			t.Fatal("negative link load")
+		}
+		total += b
+	}
+	// Total wire traffic should be at least the theoretical 2(n-1)/n·V·n
+	// aggregate across the ring (each of n edges carries 2(n-1)·V/n).
+	n := 8.0
+	wantMin := 2 * (n - 1) * payload / n * n * 0.9
+	if total < wantMin {
+		t.Errorf("total wire bytes %g below ring lower bound %g", total, wantMin)
+	}
+}
+
+func TestLargerTPGroupUnderutilizesMesh(t *testing.T) {
+	// Fig 5b: TP=8 ring all-reduce leaves a larger fraction of the mesh
+	// idle versus two TP=4 groups covering the same dies.
+	m := m3()
+	r8, err := AllReduce(m, Rectangle(0, 0, 4, 2), payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := AllReduce(m, Rectangle(0, 0, 2, 2), payload, BiRing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per-die collective time should be lower for the smaller group.
+	if r4.Time >= r8.Time {
+		t.Errorf("TP=4 all-reduce (%v) should beat TP=8 (%v)", r4.Time, r8.Time)
+	}
+}
+
+func TestDeadLinkFailsRing(t *testing.T) {
+	m := m3()
+	m.InjectLinkFault(mesh.Link{From: mesh.DieID{X: 0, Y: 0}, To: mesh.DieID{X: 1, Y: 0}}, 1.0)
+	if _, err := AllReduce(m, Rectangle(0, 0, 4, 2), payload, BiRing); err == nil {
+		t.Error("ring across a dead link should fail")
+	}
+}
+
+func TestRingOrderSerpentine(t *testing.T) {
+	order := ringOrder(Rectangle(0, 0, 3, 2))
+	want := []mesh.DieID{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 2, Y: 0}, {X: 2, Y: 1}, {X: 1, Y: 1}, {X: 0, Y: 1}}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("serpentine order[%d] = %v, want %v (full: %v)", i, order[i], want[i], order)
+		}
+	}
+}
+
+func TestAllReduceTimePositiveProperty(t *testing.T) {
+	m := m3()
+	f := func(w, h uint8, algoSel uint8) bool {
+		cols := int(w%3)*2 + 2 // 2,4,6
+		rows := int(h%2) + 1
+		if cols > m.Cols || rows > m.Rows {
+			return true
+		}
+		algo := []Algorithm{Ring, BiRing, RingBiOdd, TwoD, TACOS, Multitree}[algoSel%6]
+		r, err := AllReduce(m, Rectangle(0, 0, cols, rows), payload, algo)
+		if err != nil {
+			return false
+		}
+		return r.Time > 0 && !math.IsInf(r.Time, 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMoreBytesMoreTimeProperty(t *testing.T) {
+	m := m3()
+	g := Rectangle(0, 0, 4, 2)
+	f := func(mult uint8) bool {
+		small, err1 := AllReduce(m, g, payload, BiRing)
+		big, err2 := AllReduce(m, g, payload*float64(mult%7+2), BiRing)
+		return err1 == nil && err2 == nil && big.Time > small.Time
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

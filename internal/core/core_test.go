@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestExploreSelectsBestArchitecture(t *testing.T) {
+	fw := New()
+	fw.Options = sched.Options{} // skip GA for speed
+	spec := model.Llama2_30B()
+	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
+	res, err := fw.Explore(hw.TableII(), spec, work)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerArch) != 4 {
+		t.Fatalf("per-arch results = %d, want 4", len(res.PerArch))
+	}
+	best := res.Best.Result.Best.Report.Throughput
+	for _, ar := range res.PerArch {
+		if ar.Err != nil || ar.Result == nil || ar.Result.Best == nil {
+			continue
+		}
+		if ar.Result.Best.Report.Throughput > best+1 {
+			t.Errorf("%s (%.3g) beats the reported best (%.3g)",
+				ar.Wafer.Name, ar.Result.Best.Report.Throughput, best)
+		}
+	}
+}
+
+func TestExploreRejectsEmptyCandidates(t *testing.T) {
+	if _, err := New().Explore(nil, model.Llama2_30B(), model.DefaultWorkload(model.Llama2_30B())); err == nil {
+		t.Fatal("empty candidate list should fail")
+	}
+}
+
+func TestExploreSkipsInvalidCandidates(t *testing.T) {
+	fw := New()
+	fw.Options = sched.Options{}
+	bad := hw.Config3()
+	bad.DiesX = 0
+	cands := []hw.WaferConfig{bad, hw.Config3()}
+	res, err := fw.Explore(cands, model.Llama2_30B(), model.Workload{GlobalBatch: 32, MicroBatch: 1, SeqLen: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerArch[0].Err == nil {
+		t.Error("invalid candidate should carry an error")
+	}
+	if res.Best.Wafer.Name != "config3" {
+		t.Errorf("best = %s, want config3", res.Best.Wafer.Name)
+	}
+}
+
+func TestSearchStrategyDefaults(t *testing.T) {
+	fw := &Framework{} // nil predictor: must self-initialise
+	fw.Options = sched.Options{FixedTP: 4, FixedPP: 7}
+	res, err := fw.SearchStrategy(hw.Config3(), model.Llama2_30B(),
+		model.Workload{GlobalBatch: 32, MicroBatch: 1, SeqLen: 2048})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best == nil || res.Best.TP != 4 {
+		t.Fatal("fixed strategy not honoured")
+	}
+}

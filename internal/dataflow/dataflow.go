@@ -1,0 +1,202 @@
+// Package dataflow implements the intra-die dataflow analysis of the WATOS
+// TP engine (§IV-E-1, Fig 14). A GEMM tile of shape S×K·K×H executed on an
+// m×n MAC array incurs different external memory access (EMA) volumes under
+// output-stationary (OS), weight-stationary (WS) and input-stationary (IS)
+// dataflows; the hybrid engine picks the dataflow with the lowest EMA for
+// each operator. Row-stationary (RS) is included for convolution operators.
+//
+// The package also performs SRAM-constrained tiling: a GEMM is blocked into
+// tiles that fit one core's shared SRAM, and the tile execution schedule
+// yields the achievable MAC-array utilisation used by the predictor.
+package dataflow
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Dataflow enumerates the stationary strategies of Fig 14.
+type Dataflow int
+
+const (
+	// OutputStationary keeps the output tile resident and streams inputs
+	// and weights (EMA = SHK(1/n + 1/m + 1/H)).
+	OutputStationary Dataflow = iota
+	// WeightStationary keeps the weight tile resident
+	// (EMA = SHK(1/n + 1/S + 1/m)).
+	WeightStationary
+	// InputStationary keeps the input tile resident
+	// (EMA = SHK(1/K + 1/m + 1/n)).
+	InputStationary
+	// RowStationary is Eyeriss-style row stationary, applicable to
+	// convolution operators only.
+	RowStationary
+)
+
+func (d Dataflow) String() string {
+	switch d {
+	case OutputStationary:
+		return "OS"
+	case WeightStationary:
+		return "WS"
+	case InputStationary:
+		return "IS"
+	case RowStationary:
+		return "RS"
+	default:
+		return fmt.Sprintf("Dataflow(%d)", int(d))
+	}
+}
+
+// GEMM describes an S×K · K×H matrix multiplication (the paper's dimension
+// naming: S rows from batch·sequence, K reduction, H output columns).
+type GEMM struct {
+	S, K, H int
+}
+
+// FLOPs returns the multiply-accumulate FLOP count (2·S·K·H).
+func (g GEMM) FLOPs() float64 { return 2 * float64(g.S) * float64(g.K) * float64(g.H) }
+
+// Valid reports whether all dimensions are positive.
+func (g GEMM) Valid() bool { return g.S > 0 && g.K > 0 && g.H > 0 }
+
+// EMAElements returns the external-memory-access volume in *elements* for
+// the GEMM on an m×n MAC array under the given dataflow, following the
+// closed forms of Fig 14. Lower is better; the three dataflows move the
+// same FLOPs but reload different operands.
+func EMAElements(g GEMM, df Dataflow, m, n int) float64 {
+	if !g.Valid() || m <= 0 || n <= 0 {
+		return math.Inf(1)
+	}
+	s, k, h := float64(g.S), float64(g.K), float64(g.H)
+	base := s * h * k
+	switch df {
+	case InputStationary:
+		// Input tile [m,n] resident; weights reloaded per tile row,
+		// outputs restreamed per reduction block.
+		return base * (1/k + 1/float64(m) + 1/float64(n))
+	case WeightStationary:
+		// Weight tile [m,n] resident; inputs reloaded per output column
+		// block, outputs restreamed.
+		return base * (1/float64(n) + 1/s + 1/float64(m))
+	case OutputStationary:
+		// Output tile [m,n] resident; inputs and weights streamed once
+		// per reduction pass.
+		return base * (1/float64(n) + 1/float64(m) + 1/h)
+	case RowStationary:
+		// RS is profitable only for convolutions; for GEMM it degenerates
+		// to a WS-like schedule with extra row staging.
+		return base * (1/float64(n) + 1/s + 1/float64(m)) * 1.15
+	default:
+		return math.Inf(1)
+	}
+}
+
+// EMABytes returns the EMA volume in bytes assuming FP16 operands.
+func EMABytes(g GEMM, df Dataflow, m, n int) float64 {
+	return EMAElements(g, df, m, n) * units.FP16Bytes
+}
+
+// Select returns the dataflow with the lowest EMA for the GEMM on an m×n
+// array, considering OS, WS and IS (RS is reserved for convolutions). This
+// is the "hybrid design that dynamically selects the most suitable dataflow"
+// of §IV-E-1.
+func Select(g GEMM, m, n int) (Dataflow, float64) {
+	best, bestEMA := OutputStationary, math.Inf(1)
+	for _, df := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+		if e := EMAElements(g, df, m, n); e < bestEMA {
+			best, bestEMA = df, e
+		}
+	}
+	return best, bestEMA
+}
+
+// Tiling describes how a GEMM is blocked to fit a core's SRAM.
+type Tiling struct {
+	// TileS, TileK, TileH are the tile dimensions.
+	TileS, TileK, TileH int
+	// Tiles is the total tile count.
+	Tiles int
+	// Utilization is the achieved MAC-array utilisation in (0, 1]: edge
+	// tiles and reduction staging reduce it below 1.
+	Utilization float64
+}
+
+// Tile blocks the GEMM so one tile's working set (input + weight + output
+// tile) fits within sramBytes, preferring square-ish tiles aligned to the
+// MAC array. It returns the tiling and the achieved utilisation.
+func Tile(g GEMM, sramBytes float64, m, n int) Tiling {
+	if !g.Valid() || sramBytes <= 0 {
+		return Tiling{TileS: 1, TileK: 1, TileH: 1, Tiles: 1, Utilization: 0.01}
+	}
+	elems := sramBytes / units.FP16Bytes
+	// Working set of a ts×tk×th tile: ts·tk (input) + tk·th (weight) +
+	// ts·th (output). Start from the MAC-aligned tile and grow while the
+	// budget allows.
+	ts, tk, th := minInt(g.S, m), minInt(g.K, 2*m), minInt(g.H, n)
+	fits := func(ts, tk, th int) bool {
+		ws := float64(ts*tk + tk*th + ts*th)
+		return ws <= elems
+	}
+	if !fits(ts, tk, th) {
+		// Shrink uniformly until it fits.
+		for !fits(ts, tk, th) && (ts > 1 || tk > 1 || th > 1) {
+			if ts >= tk && ts >= th && ts > 1 {
+				ts = (ts + 1) / 2
+			} else if tk >= th && tk > 1 {
+				tk = (tk + 1) / 2
+			} else if th > 1 {
+				th = (th + 1) / 2
+			}
+		}
+	} else {
+		// Grow the reduction dimension first (amortises output staging),
+		// then S and H, doubling while the working set fits.
+		for grew := true; grew; {
+			grew = false
+			if tk < g.K && fits(ts, minInt(g.K, tk*2), th) {
+				tk = minInt(g.K, tk*2)
+				grew = true
+			}
+			if ts < g.S && fits(minInt(g.S, ts*2), tk, th) {
+				ts = minInt(g.S, ts*2)
+				grew = true
+			}
+			if th < g.H && fits(ts, tk, minInt(g.H, th*2)) {
+				th = minInt(g.H, th*2)
+				grew = true
+			}
+		}
+	}
+	nt := ceilDiv(g.S, ts) * ceilDiv(g.K, tk) * ceilDiv(g.H, th)
+
+	// Utilisation: interior tiles run the MAC array full; edge tiles are
+	// partially filled. Model utilisation as the mean tile fill ratio
+	// against the MAC array footprint, with a small per-tile drain
+	// overhead that penalises very small tiles.
+	fillS := float64(g.S) / (float64(ceilDiv(g.S, ts)) * float64(ts))
+	fillH := float64(g.H) / (float64(ceilDiv(g.H, th)) * float64(th))
+	macFill := math.Min(1, float64(ts)/float64(m)) * math.Min(1, float64(th)/float64(n))
+	drain := float64(tk) / (float64(tk) + float64(m)) // pipeline fill/drain
+	util := fillS * fillH * macFill * drain
+	if util <= 0 {
+		util = 0.01
+	}
+	return Tiling{TileS: ts, TileK: tk, TileH: th, Tiles: nt, Utilization: util}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

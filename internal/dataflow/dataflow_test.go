@@ -1,0 +1,161 @@
+package dataflow
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func TestEMAClosedForms(t *testing.T) {
+	g := GEMM{S: 1024, K: 512, H: 2048}
+	m, n := 32, 32
+	base := float64(g.S) * float64(g.K) * float64(g.H)
+	cases := []struct {
+		df   Dataflow
+		want float64
+	}{
+		{InputStationary, base * (1.0/512 + 1.0/32 + 1.0/32)},
+		{WeightStationary, base * (1.0/32 + 1.0/1024 + 1.0/32)},
+		{OutputStationary, base * (1.0/32 + 1.0/32 + 1.0/2048)},
+	}
+	for _, c := range cases {
+		if got := EMAElements(g, c.df, m, n); math.Abs(got-c.want)/c.want > 1e-12 {
+			t.Errorf("%v EMA = %g, want %g", c.df, got, c.want)
+		}
+	}
+}
+
+func TestEMABytesIsFP16(t *testing.T) {
+	g := GEMM{S: 64, K: 64, H: 64}
+	if got, want := EMABytes(g, OutputStationary, 16, 16), EMAElements(g, OutputStationary, 16, 16)*units.FP16Bytes; got != want {
+		t.Errorf("EMABytes = %g, want %g", got, want)
+	}
+}
+
+func TestSelectPrefersISForLargeReduction(t *testing.T) {
+	// Fig 14: IS's EMA carries the 1/K term, so a huge reduction dimension
+	// makes input-stationary the cheapest dataflow.
+	df, _ := Select(GEMM{S: 64, K: 65536, H: 64}, 32, 32)
+	if df != InputStationary {
+		t.Errorf("large-K GEMM selected %v, want IS", df)
+	}
+}
+
+func TestSelectPrefersOSForWideOutput(t *testing.T) {
+	// OS's EMA carries the 1/H term, so a very wide output favours OS.
+	df, _ := Select(GEMM{S: 64, K: 64, H: 65536}, 32, 32)
+	if df != OutputStationary {
+		t.Errorf("wide-H GEMM selected %v, want OS", df)
+	}
+}
+
+func TestSelectPrefersWSForTallSkinny(t *testing.T) {
+	// Huge S (many tokens) with small K: weight reuse dominates, so WS
+	// (which avoids reloading weights per row block) should win over IS.
+	df, _ := Select(GEMM{S: 1 << 20, K: 64, H: 4096}, 32, 32)
+	if df == InputStationary {
+		t.Errorf("tall-skinny GEMM selected IS; weights should stay resident")
+	}
+}
+
+func TestSelectReturnsMinimum(t *testing.T) {
+	g := GEMM{S: 4096, K: 8192, H: 1024}
+	df, ema := Select(g, 32, 32)
+	for _, other := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+		if e := EMAElements(g, other, 32, 32); e < ema-1e-9 {
+			t.Errorf("Select chose %v (%g) but %v has lower EMA (%g)", df, ema, other, e)
+		}
+	}
+}
+
+func TestRSPenalisedForGEMM(t *testing.T) {
+	g := GEMM{S: 1024, K: 1024, H: 1024}
+	if EMAElements(g, RowStationary, 32, 32) <= EMAElements(g, WeightStationary, 32, 32) {
+		t.Error("RS should cost more than WS for plain GEMMs")
+	}
+}
+
+func TestInvalidGEMMInfiniteEMA(t *testing.T) {
+	if !math.IsInf(EMAElements(GEMM{S: 0, K: 1, H: 1}, OutputStationary, 8, 8), 1) {
+		t.Error("invalid GEMM should have infinite EMA")
+	}
+}
+
+func TestTileFitsSRAM(t *testing.T) {
+	g := GEMM{S: 8192, K: 8192, H: 8192}
+	sram := 1.25 * units.MiB
+	tl := Tile(g, sram, 32, 32)
+	ws := float64(tl.TileS*tl.TileK+tl.TileK*tl.TileH+tl.TileS*tl.TileH) * units.FP16Bytes
+	if ws > sram {
+		t.Errorf("tile working set %.0f exceeds SRAM %.0f", ws, sram)
+	}
+	if tl.Tiles < 1 {
+		t.Errorf("tiles = %d, want >= 1", tl.Tiles)
+	}
+	if tl.Utilization <= 0 || tl.Utilization > 1 {
+		t.Errorf("utilization = %v, want in (0,1]", tl.Utilization)
+	}
+}
+
+func TestTileCoversGEMM(t *testing.T) {
+	g := GEMM{S: 1000, K: 333, H: 77}
+	tl := Tile(g, 1.25*units.MiB, 32, 32)
+	covered := tl.Tiles * tl.TileS * tl.TileK * tl.TileH
+	if covered < g.S*g.K*g.H {
+		t.Errorf("tiling covers %d elements-products, need %d", covered, g.S*g.K*g.H)
+	}
+}
+
+func TestSmallGEMMOneTile(t *testing.T) {
+	g := GEMM{S: 32, K: 32, H: 32}
+	tl := Tile(g, 1.25*units.MiB, 32, 32)
+	if tl.Tiles != 1 {
+		t.Errorf("tiny GEMM tiles = %d, want 1", tl.Tiles)
+	}
+}
+
+func TestUtilizationDropsForTinyGEMM(t *testing.T) {
+	big := Tile(GEMM{S: 8192, K: 8192, H: 8192}, 1.25*units.MiB, 32, 32)
+	tiny := Tile(GEMM{S: 8, K: 8, H: 8}, 1.25*units.MiB, 32, 32)
+	if tiny.Utilization >= big.Utilization {
+		t.Errorf("tiny GEMM utilization (%v) should be below large (%v)", tiny.Utilization, big.Utilization)
+	}
+}
+
+func TestTilePropertyWorkingSetAndCoverage(t *testing.T) {
+	f := func(s, k, h uint16, sramKB uint8) bool {
+		g := GEMM{S: int(s%4096) + 1, K: int(k%4096) + 1, H: int(h%4096) + 1}
+		sram := (float64(sramKB%64) + 4) * 16 * units.KiB
+		tl := Tile(g, sram, 32, 32)
+		if tl.TileS < 1 || tl.TileK < 1 || tl.TileH < 1 {
+			return false
+		}
+		ws := float64(tl.TileS*tl.TileK+tl.TileK*tl.TileH+tl.TileS*tl.TileH) * units.FP16Bytes
+		// Either the tile fits, or the GEMM is so small that the minimal
+		// 1x1x1 tile was reached.
+		if ws > sram && (tl.TileS > 1 || tl.TileK > 1 || tl.TileH > 1) {
+			return false
+		}
+		return tl.Utilization > 0 && tl.Utilization <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEMAPositiveProperty(t *testing.T) {
+	f := func(s, k, h uint16) bool {
+		g := GEMM{S: int(s%2048) + 1, K: int(k%2048) + 1, H: int(h%2048) + 1}
+		for _, df := range []Dataflow{OutputStationary, WeightStationary, InputStationary} {
+			if EMAElements(g, df, 32, 32) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,246 @@
+// Package engine implements the TP and PP execution engines of §IV-E
+// (Fig 13). The TP engine turns a layer's operator graph into per-die
+// computation (via the predictor's tile-level cost model and the hybrid
+// dataflow) plus intra-stage collectives on the stage's mesh region. The PP
+// engine identifies inter-stage communication tasks (pipeline transfers and
+// activation balancing), routes them over shortest paths, and assigns tasks
+// to links with a punishment for already-occupied links to avoid contention.
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/collective"
+	"repro/internal/hw"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/opgraph"
+	"repro/internal/pipeline"
+	"repro/internal/placement"
+	"repro/internal/predictor"
+	"repro/internal/recompute"
+	"repro/internal/units"
+)
+
+// Config bundles the inputs of a stage-cost evaluation.
+type Config struct {
+	Wafer      hw.WaferConfig
+	Spec       model.Spec
+	Workload   model.Workload
+	TP, PP     int
+	Collective collective.Algorithm
+	Predictor  predictor.Predictor
+}
+
+// Validate rejects unusable configurations.
+func (c Config) Validate() error {
+	if c.TP < 1 || c.PP < 1 {
+		return fmt.Errorf("engine: invalid tp=%d pp=%d", c.TP, c.PP)
+	}
+	if c.Predictor == nil {
+		return fmt.Errorf("engine: nil predictor")
+	}
+	if err := c.Workload.Validate(); err != nil {
+		return err
+	}
+	if c.Spec.Layers < c.PP {
+		return fmt.Errorf("engine: %d pipeline stages exceed %d layers", c.PP, c.Spec.Layers)
+	}
+	return nil
+}
+
+// StageCompute details one stage's per-micro-batch execution.
+type StageCompute struct {
+	// Layers assigned to the stage.
+	Layers int
+	// FwdCompute and BwdCompute are per-micro-batch compute times
+	// (excluding collectives and recomputation).
+	FwdCompute, BwdCompute float64
+	// FwdCollective and BwdCollective are the tensor-parallel all-reduce
+	// times on the stage's region.
+	FwdCollective, BwdCollective float64
+	// RecomputeExtra is the per-micro-batch backward addition from the
+	// recomputation plan.
+	RecomputeExtra float64
+	// DRAMBytes is per-micro-batch DRAM traffic (fwd+bwd).
+	DRAMBytes float64
+	// CollectiveLinkBytes is the per-micro-batch TP traffic per link.
+	CollectiveLinkBytes map[mesh.Link]float64
+	// MeanLinkUtilization is the Fig 5b metric for this stage's TP
+	// collective.
+	MeanLinkUtilization float64
+}
+
+// StageCosts computes per-stage pipeline costs for the placement's regions.
+// extraBwd supplies the GCMR per-stage recomputation additions (nil = none).
+func StageCosts(cfg Config, m *mesh.Mesh, pl *placement.Placement, extraBwd []float64) ([]pipeline.StageCost, []StageCompute, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(pl.Regions) != cfg.PP {
+		return nil, nil, fmt.Errorf("engine: placement has %d regions, want %d", len(pl.Regions), cfg.PP)
+	}
+	layers, err := splitLayers(cfg.Spec.Layers, cfg.PP)
+	if err != nil {
+		return nil, nil, err
+	}
+	mb := cfg.Workload.MicroBatch
+	if mb <= 0 {
+		mb = 1
+	}
+	g, err := opgraph.Build(cfg.Spec, cfg.TP, mb, cfg.Workload.SeqLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	die := predictor.Context(cfg.Wafer)
+
+	// Per-layer compute and DRAM traffic from the predictor.
+	var fwdLayer, bwdLayer, dramLayer, arBytes float64
+	for _, op := range g.Ops {
+		est := cfg.Predictor.Predict(op, die)
+		if math.IsInf(est.Latency, 0) || math.IsNaN(est.Latency) {
+			return nil, nil, fmt.Errorf("engine: predictor returned invalid latency for %s", op.Name)
+		}
+		fwdLayer += est.Latency
+		// Backward compute scales with the op's FLOP ratio.
+		ratio := 2.0
+		if op.FwdFLOPs > 0 {
+			ratio = op.BwdFLOPs / op.FwdFLOPs
+		}
+		bwdLayer += est.Latency * ratio
+		dramLayer += est.DRAMBytes * (1 + ratio)
+		arBytes += op.AllReduceBytes
+	}
+
+	costs := make([]pipeline.StageCost, cfg.PP)
+	computes := make([]StageCompute, cfg.PP)
+	// Inter-stage activation transfer: micro-batch boundary tensor.
+	boundaryBytes := float64(mb*cfg.Workload.SeqLen*cfg.Spec.Hidden) * units.FP16Bytes
+
+	for s := 0; s < cfg.PP; s++ {
+		region := pl.Regions[s].Dies
+		var arFwd, arBwd float64
+		var linkBytes map[mesh.Link]float64
+		var meanUtil float64
+		if cfg.TP > 1 && arBytes > 0 {
+			// op.AllReduceBytes already carries the 2(t−1)/t wire factor
+			// of Eq 1; the collective package applies the ring schedule
+			// to the full tensor, so divide the factor back out.
+			res, err := collective.AllReduce(m, region, arBytes/arFactor(cfg.TP), cfg.Collective)
+			if err != nil {
+				return nil, nil, fmt.Errorf("engine: stage %d collective: %w", s, err)
+			}
+			arFwd = res.Time
+			arBwd = res.Time // backward mirrors the forward collectives
+			linkBytes = res.LinkBytes
+			meanUtil = res.MeanLinkUtilization(m)
+		}
+		fwd := fwdLayer*float64(layers[s]) + arFwd*float64(layers[s])
+		extra := 0.0
+		if extraBwd != nil && s < len(extraBwd) {
+			extra = extraBwd[s]
+		}
+		bwd := bwdLayer*float64(layers[s]) + arBwd*float64(layers[s]) + extra
+
+		// Inter-stage comm: choose the min-conflict shortest path between
+		// region anchors (PP engine link assignment).
+		commFwd, commBwd := 0.0, 0.0
+		if s+1 < cfg.PP {
+			a := pl.Regions[s].Anchor()
+			b := pl.Regions[s+1].Anchor()
+			t := bestPathTime(m, a, b, boundaryBytes, linkBytes)
+			commFwd = t
+			commBwd = t // gradient of the boundary tensor, same size
+		}
+
+		costs[s] = pipeline.StageCost{Fwd: fwd, Bwd: bwd, CommFwd: commFwd, CommBwd: commBwd}
+		computes[s] = StageCompute{
+			Layers:              layers[s],
+			FwdCompute:          fwdLayer * float64(layers[s]),
+			BwdCompute:          bwdLayer * float64(layers[s]),
+			FwdCollective:       arFwd * float64(layers[s]),
+			BwdCollective:       arBwd * float64(layers[s]),
+			RecomputeExtra:      extra,
+			DRAMBytes:           dramLayer * float64(layers[s]),
+			CollectiveLinkBytes: linkBytes,
+			MeanLinkUtilization: meanUtil,
+		}
+	}
+	return costs, computes, nil
+}
+
+// arFactor returns 2(t−1)/t, the Eq 1 wire factor already baked into
+// op.AllReduceBytes.
+func arFactor(tp int) float64 {
+	return 2 * float64(tp-1) / float64(tp)
+}
+
+// bestPathTime routes an inter-stage transfer over the lowest-cost shortest
+// path, punishing links already carrying TP collective traffic (the PP
+// engine's contention-avoiding link assignment, Fig 13 step 4).
+func bestPathTime(m *mesh.Mesh, a, b mesh.DieID, bytes float64, busy map[mesh.Link]float64) float64 {
+	if a == b {
+		return 0
+	}
+	best := math.Inf(1)
+	for _, p := range m.ShortestPaths(a, b) {
+		t := float64(len(p)) * m.LinkLatency
+		var penalty float64
+		minBW := math.Inf(1)
+		for _, l := range p {
+			bw := m.EffectiveLinkBandwidth(l)
+			if bw < minBW {
+				minBW = bw
+			}
+			if busy != nil && busy[l] > 0 {
+				penalty += 0.5 // occupied-link punishment factor
+			}
+		}
+		if minBW <= 0 {
+			continue
+		}
+		t += bytes / minBW * (1 + penalty)
+		if t < best {
+			best = t
+		}
+	}
+	if math.IsInf(best, 1) {
+		// No healthy shortest path: fall back to adaptive rerouting.
+		p := m.ReroutePath(a, b)
+		if p == nil {
+			return math.Inf(1)
+		}
+		return m.TransferTime(p, bytes)
+	}
+	return best
+}
+
+// GCMRCostFn adapts predictor estimates into recomputation op costs (Eq 1
+// collective term included).
+func GCMRCostFn(cfg Config, m *mesh.Mesh) func(opgraph.Op) recompute.OpCost {
+	die := predictor.Context(cfg.Wafer)
+	return func(op opgraph.Op) recompute.OpCost {
+		est := cfg.Predictor.Predict(op, die)
+		var comm float64
+		if op.AllReduceBytes > 0 {
+			comm = m.LinkLatency + op.AllReduceBytes/m.LinkBandwidth
+		}
+		return recompute.OpCost{Latency: est.Latency, CommTime: comm}
+	}
+}
+
+func splitLayers(total, pp int) ([]int, error) {
+	if pp <= 0 || total < pp {
+		return nil, fmt.Errorf("engine: cannot split %d layers into %d stages", total, pp)
+	}
+	out := make([]int, pp)
+	base, rem := total/pp, total%pp
+	for i := range out {
+		out[i] = base
+		if i < rem {
+			out[i]++
+		}
+	}
+	return out, nil
+}

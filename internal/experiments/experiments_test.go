@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRegistryCoversAllPaperArtifacts(t *testing.T) {
+	want := []string{
+		"1", "2", "5a", "5b", "5c", "6a", "6b", "10b", "10c",
+		"15", "16", "17", "18", "19", "20", "21", "22", "23",
+		"24a", "24b", "25", "table1", "table2",
+	}
+	reg := Registry()
+	if len(reg) != len(want) {
+		t.Fatalf("registry has %d entries, want %d", len(reg), len(want))
+	}
+	for _, id := range want {
+		if _, ok := reg[id]; !ok {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Error("IDs() size mismatch")
+	}
+}
+
+// TestCheapRunners executes the fast experiments end-to-end and validates
+// their table structure. The expensive ones are exercised by bench_test.go.
+func TestCheapRunners(t *testing.T) {
+	for _, id := range []string{"5b", "5c", "10c", "22", "table1", "table2"} {
+		t.Run(id, func(t *testing.T) {
+			tbl, err := Registry()[id]()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for i, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %d has %d cells, header has %d", i, len(row), len(tbl.Header))
+				}
+			}
+			var buf bytes.Buffer
+			tbl.Fprint(&buf)
+			if !strings.Contains(buf.String(), tbl.ID) {
+				t.Error("printed table missing its ID")
+			}
+		})
+	}
+}
+
+func TestFig22ShapeInline(t *testing.T) {
+	tbl, err := Fig22()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Robust column must dominate baseline at every non-zero rate.
+	for _, row := range tbl.Rows {
+		rate, _ := strconv.ParseFloat(row[1], 64)
+		robust, _ := strconv.ParseFloat(row[2], 64)
+		baseline, _ := strconv.ParseFloat(row[3], 64)
+		if rate > 0 && robust < baseline {
+			t.Errorf("%s rate %s: robust %v < baseline %v", row[0], row[1], robust, baseline)
+		}
+	}
+}
+
+func TestFig05cMemoryImbalance(t *testing.T) {
+	tbl, err := Fig05c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := strconv.ParseFloat(tbl.Rows[0][5], 64)
+	last, _ := strconv.ParseFloat(tbl.Rows[len(tbl.Rows)-1][5], 64)
+	if first <= last {
+		t.Errorf("stage 1 total (%v GB) should exceed stage 8 (%v GB)", first, last)
+	}
+}
+
+func TestTableFormattingEdgeCases(t *testing.T) {
+	tbl := &Table{ID: "t", Title: "x", Header: []string{"a", "bb"}}
+	tbl.AddRow("1")
+	tbl.Note("n=%d", 1)
+	var buf bytes.Buffer
+	tbl.Fprint(&buf) // short row must not panic
+	if !strings.Contains(buf.String(), "note: n=1") {
+		t.Error("note missing")
+	}
+}

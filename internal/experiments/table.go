@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the WATOS
+// evaluation (§V) and discussion (§VI). Each runner returns a Table whose
+// rows correspond to the series the paper plots; EXPERIMENTS.md records the
+// expected shapes. Runners are deterministic for a fixed seed.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a figure/table reproduction: a titled grid of result rows.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Note appends a free-form observation (expected-shape commentary).
+func (t *Table) Note(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Fprint renders the table as aligned text.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		var b strings.Builder
+		for i, c := range cells {
+			pad := 0
+			if i < len(widths) {
+				pad = widths[i] - len(c)
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", pad+2))
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	printRow(t.Header)
+	printRow(dashes(widths))
+	for _, row := range t.Rows {
+		printRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func dashes(widths []int) []string {
+	out := make([]string, len(widths))
+	for i, w := range widths {
+		out[i] = strings.Repeat("-", w)
+	}
+	return out
+}
+
+// Runner produces one figure/table.
+type Runner func() (*Table, error)
+
+// Registry maps experiment IDs ("1", "5a", "15", "table1", ...) to runners.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"1":      Fig01,
+		"2":      Fig02,
+		"5a":     Fig05a,
+		"5b":     Fig05b,
+		"5c":     Fig05c,
+		"6a":     Fig06a,
+		"6b":     Fig06b,
+		"10b":    Fig10b,
+		"10c":    Fig10c,
+		"15":     Fig15,
+		"16":     Fig16,
+		"17":     Fig17,
+		"18":     Fig18,
+		"19":     Fig19,
+		"20":     Fig20,
+		"21":     Fig21,
+		"22":     Fig22,
+		"23":     Fig23,
+		"24a":    Fig24a,
+		"24b":    Fig24b,
+		"25":     Fig25,
+		"table1": TableI,
+		"table2": TableII,
+	}
+}
+
+// IDs returns the registry keys in a stable order.
+func IDs() []string {
+	r := Registry()
+	out := make([]string, 0, len(r))
+	for id := range r {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string  { return fmt.Sprintf("%.0f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }

@@ -1,0 +1,129 @@
+package fault
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/mesh"
+)
+
+func TestHealthyWaferFullThroughput(t *testing.T) {
+	s := Collect(mesh.New(hw.Config3()))
+	if RobustFactor(s) != 1 || BaselineFactor(s) != 1 {
+		t.Fatalf("healthy wafer factors = %v, %v; want 1, 1", RobustFactor(s), BaselineFactor(s))
+	}
+	if Gain(s) != 1 {
+		t.Fatalf("healthy gain = %v, want 1", Gain(s))
+	}
+}
+
+func TestCollectStats(t *testing.T) {
+	m := mesh.New(hw.Config3())
+	m.InjectLinkFault(mesh.Link{From: mesh.DieID{X: 0, Y: 0}, To: mesh.DieID{X: 1, Y: 0}}, 0.5)
+	m.InjectDieFault(mesh.DieID{X: 3, Y: 3}, 1.0)
+	s := Collect(m)
+	if s.DegradedLinkFraction <= 0 {
+		t.Error("degraded link not counted")
+	}
+	if s.DeadDieFraction <= 0 {
+		t.Error("dead die not counted")
+	}
+	if s.MeanLinkHealth >= 1 || s.MeanDieHealth >= 1 {
+		t.Error("health means should drop below 1")
+	}
+}
+
+func TestRobustBeatsBaselineUnderFaults(t *testing.T) {
+	for _, kind := range []string{"link", "die"} {
+		for _, rate := range []float64{0.1, 0.2, 0.4} {
+			m := mesh.New(hw.Config3())
+			rng := rand.New(rand.NewSource(5))
+			if kind == "link" {
+				m.InjectRandomLinkFaults(rng, rate)
+			} else {
+				m.InjectRandomDieFaults(rng, rate)
+			}
+			s := Collect(m)
+			if RobustFactor(s) <= BaselineFactor(s) {
+				t.Errorf("%s rate %.1f: robust (%v) should beat baseline (%v)",
+					kind, rate, RobustFactor(s), BaselineFactor(s))
+			}
+		}
+	}
+}
+
+func TestGainAt20PercentMatchesPaperBand(t *testing.T) {
+	// Paper: +18% at 20% link faults, +35% at 20% die faults. Compare the
+	// ratio of seed-averaged factors (per-seed gain ratios are heavy-
+	// tailed when a seed kills many dies) against a generous band; the
+	// shape (die gain ≳ link gain) must hold.
+	avg := func(kind string) float64 {
+		var rSum, bSum float64
+		const seeds = 8
+		for i := int64(0); i < seeds; i++ {
+			m := mesh.New(hw.Config3())
+			rng := rand.New(rand.NewSource(i*31 + 1))
+			if kind == "link" {
+				m.InjectRandomLinkFaults(rng, 0.2)
+			} else {
+				m.InjectRandomDieFaults(rng, 0.2)
+			}
+			s := Collect(m)
+			rSum += RobustFactor(s)
+			bSum += BaselineFactor(s)
+		}
+		return rSum / bSum
+	}
+	link, die := avg("link"), avg("die")
+	if link < 1.05 || link > 3.0 {
+		t.Errorf("link gain at 20%% = %.2f, outside [1.05, 3.0]", link)
+	}
+	if die < 1.05 || die > 3.0 {
+		t.Errorf("die gain at 20%% = %.2f, outside [1.05, 3.0]", die)
+	}
+	if die <= link*0.9 {
+		t.Errorf("die-fault gain (%.2f) should be at least comparable to link gain (%.2f)", die, link)
+	}
+}
+
+func TestBaselineDegradesFasterProperty(t *testing.T) {
+	f := func(seed int64, r uint8) bool {
+		rate := float64(r%6) * 0.1
+		m := mesh.New(hw.Config3())
+		rng := rand.New(rand.NewSource(seed))
+		m.InjectRandomLinkFaults(rng, rate)
+		m.InjectRandomDieFaults(rng, rate/2)
+		s := Collect(m)
+		rb, bl := RobustFactor(s), BaselineFactor(s)
+		return rb >= bl-1e-9 && rb >= 0 && rb <= 1 && bl >= 0 && bl <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneDegradationProperty(t *testing.T) {
+	// More faults never increase robust throughput (averaged over seeds to
+	// smooth sampling noise).
+	avgRobust := func(rate float64) float64 {
+		var sum float64
+		const seeds = 6
+		for i := int64(0); i < seeds; i++ {
+			m := mesh.New(hw.Config3())
+			rng := rand.New(rand.NewSource(i + 100))
+			m.InjectRandomLinkFaults(rng, rate)
+			sum += RobustFactor(Collect(m))
+		}
+		return sum / seeds
+	}
+	prev := avgRobust(0)
+	for _, rate := range []float64{0.1, 0.3, 0.5, 0.7} {
+		cur := avgRobust(rate)
+		if cur > prev+0.02 {
+			t.Fatalf("robust factor increased from %v to %v at rate %v", prev, cur, rate)
+		}
+		prev = cur
+	}
+}

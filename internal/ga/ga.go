@@ -1,0 +1,322 @@
+// Package ga implements the genetic-algorithm global optimizer of §IV-D
+// (Fig 12). A genome bundles a recomputation configuration, a stage→region
+// placement permutation, and the Mem_pair set; the five customised operators
+// Op1–Op5 mutate and recombine genomes, a fitness function
+// (t_max × GlobalCost) scores them, and selection mixes elitism with binary
+// tournaments under the ω knob whose convergence/quality trade-off is the
+// Fig 24b experiment.
+package ga
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/mesh"
+	"repro/internal/placement"
+	"repro/internal/recompute"
+)
+
+// Genome is one candidate configuration.
+type Genome struct {
+	// RecompChoice is the per-stage option index into the stage profiles.
+	RecompChoice []int
+	// Perm maps stage → base-region index (placement permutation).
+	Perm []int
+	// Pairs is the Mem_pair set.
+	Pairs []recompute.MemPair
+}
+
+// Clone deep-copies the genome.
+func (g Genome) Clone() Genome {
+	out := Genome{
+		RecompChoice: append([]int(nil), g.RecompChoice...),
+		Perm:         append([]int(nil), g.Perm...),
+		Pairs:        append([]recompute.MemPair(nil), g.Pairs...),
+	}
+	return out
+}
+
+// Problem describes the optimisation instance.
+type Problem struct {
+	Mesh     *mesh.Mesh
+	Profiles []recompute.StageProfile
+	// BaseRegions is the region geometry being permuted.
+	BaseRegions []placement.Region
+	// PipelineBytes weights Eq 2's pipeline term.
+	PipelineBytes []float64
+}
+
+func (p *Problem) stages() int { return len(p.Profiles) }
+
+// Fitness evaluates t_max × GlobalCost (§IV-D); lower is better. Infeasible
+// genomes (memory overflow beyond helpers' capacity) return +Inf.
+func (p *Problem) Fitness(g Genome) float64 {
+	tmax, feasible := p.maxStageTime(g)
+	if !feasible {
+		return math.Inf(1)
+	}
+	pl := p.buildPlacement(g)
+	cost := placement.GlobalCost(p.Mesh, pl, placement.Workload{
+		PipelineBytes: p.PipelineBytes,
+		Pairs:         g.Pairs,
+	})
+	// GlobalCost can be zero for trivial single-stage problems; keep the
+	// fitness ordered by time in that case.
+	return tmax * (1 + cost)
+}
+
+// maxStageTime returns the bottleneck stage time and overall feasibility:
+// every stage's retained checkpoints minus outgoing pair volume must fit its
+// local capacity, and incoming pair volume must fit helpers' spare.
+func (p *Problem) maxStageTime(g Genome) (float64, bool) {
+	n := p.stages()
+	if len(g.RecompChoice) != n {
+		return 0, false
+	}
+	outgoing := make([]float64, n)
+	incoming := make([]float64, n)
+	for _, pr := range g.Pairs {
+		if pr.Sender < 0 || pr.Sender >= n || pr.Helper < 0 || pr.Helper >= n || pr.Bytes < 0 {
+			return 0, false
+		}
+		outgoing[pr.Sender] += pr.Bytes
+		incoming[pr.Helper] += pr.Bytes
+	}
+	var tmax float64
+	for s := 0; s < n; s++ {
+		prof := p.Profiles[s]
+		oi := g.RecompChoice[s]
+		if oi < 0 || oi >= len(prof.Options) {
+			return 0, false
+		}
+		o := prof.Options[oi]
+		need := o.CkptBytesPerMB * float64(prof.Retained)
+		local := prof.LocalBytes - prof.ModelPBytes
+		if local < 0 {
+			local = 0
+		}
+		if need-outgoing[s]+incoming[s] > local+1e-6 {
+			return 0, false
+		}
+		t := prof.FwdTime + prof.BwdTime + o.ExtraBwdTime
+		if t > tmax {
+			tmax = t
+		}
+	}
+	return tmax, true
+}
+
+func (p *Problem) buildPlacement(g Genome) *placement.Placement {
+	regions := make([]placement.Region, len(g.Perm))
+	for s, r := range g.Perm {
+		regions[s] = p.BaseRegions[r%len(p.BaseRegions)]
+	}
+	return &placement.Placement{Regions: regions}
+}
+
+// Options tune the search.
+type Options struct {
+	// Population size (default 32).
+	Population int
+	// Generations to run (default 100).
+	Generations int
+	// Omega is the elitism proportion ω of §V-A: 1.0 = pure elitist
+	// (fast, often suboptimal), 0.0 = pure binary tournament (diverse,
+	// slower convergence).
+	Omega float64
+	// Seed for reproducibility.
+	Seed int64
+}
+
+// Result reports the best genome and the convergence history.
+type Result struct {
+	Best        Genome
+	BestFitness float64
+	// History[g] is the best fitness after generation g (Fig 24b curves).
+	History []float64
+}
+
+// Optimize runs the GA from the given seed genome (typically the greedy
+// GCMR + serpentine solution, which the GA escapes via Op1–Op5).
+func Optimize(p *Problem, seed Genome, opts Options) (*Result, error) {
+	if p.stages() == 0 {
+		return nil, fmt.Errorf("ga: empty problem")
+	}
+	if len(seed.RecompChoice) != p.stages() || len(seed.Perm) != p.stages() {
+		return nil, fmt.Errorf("ga: seed genome shape mismatch")
+	}
+	pop := opts.Population
+	if pop <= 0 {
+		pop = 32
+	}
+	gens := opts.Generations
+	if gens <= 0 {
+		gens = 100
+	}
+	omega := opts.Omega
+	if omega < 0 {
+		omega = 0
+	}
+	if omega > 1 {
+		omega = 1
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 7))
+
+	population := make([]scored, 0, pop)
+	population = append(population, scored{seed.Clone(), p.Fitness(seed)})
+	for len(population) < pop {
+		g := seed.Clone()
+		p.mutate(&g, rng)
+		population = append(population, scored{g, p.Fitness(g)})
+	}
+
+	res := &Result{BestFitness: math.Inf(1)}
+	for gen := 0; gen < gens; gen++ {
+		sort.Slice(population, func(i, j int) bool { return population[i].f < population[j].f })
+		if population[0].f < res.BestFitness {
+			res.BestFitness = population[0].f
+			res.Best = population[0].g.Clone()
+		}
+		res.History = append(res.History, res.BestFitness)
+
+		// Selection: ω fraction of parents by elitism, the rest by binary
+		// tournament (preserving diversity).
+		next := make([]scored, 0, pop)
+		elite := int(omega * float64(pop))
+		if elite < 1 {
+			elite = 1
+		}
+		for i := 0; i < elite && i < len(population); i++ {
+			next = append(next, scored{population[i].g.Clone(), population[i].f})
+		}
+		for len(next) < pop {
+			a := p.tournament(population, rng)
+			child := a.Clone()
+			// Crossover with a second tournament parent half the time.
+			if rng.Float64() < 0.5 {
+				b := p.tournament(population, rng)
+				p.crossover(&child, b, rng)
+			}
+			p.mutate(&child, rng)
+			next = append(next, scored{child, p.Fitness(child)})
+		}
+		population = next
+	}
+	sort.Slice(population, func(i, j int) bool { return population[i].f < population[j].f })
+	if population[0].f < res.BestFitness {
+		res.BestFitness = population[0].f
+		res.Best = population[0].g.Clone()
+	}
+	res.History = append(res.History, res.BestFitness)
+	if math.IsInf(res.BestFitness, 1) {
+		return nil, fmt.Errorf("ga: no feasible genome found")
+	}
+	return res, nil
+}
+
+type scored struct {
+	g Genome
+	f float64
+}
+
+func (p *Problem) tournament(pop []scored, rng *rand.Rand) Genome {
+	a, b := rng.Intn(len(pop)), rng.Intn(len(pop))
+	if pop[a].f <= pop[b].f {
+		return pop[a].g
+	}
+	return pop[b].g
+}
+
+// mutate applies one of the five §IV-D operators.
+func (p *Problem) mutate(g *Genome, rng *rand.Rand) {
+	n := p.stages()
+	switch rng.Intn(5) {
+	case 0: // Op1 — R variation: toggle recomputation level of a stage.
+		s := rng.Intn(n)
+		opts := len(p.Profiles[s].Options)
+		if opts > 1 {
+			g.RecompChoice[s] = rng.Intn(opts)
+		}
+	case 1: // Op2 — R crossover between two stages (swap their configs).
+		if n > 1 {
+			a, b := rng.Intn(n), rng.Intn(n)
+			ca := clampChoice(g.RecompChoice[a], len(p.Profiles[b].Options))
+			cb := clampChoice(g.RecompChoice[b], len(p.Profiles[a].Options))
+			g.RecompChoice[a], g.RecompChoice[b] = cb, ca
+		}
+	case 2: // Op3 — placement variation: swap two stages' physical regions.
+		if n > 1 {
+			a, b := rng.Intn(n), rng.Intn(n)
+			g.Perm[a], g.Perm[b] = g.Perm[b], g.Perm[a]
+		}
+	case 3: // Op4 — A variation: grow or shrink a Mem_pair.
+		if len(g.Pairs) > 0 && rng.Float64() < 0.5 {
+			i := rng.Intn(len(g.Pairs))
+			g.Pairs[i].Bytes *= 0.5 + rng.Float64()
+			if rng.Float64() < 0.3 && len(g.Pairs) > 0 {
+				g.Pairs = append(g.Pairs[:i], g.Pairs[i+1:]...)
+			}
+		} else if n > 1 {
+			s, h := rng.Intn(n), rng.Intn(n)
+			if s != h {
+				prof := p.Profiles[s]
+				vol := prof.Options[clampChoice(g.RecompChoice[s], len(prof.Options))].CkptBytesPerMB * float64(prof.Retained) * 0.1
+				g.Pairs = append(g.Pairs, recompute.MemPair{Sender: s, Helper: h, Bytes: vol})
+			}
+		}
+	case 4: // Op5 — A crossover: exchange two senders' pair assignments.
+		if len(g.Pairs) > 1 {
+			a, b := rng.Intn(len(g.Pairs)), rng.Intn(len(g.Pairs))
+			g.Pairs[a].Helper, g.Pairs[b].Helper = g.Pairs[b].Helper, g.Pairs[a].Helper
+		}
+	}
+}
+
+// crossover mixes another genome's placement and recompute choices.
+func (p *Problem) crossover(g *Genome, other Genome, rng *rand.Rand) {
+	n := p.stages()
+	cut := rng.Intn(n)
+	for s := cut; s < n; s++ {
+		g.RecompChoice[s] = clampChoice(other.RecompChoice[s], len(p.Profiles[s].Options))
+	}
+	// Permutation crossover: adopt the other's ordering for the suffix via
+	// order-preserving fill to keep Perm a permutation.
+	used := map[int]bool{}
+	for s := 0; s < cut; s++ {
+		used[g.Perm[s]] = true
+	}
+	idx := cut
+	for _, r := range other.Perm {
+		if !used[r] && idx < n {
+			g.Perm[idx] = r
+			used[r] = true
+			idx++
+		}
+	}
+}
+
+func clampChoice(c, n int) int {
+	if c < 0 || n <= 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// SeedFromPlan builds the initial genome from a GCMR plan and a serpentine
+// placement (the greedy solution of Fig 12's blue path).
+func SeedFromPlan(plan *recompute.Plan, stages int) Genome {
+	g := Genome{
+		RecompChoice: append([]int(nil), plan.Choice...),
+		Perm:         make([]int, stages),
+		Pairs:        append([]recompute.MemPair(nil), plan.Pairs...),
+	}
+	for i := range g.Perm {
+		g.Perm[i] = i
+	}
+	return g
+}

@@ -1,0 +1,187 @@
+package ga
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/mesh"
+	"repro/internal/placement"
+	"repro/internal/recompute"
+)
+
+func testProblem(t *testing.T) (*Problem, Genome) {
+	t.Helper()
+	m := mesh.New(hw.Config3())
+	pp := 7
+	base, err := placement.Partition(m, 8, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profiles := make([]recompute.StageProfile, pp)
+	for s := 0; s < pp; s++ {
+		profiles[s] = recompute.StageProfile{
+			Options: []recompute.Option{
+				{CkptBytesPerMB: 30e9, ExtraBwdTime: 0},
+				{CkptBytesPerMB: 15e9, ExtraBwdTime: 0.08},
+				{CkptBytesPerMB: 5e9, ExtraBwdTime: 0.2},
+			},
+			Retained:    pp - s,
+			FwdTime:     1,
+			BwdTime:     2,
+			ModelPBytes: 300e9,
+			LocalBytes:  70e9 * 8,
+		}
+	}
+	plan, err := recompute.GCMR(profiles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{
+		Mesh:          m,
+		Profiles:      profiles,
+		BaseRegions:   base,
+		PipelineBytes: []float64{1e9, 1e9, 1e9, 1e9, 1e9, 1e9, 1e9},
+	}
+	return prob, SeedFromPlan(plan, pp)
+}
+
+func TestOptimizeImprovesOrMatchesSeed(t *testing.T) {
+	prob, seed := testProblem(t)
+	seedFit := prob.Fitness(seed)
+	res, err := Optimize(prob, seed, Options{Population: 16, Generations: 40, Omega: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestFitness > seedFit+1e-9 {
+		t.Errorf("GA best (%g) worse than seed (%g)", res.BestFitness, seedFit)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no convergence history")
+	}
+}
+
+func TestHistoryMonotoneNonIncreasing(t *testing.T) {
+	prob, seed := testProblem(t)
+	res, err := Optimize(prob, seed, Options{Population: 16, Generations: 30, Omega: 0.25, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.History); i++ {
+		if res.History[i] > res.History[i-1]+1e-12 {
+			t.Fatalf("history regressed at gen %d: %g > %g", i, res.History[i], res.History[i-1])
+		}
+	}
+}
+
+func TestElitistConvergesFaster(t *testing.T) {
+	// Fig 24b: ω=1 (pure elitism) reaches its plateau in fewer generations
+	// than ω=0 (pure tournament).
+	prob, seed := testProblem(t)
+	gensTo95 := func(omega float64) int {
+		res, err := Optimize(prob, seed, Options{Population: 24, Generations: 60, Omega: omega, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		final := res.History[len(res.History)-1]
+		for g, f := range res.History {
+			if f <= final*1.02 {
+				return g
+			}
+		}
+		return len(res.History)
+	}
+	elitist := gensTo95(1.0)
+	tournament := gensTo95(0.0)
+	if elitist > tournament+10 {
+		t.Errorf("elitist (%d gens) should converge at least as fast as tournament (%d)", elitist, tournament)
+	}
+}
+
+func TestFitnessInfeasibleGenome(t *testing.T) {
+	prob, seed := testProblem(t)
+	bad := seed.Clone()
+	bad.Pairs = []recompute.MemPair{{Sender: 0, Helper: 99, Bytes: 1e9}}
+	if !math.IsInf(prob.Fitness(bad), 1) {
+		t.Error("out-of-range pair should be infeasible")
+	}
+	bad2 := seed.Clone()
+	bad2.RecompChoice[0] = 99
+	if !math.IsInf(prob.Fitness(bad2), 1) {
+		t.Error("out-of-range recompute choice should be infeasible")
+	}
+}
+
+func TestOptimizeRejectsBadInput(t *testing.T) {
+	if _, err := Optimize(&Problem{}, Genome{}, Options{}); err == nil {
+		t.Error("empty problem should fail")
+	}
+	prob, _ := testProblem(t)
+	if _, err := Optimize(prob, Genome{RecompChoice: []int{0}}, Options{}); err == nil {
+		t.Error("shape-mismatched seed should fail")
+	}
+}
+
+func TestMutatePreservesPermutationProperty(t *testing.T) {
+	prob, seed := testProblem(t)
+	f := func(seedVal int64, rounds uint8) bool {
+		g := seed.Clone()
+		rng := newRand(seedVal)
+		for i := 0; i < int(rounds%32); i++ {
+			prob.mutate(&g, rng)
+		}
+		seen := map[int]bool{}
+		for _, r := range g.Perm {
+			if r < 0 || r >= len(prob.BaseRegions) || seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(g.RecompChoice) == prob.stages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossoverPreservesPermutationProperty(t *testing.T) {
+	prob, seed := testProblem(t)
+	f := func(seedVal int64) bool {
+		a, b := seed.Clone(), seed.Clone()
+		rng := newRand(seedVal)
+		prob.mutate(&b, rng)
+		prob.mutate(&b, rng)
+		prob.crossover(&a, b, rng)
+		seen := map[int]bool{}
+		for _, r := range a.Perm {
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(seen) == prob.stages()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	_, seed := testProblem(t)
+	c := seed.Clone()
+	if len(seed.RecompChoice) > 0 {
+		c.RecompChoice[0] = 999
+		if seed.RecompChoice[0] == 999 {
+			t.Error("clone shares RecompChoice")
+		}
+	}
+	c.Perm[0], c.Perm[1] = c.Perm[1], c.Perm[0]
+	if seed.Perm[0] == c.Perm[0] {
+		t.Error("clone shares Perm")
+	}
+}
+
+// newRand avoids importing math/rand in multiple test helpers.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

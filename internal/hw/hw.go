@@ -1,0 +1,328 @@
+// Package hw implements the configurable wafer-scale-chip (WSC) hardware
+// template of the WATOS paper (§II-A, Fig 3). The template is a three-level
+// hierarchy — wafer, die, core — with adjustable parameters at every level:
+//
+//   - wafer level: number of dies in X/Y, DRAM chiplet count per die,
+//     per-link die-to-die (D2D) bandwidth, NoC topology;
+//   - die level: compute-core array dimensions, die geometry;
+//   - core level: MAC array throughput and shared-SRAM capacity.
+//
+// The package also implements the wafer area model (§III-B): compute dies and
+// their DRAM chiplets compete for the fixed ~40,000 mm² usable area of a
+// 12-inch wafer, and compute-die edge IO is split between D2D links and
+// DRAM ports, yielding the compute/memory/communication trade-off of Fig 4.
+//
+// The Enumerator produces all architecture candidates that satisfy the area
+// and IO constraints; Table II of the paper is available as presets.
+package hw
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/units"
+)
+
+// Topology identifies the wafer-level interconnect organisation.
+type Topology int
+
+const (
+	// Mesh2D is the default 2D-mesh die-to-die fabric (Fig 3).
+	Mesh2D Topology = iota
+	// MeshSwitch is the mesh-switch hybrid of §VI-E: small meshes joined by
+	// a central switch network.
+	MeshSwitch
+)
+
+func (t Topology) String() string {
+	switch t {
+	case Mesh2D:
+		return "2d-mesh"
+	case MeshSwitch:
+		return "mesh-switch"
+	default:
+		return fmt.Sprintf("Topology(%d)", int(t))
+	}
+}
+
+// CoreConfig describes one compute core: a PE array for GEMMs, a vector unit,
+// a local controller, a DMA engine and a shared SRAM (Fig 3b).
+type CoreConfig struct {
+	// PeakFLOPS is the FP16 MAC-array throughput of one core, FLOP/s.
+	PeakFLOPS float64
+	// VectorFLOPS is the scalar/vector-unit throughput, FLOP/s.
+	VectorFLOPS float64
+	// SRAMBytes is the shared SRAM capacity of the core.
+	SRAMBytes float64
+	// MACWidth and MACHeight give the m×n dimensions of the PE array used
+	// by the dataflow/EMA analysis (Fig 14).
+	MACWidth, MACHeight int
+}
+
+// DojoStyleCore returns the core used for the paper's evaluation (§V-A):
+// 2.04 FP16 TFLOPS and 1.25 MB of SRAM at 2 GHz in a 7 nm process.
+func DojoStyleCore() CoreConfig {
+	return CoreConfig{
+		PeakFLOPS:   2.04 * units.TFLOPS,
+		VectorFLOPS: 0.128 * units.TFLOPS,
+		SRAMBytes:   1.25 * units.MiB,
+		MACWidth:    32,
+		MACHeight:   32,
+	}
+}
+
+// DieConfig describes a compute die: a 2D array of cores joined by an on-die
+// NoC, with HBM chiplets and D2D interfaces on the periphery.
+type DieConfig struct {
+	Name string
+	// CoreRows and CoreCols give the core-array dimensions.
+	CoreRows, CoreCols int
+	Core               CoreConfig
+	// WidthMM and HeightMM are the compute-die dimensions (X_C, Y_C).
+	WidthMM, HeightMM float64
+	// FreqGHz is the operating frequency.
+	FreqGHz float64
+	// EdgeIOBandwidth is the total interconnect bandwidth available on the
+	// die perimeter across all four directions, before it is split between
+	// D2D links and HBM ports (12 TB/s in §V-A).
+	EdgeIOBandwidth float64
+	// NoCBandwidth is the per-hop on-die NoC bandwidth.
+	NoCBandwidth float64
+	// PeakFLOPSOverride, when positive, pins the per-die peak throughput
+	// instead of deriving it from the core array (Table II publishes
+	// rounded per-die TFLOPS).
+	PeakFLOPSOverride float64
+}
+
+// Cores returns the number of compute cores on the die.
+func (d DieConfig) Cores() int { return d.CoreRows * d.CoreCols }
+
+// PeakFLOPS returns the die's aggregate FP16 throughput.
+func (d DieConfig) PeakFLOPS() float64 {
+	if d.PeakFLOPSOverride > 0 {
+		return d.PeakFLOPSOverride
+	}
+	return float64(d.Cores()) * d.Core.PeakFLOPS
+}
+
+// SRAMBytes returns the aggregate on-die SRAM.
+func (d DieConfig) SRAMBytes() float64 {
+	return float64(d.Cores()) * d.Core.SRAMBytes
+}
+
+// AreaMM2 returns the silicon area of the compute die.
+func (d DieConfig) AreaMM2() float64 { return d.WidthMM * d.HeightMM }
+
+// AspectRatio returns max(w,h)/min(w,h) ≥ 1.
+func (d DieConfig) AspectRatio() float64 {
+	if d.WidthMM <= 0 || d.HeightMM <= 0 {
+		return math.Inf(1)
+	}
+	r := d.WidthMM / d.HeightMM
+	if r < 1 {
+		r = 1 / r
+	}
+	return r
+}
+
+// HBMChipletConfig describes one DRAM (HBM) chiplet bonded next to a compute
+// die (X_M × Y_M in Fig 3).
+type HBMChipletConfig struct {
+	WidthMM, HeightMM float64
+	CapacityBytes     float64
+	BandwidthBytes    float64 // per-chiplet access bandwidth, B/s
+	// PortIOBandwidth is the compute-die edge IO consumed by attaching the
+	// chiplet, which is therefore unavailable for D2D links (Fig 4d).
+	PortIOBandwidth float64
+}
+
+// DefaultHBMChiplet returns the chiplet used by the enumerator: 16 GB,
+// 0.5 TB/s access bandwidth, consuming 0.5 TB/s of edge IO.
+func DefaultHBMChiplet() HBMChipletConfig {
+	return HBMChipletConfig{
+		WidthMM:         4.92,
+		HeightMM:        8.13,
+		CapacityBytes:   16 * units.GB,
+		BandwidthBytes:  0.5 * units.TB,
+		PortIOBandwidth: 0.5 * units.TB,
+	}
+}
+
+// WaferConfig is a complete wafer-scale-chip architecture candidate.
+type WaferConfig struct {
+	Name string
+	// DiesX and DiesY give the die grid (N_D^X, N_D^Y).
+	DiesX, DiesY int
+	Die          DieConfig
+	// HBMPerDie is the number of DRAM chiplets attached to each die.
+	HBMPerDie int
+	HBM       HBMChipletConfig
+	// DRAMPerDie and DRAMBandwidth, when positive, pin the per-die DRAM
+	// capacity/bandwidth (Table II presets); otherwise they are derived
+	// from HBMPerDie × chiplet parameters.
+	DRAMPerDie    float64
+	DRAMBandwidth float64
+	// D2DBandwidth, when positive, pins the per-direction D2D link
+	// bandwidth between adjacent dies; otherwise derived from the edge IO
+	// left over after HBM ports are subtracted.
+	D2DBandwidth float64
+	// D2DLinkLatency is the per-hop link latency α (Eq 1).
+	D2DLinkLatency float64
+	// NoCLatency is the per-hop on-die NoC latency.
+	NoCLatency float64
+	Topology   Topology
+	// SwitchBandwidth is the aggregate switch-network bandwidth for the
+	// MeshSwitch topology (1.6 TB/s in §VI-E).
+	SwitchBandwidth float64
+	// WaferEdgeMM is the usable square wafer edge (198.32 mm in Fig 3),
+	// used for geometry reporting.
+	WaferEdgeMM float64
+	// AreaBudgetMM2 is the usable silicon area for die sites. Zero selects
+	// DefaultAreaBudgetMM2. The budget slightly exceeds WaferEdgeMM²
+	// because die sites extend into the circular margin of the 300 mm
+	// wafer outside the inscribed square.
+	AreaBudgetMM2 float64
+	// HostBandwidth is the host↔wafer PCIe bandwidth used by offloading
+	// experiments (160 GB/s in Fig 6).
+	HostBandwidth float64
+	// W2W describes wafer-to-wafer interconnect for multi-wafer nodes
+	// (§VI-F); zero value means single-wafer.
+	W2W W2WConfig
+}
+
+// W2WConfig describes a multi-wafer node.
+type W2WConfig struct {
+	Wafers    int     // number of wafers in the node (1 = single wafer)
+	Bandwidth float64 // per wafer-pair interconnect bandwidth, B/s
+	Latency   float64 // per-hop latency
+}
+
+// Dies returns the number of dies on one wafer.
+func (w WaferConfig) Dies() int { return w.DiesX * w.DiesY }
+
+// TotalDies returns dies across all wafers of the node.
+func (w WaferConfig) TotalDies() int {
+	if w.W2W.Wafers > 1 {
+		return w.Dies() * w.W2W.Wafers
+	}
+	return w.Dies()
+}
+
+// DiePeakFLOPS returns per-die peak throughput.
+func (w WaferConfig) DiePeakFLOPS() float64 { return w.Die.PeakFLOPS() }
+
+// PeakFLOPS returns the aggregate compute throughput of one wafer.
+func (w WaferConfig) PeakFLOPS() float64 {
+	return float64(w.Dies()) * w.Die.PeakFLOPS()
+}
+
+// DieDRAM returns the per-die DRAM capacity in bytes.
+func (w WaferConfig) DieDRAM() float64 {
+	if w.DRAMPerDie > 0 {
+		return w.DRAMPerDie
+	}
+	return float64(w.HBMPerDie) * w.HBM.CapacityBytes
+}
+
+// DieDRAMBandwidth returns the per-die DRAM access bandwidth in B/s.
+func (w WaferConfig) DieDRAMBandwidth() float64 {
+	if w.DRAMBandwidth > 0 {
+		return w.DRAMBandwidth
+	}
+	return float64(w.HBMPerDie) * w.HBM.BandwidthBytes
+}
+
+// TotalDRAM returns the aggregate DRAM capacity of one wafer.
+func (w WaferConfig) TotalDRAM() float64 {
+	return float64(w.Dies()) * w.DieDRAM()
+}
+
+// LinkBandwidth returns the per-direction D2D link bandwidth between two
+// adjacent dies.
+func (w WaferConfig) LinkBandwidth() float64 {
+	if w.D2DBandwidth > 0 {
+		return w.D2DBandwidth
+	}
+	// The die's edge IO is split across four directions; HBM ports consume
+	// their share first (Fig 4d).
+	remaining := w.Die.EdgeIOBandwidth - float64(w.HBMPerDie)*w.HBM.PortIOBandwidth
+	if remaining < 0 {
+		return 0
+	}
+	return remaining / 4
+}
+
+// DefaultAreaBudgetMM2 is the usable wafer-site area for a 300 mm wafer,
+// "around 40,000 mm²" per §III-B.
+const DefaultAreaBudgetMM2 = 42000.0
+
+// HBMAreaShare is the fraction of a DRAM chiplet's footprint that competes
+// with compute dies for wafer area; the remainder overlaps the compute die's
+// peripheral IO region (CoWoS partial stacking).
+const HBMAreaShare = 0.5
+
+// AreaBudget returns the usable site-area budget in mm².
+func (w WaferConfig) AreaBudget() float64 {
+	if w.AreaBudgetMM2 > 0 {
+		return w.AreaBudgetMM2
+	}
+	return DefaultAreaBudgetMM2
+}
+
+// Validate checks the physical constraints of the candidate: the die sites
+// (compute die plus DRAM chiplets) must fit the wafer area budget, and the
+// HBM port IO must not exceed the die's edge IO budget.
+func (w WaferConfig) Validate() error {
+	if w.DiesX <= 0 || w.DiesY <= 0 {
+		return fmt.Errorf("hw: wafer %q has non-positive die grid %dx%d", w.Name, w.DiesX, w.DiesY)
+	}
+	if w.Die.CoreRows <= 0 || w.Die.CoreCols <= 0 {
+		return fmt.Errorf("hw: wafer %q has empty core array", w.Name)
+	}
+	need := float64(w.Dies()) * w.SiteAreaMM2()
+	if budget := w.AreaBudget(); need > budget+1e-6 {
+		return fmt.Errorf("hw: wafer %q needs %.0f mm² of sites but budget is %.0f mm²",
+			w.Name, need, budget)
+	}
+	ports := float64(w.HBMPerDie) * w.HBM.PortIOBandwidth
+	if ports > w.Die.EdgeIOBandwidth+1e-9 {
+		return fmt.Errorf("hw: wafer %q HBM ports need %.1f TB/s IO but die edge provides %.1f TB/s",
+			w.Name, ports/units.TB, w.Die.EdgeIOBandwidth/units.TB)
+	}
+	if w.LinkBandwidth() <= 0 {
+		return fmt.Errorf("hw: wafer %q has no D2D bandwidth left after HBM ports", w.Name)
+	}
+	return nil
+}
+
+// SiteDimensionsMM returns the width and height of one die "site": the
+// compute die plus its DRAM chiplets arranged in columns along the die's
+// vertical edges (Fig 4a–c).
+func (w WaferConfig) SiteDimensionsMM() (width, height float64) {
+	height = w.Die.HeightMM
+	width = w.Die.WidthMM
+	if w.HBMPerDie > 0 {
+		perColumn := int(math.Max(1, math.Floor(w.Die.HeightMM/w.HBM.HeightMM)))
+		columns := (w.HBMPerDie + perColumn - 1) / perColumn
+		width += float64(columns) * w.HBM.WidthMM
+		hbmHeight := float64(min(perColumn, w.HBMPerDie)) * w.HBM.HeightMM
+		if hbmHeight > height {
+			height = hbmHeight
+		}
+	}
+	return width, height
+}
+
+// SiteAreaMM2 returns the effective area one die site charges against the
+// wafer budget: the compute die plus HBMAreaShare of each DRAM chiplet.
+func (w WaferConfig) SiteAreaMM2() float64 {
+	return w.Die.AreaMM2() + float64(w.HBMPerDie)*w.HBM.WidthMM*w.HBM.HeightMM*HBMAreaShare
+}
+
+// String summarises the candidate for logs and reports.
+func (w WaferConfig) String() string {
+	return fmt.Sprintf("%s: %dx%d dies, %.0f TFLOPS/die, %.0f GB DRAM/die @ %.1f TB/s, D2D %.1f TB/s, %s",
+		w.Name, w.DiesX, w.DiesY, w.DiePeakFLOPS()/units.TFLOPS,
+		w.DieDRAM()/units.GB, w.DieDRAMBandwidth()/units.TB,
+		w.LinkBandwidth()/units.TB, w.Topology)
+}

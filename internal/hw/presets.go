@@ -1,0 +1,202 @@
+package hw
+
+import "repro/internal/units"
+
+// DieA returns compute-die configuration (1) from §V-A: 21.92 mm × 22.81 mm
+// with a 16×16 array of Dojo-style cores at 2 GHz.
+func DieA() DieConfig {
+	return DieConfig{
+		Name:            "die-16x16",
+		CoreRows:        16,
+		CoreCols:        16,
+		Core:            DojoStyleCore(),
+		WidthMM:         21.92,
+		HeightMM:        22.81,
+		FreqGHz:         2.0,
+		EdgeIOBandwidth: 12 * units.TB,
+		NoCBandwidth:    1.0 * units.TB,
+		// Table II publishes 512 TFLOPS per die for the 16×16 array.
+		PeakFLOPSOverride: 512 * units.TFLOPS,
+	}
+}
+
+// DieB returns compute-die configuration (2) from §V-A: 25.5 mm × 25.2 mm
+// with an 18×18 core array.
+func DieB() DieConfig {
+	return DieConfig{
+		Name:            "die-18x18",
+		CoreRows:        18,
+		CoreCols:        18,
+		Core:            DojoStyleCore(),
+		WidthMM:         25.5,
+		HeightMM:        25.2,
+		FreqGHz:         2.0,
+		EdgeIOBandwidth: 12 * units.TB,
+		NoCBandwidth:    1.0 * units.TB,
+		// Table II publishes 708 TFLOPS per die for the 18×18 array.
+		PeakFLOPSOverride: 708 * units.TFLOPS,
+	}
+}
+
+func baseWafer(name string, die DieConfig, dx, dy, hbm int) WaferConfig {
+	return WaferConfig{
+		Name:           name,
+		DiesX:          dx,
+		DiesY:          dy,
+		Die:            die,
+		HBMPerDie:      hbm,
+		HBM:            DefaultHBMChiplet(),
+		D2DLinkLatency: 100 * units.Nanosecond,
+		NoCLatency:     20 * units.Nanosecond,
+		Topology:       Mesh2D,
+		WaferEdgeMM:    198.32,
+		HostBandwidth:  160 * units.GB,
+	}
+}
+
+// Config1 returns Table II configuration 1: 64 dies (8×8) of the 16×16-core
+// die, 48 GB DRAM per die at 1 TB/s, 4.5 TB/s D2D links.
+func Config1() WaferConfig {
+	w := baseWafer("config1", DieA(), 8, 8, 3)
+	w.DRAMPerDie = 48 * units.GB
+	w.DRAMBandwidth = 1.0 * units.TB
+	w.D2DBandwidth = 4.5 * units.TB
+	return w
+}
+
+// Config2 returns Table II configuration 2: 56 dies (7×8) of the 18×18-core
+// die, 64 GB per die at 1.5 TB/s, 4.5 TB/s D2D links.
+func Config2() WaferConfig {
+	w := baseWafer("config2", DieB(), 7, 8, 4)
+	w.DRAMPerDie = 64 * units.GB
+	w.DRAMBandwidth = 1.5 * units.TB
+	w.D2DBandwidth = 4.5 * units.TB
+	return w
+}
+
+// Config3 returns Table II configuration 3 — the paper's universal optimum:
+// 56 dies (7×8), 70 GB per die at 2 TB/s, 4 TB/s D2D links.
+func Config3() WaferConfig {
+	w := baseWafer("config3", DieB(), 7, 8, 5)
+	w.DRAMPerDie = 70 * units.GB
+	w.DRAMBandwidth = 2.0 * units.TB
+	w.D2DBandwidth = 4.0 * units.TB
+	return w
+}
+
+// Config4 returns Table II configuration 4: 48 dies (6×8), 96 GB per die at
+// 2.5 TB/s, 3.5 TB/s D2D links.
+func Config4() WaferConfig {
+	w := baseWafer("config4", DieB(), 6, 8, 6)
+	w.DRAMPerDie = 96 * units.GB
+	w.DRAMBandwidth = 2.5 * units.TB
+	w.D2DBandwidth = 3.5 * units.TB
+	return w
+}
+
+// TableII returns the four representative hardware configurations of the
+// paper's Table II, in order.
+func TableII() []WaferConfig {
+	return []WaferConfig{Config1(), Config2(), Config3(), Config4()}
+}
+
+// Config3MeshSwitch returns the §VI-E reconfiguration of Config3: 48 dies in
+// a 12×2×2 arrangement (modelled as four 12×1 meshes) joined by a 1.6 TB/s
+// switch network.
+func Config3MeshSwitch() WaferConfig {
+	w := Config3()
+	w.Name = "config3-mesh-switch"
+	w.Topology = MeshSwitch
+	w.DiesX = 12
+	w.DiesY = 4
+	w.SwitchBandwidth = 1.6 * units.TB
+	return w
+}
+
+// MultiWafer returns an n-wafer node built from the given wafer with the
+// given wafer-to-wafer bandwidth (§VI-F).
+func MultiWafer(w WaferConfig, wafers int, w2wBandwidth float64) WaferConfig {
+	w.Name = w.Name + "-multiwafer"
+	w.W2W = W2WConfig{
+		Wafers:    wafers,
+		Bandwidth: w2wBandwidth,
+		Latency:   500 * units.Nanosecond,
+	}
+	return w
+}
+
+// GPUSystem models a DGX-class GPU baseline (§V-C): g GPUs per node joined by
+// an all-to-all NVLink fabric, nodes joined by InfiniBand-class links.
+type GPUSystem struct {
+	Name string
+	// GPUsPerNode and Nodes give the cluster shape.
+	GPUsPerNode, Nodes int
+	// GPUFLOPS is per-GPU peak FP16 throughput.
+	GPUFLOPS float64
+	// HBMPerGPU is per-GPU memory capacity.
+	HBMPerGPU float64
+	// HBMBandwidth is per-GPU memory bandwidth.
+	HBMBandwidth float64
+	// NVLinkBandwidth is the per-GPU injection bandwidth into the
+	// intra-node fabric.
+	NVLinkBandwidth float64
+	// InterNodeBandwidth is the per-node network bandwidth.
+	InterNodeBandwidth float64
+	// LinkLatency is the fabric hop latency.
+	LinkLatency float64
+}
+
+// GPUs returns the total GPU count.
+func (g GPUSystem) GPUs() int { return g.GPUsPerNode * g.Nodes }
+
+// PeakFLOPS returns the aggregate throughput.
+func (g GPUSystem) PeakFLOPS() float64 { return float64(g.GPUs()) * g.GPUFLOPS }
+
+// TotalHBM returns the aggregate memory capacity.
+func (g GPUSystem) TotalHBM() float64 { return float64(g.GPUs()) * g.HBMPerGPU }
+
+// BlackwellUltraNode returns the Megatron-GPU baseline of §V-C: 8 Blackwell
+// Ultra GPUs, 40,000 TFLOPS total, NVLink 1.8 TB/s, with HBM scaled to
+// 3920 GB total (490 GB/GPU) and 2 TB/s memory bandwidth to match the WSC.
+func BlackwellUltraNode() GPUSystem {
+	return GPUSystem{
+		Name:               "MG-GPU-8xBlackwellUltra",
+		GPUsPerNode:        8,
+		Nodes:              1,
+		GPUFLOPS:           5000 * units.TFLOPS,
+		HBMPerGPU:          490 * units.GB,
+		HBMBandwidth:       2 * units.TB,
+		NVLinkBandwidth:    1.8 * units.TB,
+		InterNodeBandwidth: 400 * units.GB,
+		LinkLatency:        500 * units.Nanosecond,
+	}
+}
+
+// NVL72GB300 returns the 56-GPU GB300 NVL72 system of Fig 1: rack-scale
+// NVLink joining 56 GPUs with compute power equal to the 56-die WSC.
+func NVL72GB300(perGPUFLOPS float64) GPUSystem {
+	return GPUSystem{
+		Name:               "NVL72-GB300-56GPU",
+		GPUsPerNode:        56,
+		Nodes:              1,
+		GPUFLOPS:           perGPUFLOPS,
+		HBMPerGPU:          288 * units.GB,
+		HBMBandwidth:       8 * units.TB,
+		NVLinkBandwidth:    1.8 * units.TB,
+		InterNodeBandwidth: 400 * units.GB,
+		LinkLatency:        500 * units.Nanosecond,
+	}
+}
+
+// MegatronCluster returns the §VI-F Megatron baseline: n nodes of 8 Blackwell
+// Ultra GPUs joined by 400 GB/s inter-node links. Unlike the single-node
+// fairness setup (which scales HBM to match the wafer), the cluster uses the
+// real 288 GB per GPU — which is why Llama3-405B needs at least three
+// servers (§VI-F).
+func MegatronCluster(nodes int) GPUSystem {
+	g := BlackwellUltraNode()
+	g.Name = "MG-GPU-cluster"
+	g.Nodes = nodes
+	g.HBMPerGPU = 288 * units.GB
+	return g
+}

@@ -1,0 +1,140 @@
+package memory
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+func TestSplitLayers(t *testing.T) {
+	got, err := SplitLayers(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{3, 3, 2, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("split = %v, want %v", got, want)
+		}
+	}
+	if _, err := SplitLayers(3, 5); err == nil {
+		t.Error("more stages than layers should fail")
+	}
+	if _, err := SplitLayers(0, 1); err == nil {
+		t.Error("zero layers should fail")
+	}
+}
+
+func TestSplitLayersConservesProperty(t *testing.T) {
+	f := func(l, p uint8) bool {
+		layers := int(l%100) + 1
+		pp := int(p%16) + 1
+		if pp > layers {
+			return true
+		}
+		split, err := SplitLayers(layers, pp)
+		if err != nil {
+			return false
+		}
+		sum := 0
+		for i := 1; i < len(split); i++ {
+			if split[i] > split[i-1] {
+				return false // earlier stages take the remainder
+			}
+		}
+		for _, s := range split {
+			sum += s
+		}
+		return sum == layers
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelPPerDieScalesWithTP(t *testing.T) {
+	spec := model.Llama3_70B()
+	one := ModelPPerDie(spec, 10, 1, 0)
+	four := ModelPPerDie(spec, 10, 4, 0)
+	if four*4 != one {
+		t.Errorf("TP sharding should divide modelP: tp1=%g tp4=%g", one, four)
+	}
+}
+
+func TestPipelineProfileImbalance(t *testing.T) {
+	// Fig 5c: Llama-30B, TP=4, PP=8 — early stages use far more memory
+	// than late ones, dominated by activations (>70% of total).
+	spec := model.Llama2_30B()
+	w := model.Workload{GlobalBatch: 128, MicroBatch: 2, SeqLen: 4096}
+	prof, err := PipelineProfile(spec, w, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof) != 8 {
+		t.Fatalf("profile stages = %d, want 8", len(prof))
+	}
+	if prof[0].Activation <= prof[7].Activation {
+		t.Error("stage 0 should hold more activation checkpoints than stage 7")
+	}
+	frac := prof[0].Activation / prof[0].Total()
+	if frac < 0.5 {
+		t.Errorf("activation fraction at stage 0 = %.2f, paper reports >0.7", frac)
+	}
+	// Breakdown components positive.
+	for s, b := range prof {
+		if b.Weights <= 0 || b.Gradients <= 0 || b.Optimizer <= 0 || b.Activation <= 0 {
+			t.Errorf("stage %d has non-positive component: %+v", s, b)
+		}
+		if b.Optimizer <= b.Weights {
+			t.Errorf("stage %d: FP32 Adam state should dominate FP16 weights", s)
+		}
+	}
+}
+
+func TestFitsModelP(t *testing.T) {
+	cfg := hw.Config3()
+	// Llama2-30B modelP = 32.5e9 × 16 B = 520 GB; 56 dies × 70 GB = 3920 GB.
+	if !FitsModelP(model.Llama2_30B(), cfg.Dies(), cfg.DieDRAM()) {
+		t.Error("Llama2-30B should fit config3")
+	}
+	// On 4 dies (280 GB) it must not fit.
+	if FitsModelP(model.Llama2_30B(), 4, cfg.DieDRAM()) {
+		t.Error("Llama2-30B must not fit 4 dies")
+	}
+}
+
+func TestStageBreakdownMixedPrecisionRatios(t *testing.T) {
+	spec := model.GPT_175B()
+	w := model.DefaultWorkload(spec)
+	prof, err := PipelineProfile(spec, w, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := prof[1] // interior stage, no embedding
+	// 2:2:12 ratio of the 16-byte mixed-precision budget.
+	if ratio := b.Optimizer / b.Weights; ratio < 5.9 || ratio > 6.1 {
+		t.Errorf("optimizer/weights ratio = %.2f, want 6 (12B vs 2B per param)", ratio)
+	}
+	if b.Weights != b.Gradients {
+		t.Error("FP16 weights and gradients should match")
+	}
+}
+
+func TestEmbeddingChargedToFirstStage(t *testing.T) {
+	spec := model.Llama3_70B() // large 128k vocab
+	w := model.DefaultWorkload(spec)
+	prof, err := PipelineProfile(spec, w, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof[0].Weights <= prof[1].Weights {
+		t.Error("first stage should carry the embedding weights")
+	}
+	if prof[3].Weights <= prof[1].Weights {
+		t.Error("last stage should carry the LM head")
+	}
+	_ = units.GB
+}

@@ -1,0 +1,179 @@
+package mesh
+
+import "math/rand"
+
+// InjectLinkFault degrades a link by the given fraction (1 = complete
+// failure). Degradation accumulates up to full failure.
+func (m *Mesh) InjectLinkFault(l Link, degradation float64) {
+	if degradation < 0 {
+		degradation = 0
+	}
+	d := m.linkFaults[l] + degradation
+	if d > 1 {
+		d = 1
+	}
+	m.linkFaults[l] = d
+}
+
+// InjectDieFault degrades a die's compute capability by the given fraction.
+// A fully degraded die is marked dead: it is excluded from workload
+// allocation and its links carry no traffic (§VI-D).
+func (m *Mesh) InjectDieFault(d DieID, degradation float64) {
+	if degradation < 0 {
+		degradation = 0
+	}
+	f := m.dieFaults[d] + degradation
+	if f >= 1 {
+		f = 1
+		m.deadDies[d] = true
+	}
+	m.dieFaults[d] = f
+}
+
+// DieHealth returns the remaining compute fraction of a die in [0,1].
+func (m *Mesh) DieHealth(d DieID) float64 { return 1 - m.dieFaults[d] }
+
+// DieDead reports whether the die is fully failed.
+func (m *Mesh) DieDead(d DieID) bool { return m.deadDies[d] }
+
+// HealthyDies returns all dies that are not fully failed.
+func (m *Mesh) HealthyDies() []DieID {
+	var out []DieID
+	for y := 0; y < m.Rows; y++ {
+		for x := 0; x < m.Cols; x++ {
+			d := DieID{X: x, Y: y}
+			if !m.deadDies[d] {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// AllLinks returns every directed link of the mesh.
+func (m *Mesh) AllLinks() []Link {
+	var out []Link
+	for y := 0; y < m.Rows; y++ {
+		for x := 0; x < m.Cols; x++ {
+			a := DieID{X: x, Y: y}
+			if x+1 < m.Cols {
+				b := DieID{X: x + 1, Y: y}
+				out = append(out, Link{a, b}, Link{b, a})
+			}
+			if y+1 < m.Rows {
+				b := DieID{X: x, Y: y + 1}
+				out = append(out, Link{a, b}, Link{b, a})
+			}
+		}
+	}
+	return out
+}
+
+// InjectRandomLinkFaults degrades a random fraction of links to a random
+// severity in [0.5, 1], reproducing the Fig 22 link-fault sweep.
+func (m *Mesh) InjectRandomLinkFaults(rng *rand.Rand, faultRate float64) {
+	links := m.AllLinks()
+	for _, l := range links {
+		if rng.Float64() < faultRate {
+			m.InjectLinkFault(l, 0.5+0.5*rng.Float64())
+		}
+	}
+}
+
+// InjectRandomDieFaults degrades a random fraction of dies, half of them
+// partially (reduced throughput) and half fatally.
+func (m *Mesh) InjectRandomDieFaults(rng *rand.Rand, faultRate float64) {
+	for y := 0; y < m.Rows; y++ {
+		for x := 0; x < m.Cols; x++ {
+			if rng.Float64() < faultRate {
+				sev := 0.3 + 0.7*rng.Float64()
+				if rng.Float64() < 0.5 {
+					sev = 1.0
+				}
+				m.InjectDieFault(DieID{X: x, Y: y}, sev)
+			}
+		}
+	}
+}
+
+// ReroutePath returns a minimal-cost detour between two dies that avoids
+// dead links and dies, using Dijkstra over link traversal costs where a
+// degraded link costs 1/(1−degradation). It returns nil when the endpoints
+// are disconnected. This implements the adaptive-rerouting stage of the
+// §VI-D robustness design.
+func (m *Mesh) ReroutePath(a, b DieID) []Link {
+	if !m.Contains(a) || !m.Contains(b) {
+		return nil
+	}
+	if a == b {
+		return []Link{}
+	}
+	type node struct {
+		id   DieID
+		cost float64
+	}
+	dist := map[DieID]float64{a: 0}
+	prev := map[DieID]DieID{}
+	visited := map[DieID]bool{}
+	for {
+		// Extract the unvisited node with minimal distance (the mesh is
+		// small; linear scan is fine).
+		var cur DieID
+		best := -1.0
+		for id, d := range dist {
+			if visited[id] {
+				continue
+			}
+			if best < 0 || d < best {
+				best, cur = d, id
+			}
+		}
+		if best < 0 {
+			return nil // disconnected
+		}
+		if cur == b {
+			break
+		}
+		visited[cur] = true
+		for _, nb := range m.neighbors(cur) {
+			if m.deadDies[nb] {
+				continue
+			}
+			l := Link{From: cur, To: nb}
+			bw := m.EffectiveLinkBandwidth(l)
+			if bw <= 0 {
+				continue
+			}
+			cost := dist[cur] + m.LinkBandwidth/bw // ≥1 per hop
+			if d, ok := dist[nb]; !ok || cost < d {
+				dist[nb] = cost
+				prev[nb] = cur
+			}
+		}
+	}
+	// Reconstruct.
+	var rev []Link
+	for cur := b; cur != a; {
+		p, ok := prev[cur]
+		if !ok {
+			return nil
+		}
+		rev = append(rev, Link{From: p, To: cur})
+		cur = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+func (m *Mesh) neighbors(d DieID) []DieID {
+	cand := []DieID{{d.X + 1, d.Y}, {d.X - 1, d.Y}, {d.X, d.Y + 1}, {d.X, d.Y - 1}}
+	var out []DieID
+	for _, c := range cand {
+		if m.Contains(c) {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,261 @@
+// Package mesh models the wafer-level interconnect of the WATOS hardware
+// template: a 2D mesh of dies joined by D2D links (Fig 3), with XY routing,
+// shortest-path enumeration, per-link load accounting for congestion, the
+// conflict factor γ of Eq 2, the mesh-switch hybrid topology of §VI-E, and
+// the link/die fault model of §VI-D.
+package mesh
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/hw"
+)
+
+// DieID identifies a die by its (X, Y) grid coordinate.
+type DieID struct{ X, Y int }
+
+func (d DieID) String() string { return fmt.Sprintf("(%d,%d)", d.X, d.Y) }
+
+// Link identifies a directed D2D link between two adjacent dies.
+type Link struct{ From, To DieID }
+
+func (l Link) String() string { return l.From.String() + "->" + l.To.String() }
+
+// Reverse returns the opposite-direction link.
+func (l Link) Reverse() Link { return Link{From: l.To, To: l.From} }
+
+// Mesh is a wafer's interconnect state: topology, per-link bandwidth and
+// accumulated load, and fault status.
+type Mesh struct {
+	Cols, Rows int // die grid (X, Y)
+	// LinkBandwidth is the healthy per-direction link bandwidth, B/s.
+	LinkBandwidth float64
+	// LinkLatency is the per-hop latency α.
+	LinkLatency float64
+	// Topology selects 2D mesh or mesh-switch routing.
+	Topology hw.Topology
+	// SwitchBandwidth is the aggregate switch bandwidth (mesh-switch).
+	SwitchBandwidth float64
+	// SwitchGroupCols partitions the columns into switch-attached groups
+	// for the MeshSwitch topology (0 = whole mesh, no switch).
+	SwitchGroupCols int
+
+	load       map[Link]float64
+	switchLoad float64
+	linkFaults map[Link]float64 // degradation in [0,1]; 1 = dead
+	dieFaults  map[DieID]float64
+	deadDies   map[DieID]bool
+}
+
+// New creates a mesh for the wafer configuration.
+func New(w hw.WaferConfig) *Mesh {
+	m := &Mesh{
+		Cols:            w.DiesX,
+		Rows:            w.DiesY,
+		LinkBandwidth:   w.LinkBandwidth(),
+		LinkLatency:     w.D2DLinkLatency,
+		Topology:        w.Topology,
+		SwitchBandwidth: w.SwitchBandwidth,
+		load:            map[Link]float64{},
+		linkFaults:      map[Link]float64{},
+		dieFaults:       map[DieID]float64{},
+		deadDies:        map[DieID]bool{},
+	}
+	if w.Topology == hw.MeshSwitch {
+		// §VI-E: 48 dies as 12×2×2 — four 12-column strips of height 1,
+		// modelled here as SwitchGroupCols columns per group.
+		m.SwitchGroupCols = w.DiesX
+	}
+	return m
+}
+
+// Dies returns the total die count.
+func (m *Mesh) Dies() int { return m.Cols * m.Rows }
+
+// Contains reports whether the die coordinate is on the mesh.
+func (m *Mesh) Contains(d DieID) bool {
+	return d.X >= 0 && d.X < m.Cols && d.Y >= 0 && d.Y < m.Rows
+}
+
+// InSameGroup reports whether two dies share a switch group (always true on
+// a pure 2D mesh).
+func (m *Mesh) InSameGroup(a, b DieID) bool {
+	if m.Topology != hw.MeshSwitch {
+		return true
+	}
+	return a.Y == b.Y
+}
+
+// Hops returns the Manhattan distance between two dies.
+func (m *Mesh) Hops(a, b DieID) int {
+	return abs(a.X-b.X) + abs(a.Y-b.Y)
+}
+
+// XYPath returns the dimension-ordered (X then Y) route between two dies as
+// a sequence of links.
+func (m *Mesh) XYPath(a, b DieID) []Link {
+	var path []Link
+	cur := a
+	for cur.X != b.X {
+		next := cur
+		if b.X > cur.X {
+			next.X++
+		} else {
+			next.X--
+		}
+		path = append(path, Link{From: cur, To: next})
+		cur = next
+	}
+	for cur.Y != b.Y {
+		next := cur
+		if b.Y > cur.Y {
+			next.Y++
+		} else {
+			next.Y--
+		}
+		path = append(path, Link{From: cur, To: next})
+		cur = next
+	}
+	return path
+}
+
+// YXPath returns the Y-then-X route.
+func (m *Mesh) YXPath(a, b DieID) []Link {
+	mid := DieID{X: a.X, Y: b.Y}
+	p := m.XYPath(a, mid)
+	return append(p, m.XYPath(mid, b)...)
+}
+
+// ShortestPaths returns up to two distinct minimal routes (XY and YX) for
+// conflict-aware path selection; when multiple shortest paths exist the
+// placement optimiser enumerates them (§IV-C-1).
+func (m *Mesh) ShortestPaths(a, b DieID) [][]Link {
+	xy := m.XYPath(a, b)
+	if a.X == b.X || a.Y == b.Y {
+		return [][]Link{xy}
+	}
+	return [][]Link{xy, m.YXPath(a, b)}
+}
+
+// EffectiveLinkBandwidth returns the link's bandwidth after fault
+// degradation; zero for dead links or links touching dead dies.
+func (m *Mesh) EffectiveLinkBandwidth(l Link) float64 {
+	if m.deadDies[l.From] || m.deadDies[l.To] {
+		return 0
+	}
+	deg := m.linkFaults[l] + m.linkFaults[l.Reverse()]*0 // direction-specific
+	if deg >= 1 {
+		return 0
+	}
+	return m.LinkBandwidth * (1 - deg)
+}
+
+// AddLoad accumulates bytes of traffic on every link of the path.
+func (m *Mesh) AddLoad(path []Link, bytes float64) {
+	for _, l := range path {
+		m.load[l] += bytes
+	}
+}
+
+// AddSwitchLoad accumulates traffic crossing the switch network.
+func (m *Mesh) AddSwitchLoad(bytes float64) { m.switchLoad += bytes }
+
+// ResetLoad clears accumulated traffic.
+func (m *Mesh) ResetLoad() {
+	m.load = map[Link]float64{}
+	m.switchLoad = 0
+}
+
+// LinkLoad returns accumulated bytes on a link.
+func (m *Mesh) LinkLoad(l Link) float64 { return m.load[l] }
+
+// MaxLinkTime returns the serialisation time of the most-loaded link given
+// the accumulated traffic — the congestion bound used by the evaluator.
+func (m *Mesh) MaxLinkTime() float64 {
+	var worst float64
+	for l, b := range m.load {
+		bw := m.EffectiveLinkBandwidth(l)
+		if bw <= 0 {
+			if b > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		if t := b / bw; t > worst {
+			worst = t
+		}
+	}
+	if m.switchLoad > 0 && m.SwitchBandwidth > 0 {
+		if t := m.switchLoad / m.SwitchBandwidth; t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// TransferTime returns the α–β time to move bytes along a path assuming the
+// path's weakest effective link, without congestion from other transfers.
+func (m *Mesh) TransferTime(path []Link, bytes float64) float64 {
+	if len(path) == 0 {
+		return 0
+	}
+	minBW := math.Inf(1)
+	for _, l := range path {
+		bw := m.EffectiveLinkBandwidth(l)
+		if bw < minBW {
+			minBW = bw
+		}
+	}
+	if minBW <= 0 {
+		return math.Inf(1)
+	}
+	return float64(len(path))*m.LinkLatency + bytes/minBW
+}
+
+// Conflicts returns the number of links shared between the path and the set
+// of occupied links — the conflict factor γ of Eq 2.
+func Conflicts(path []Link, occupied map[Link]bool) int {
+	n := 0
+	for _, l := range path {
+		if occupied[l] {
+			n++
+		}
+	}
+	return n
+}
+
+// Utilization returns per-link utilisation = load/(busiest-link load), and
+// the mean utilisation across loaded links, for the Fig 5b / Fig 17 reports.
+func (m *Mesh) Utilization() (perLink map[Link]float64, mean float64) {
+	perLink = map[Link]float64{}
+	var peak float64
+	for _, b := range m.load {
+		if b > peak {
+			peak = b
+		}
+	}
+	if peak == 0 {
+		return perLink, 0
+	}
+	var sum float64
+	for l, b := range m.load {
+		u := b / peak
+		perLink[l] = u
+		sum += u
+	}
+	// Mean over all physical mesh links, counting idle links as zero:
+	// link under-utilisation (Fig 5b) shows up as a low mean.
+	total := 2 * (m.Cols*(m.Rows-1) + m.Rows*(m.Cols-1))
+	if total == 0 {
+		return perLink, 0
+	}
+	return perLink, sum / float64(total)
+}
+
+func abs(a int) int {
+	if a < 0 {
+		return -a
+	}
+	return a
+}

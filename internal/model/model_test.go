@@ -1,0 +1,174 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+// TestStructuralParamsNearPublished checks the structural parameter
+// derivation lands within 20% of the published totals — close enough that
+// the structure (not the override) drives FLOPs and activation shapes.
+func TestStructuralParamsNearPublished(t *testing.T) {
+	for _, s := range []Spec{
+		Llama2_30B(), Llama3_70B(), Llama_65B(), GPT_175B(), Llama3_405B(),
+	} {
+		ratio := s.Params() / s.ParamOverride
+		if ratio < 0.8 || ratio > 1.25 {
+			t.Errorf("%s: structural params %.1fB vs published %.1fB (ratio %.2f)",
+				s.Name, s.Params()/1e9, s.ParamOverride/1e9, ratio)
+		}
+	}
+}
+
+func TestMoEParamsNearPublished(t *testing.T) {
+	for _, s := range []Spec{Gshard_137B(), DeepseekV3_671B()} {
+		ratio := s.Params() / s.ParamOverride
+		if ratio < 0.5 || ratio > 1.6 {
+			t.Errorf("%s: structural params %.1fB vs published %.1fB (ratio %.2f)",
+				s.Name, s.Params()/1e9, s.ParamOverride/1e9, ratio)
+		}
+	}
+}
+
+func TestActiveFFNFraction(t *testing.T) {
+	if got := Llama3_70B().ActiveFFNFraction(); got != 1 {
+		t.Errorf("dense active fraction = %v, want 1", got)
+	}
+	ds := DeepseekV3_671B()
+	got := ds.ActiveFFNFraction()
+	want := float64(8+1) / float64(256+1)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("deepseek active fraction = %v, want %v", got, want)
+	}
+	if got >= 0.1 {
+		t.Errorf("MoE should activate a small fraction, got %v", got)
+	}
+}
+
+func TestMoEFLOPsMuchLessThanDense(t *testing.T) {
+	// DeepSeek-V3 has ~4x GPT-175B's params but fewer active FLOPs/token.
+	ds := DeepseekV3_671B()
+	gpt := GPT_175B()
+	if ds.FLOPsPerTokenForward(2048) > gpt.FLOPsPerTokenForward(2048) {
+		t.Errorf("MoE DeepSeek (%.2g) should need fewer FLOPs/token than dense GPT-175B (%.2g)",
+			ds.FLOPsPerTokenForward(2048), gpt.FLOPsPerTokenForward(2048))
+	}
+}
+
+func TestFLOPsScaleWithSeqLen(t *testing.T) {
+	s := Llama3_70B()
+	if s.FLOPsPerTokenForward(8192) <= s.FLOPsPerTokenForward(1024) {
+		t.Error("FLOPs/token must grow with sequence length (attention term)")
+	}
+}
+
+func TestFLOPsPerIterationApproximates6ND(t *testing.T) {
+	// For dense models at short seq, training FLOPs ≈ 6·N·D.
+	s := GPT_175B()
+	w := Workload{GlobalBatch: 32, MicroBatch: 1, SeqLen: 2048}
+	got := s.FLOPsPerIteration(w)
+	want := 6 * s.Params() * float64(w.GlobalBatch*w.SeqLen)
+	if got < 0.8*want || got > 1.5*want {
+		t.Errorf("iteration FLOPs %.3g not within [0.8,1.5]x of 6ND=%.3g", got, want)
+	}
+}
+
+func TestModelPBytes(t *testing.T) {
+	// Llama3-405B needs ~5670 GB for weights+grads+optimizer (§VI-F says
+	// "around 5670 GB"); 405e9 × 16 B = 6480 GB is the 16-byte variant, the
+	// paper's 5670 GB corresponds to 14 B/param. Accept the 16 B/param
+	// figure and check the order of magnitude matches.
+	got := Llama3_405B().ModelPBytes() / units.GB
+	if got < 5000 || got > 7000 {
+		t.Errorf("Llama3-405B modelP = %.0f GB, want ~5670-6480", got)
+	}
+}
+
+func TestWorkloadMicroBatches(t *testing.T) {
+	w := Workload{GlobalBatch: 512, MicroBatch: 4, SeqLen: 4096}
+	if got := w.MicroBatches(); got != 128 {
+		t.Errorf("micro-batches = %d, want 128", got)
+	}
+	w0 := Workload{GlobalBatch: 8, MicroBatch: 0, SeqLen: 1}
+	if got := w0.MicroBatches(); got != 1 {
+		t.Errorf("zero micro-batch should yield 1, got %d", got)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	if err := (Workload{GlobalBatch: 0, SeqLen: 128}).Validate(); err == nil {
+		t.Error("zero batch should be invalid")
+	}
+	if err := (Workload{GlobalBatch: 4, MicroBatch: 8, SeqLen: 128}).Validate(); err == nil {
+		t.Error("micro-batch > global batch should be invalid")
+	}
+	if err := DefaultWorkload(Llama2_30B()).Validate(); err != nil {
+		t.Errorf("default workload invalid: %v", err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Llama2-30B", "GPT-175B", "Deepseek-V3-671B", "Mamba-2.8B", "Llama-65B"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("no-such-model"); ok {
+		t.Error("ByName should fail for unknown model")
+	}
+}
+
+func TestZooListsNonEmptyAndDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range append(append(EvaluationModels(), EmergingModels()...), UltraLargeModels()...) {
+		if s.Name == "" {
+			t.Fatal("unnamed model in zoo")
+		}
+		if s.EffectiveParams() <= 0 {
+			t.Errorf("%s has no parameters", s.Name)
+		}
+		seen[s.Name] = true
+	}
+	if len(seen) < 10 {
+		t.Errorf("zoo should have >= 10 distinct models, got %d", len(seen))
+	}
+}
+
+func TestGQAReducesKVParams(t *testing.T) {
+	gqa := Llama3_70B() // 8 KV heads
+	mha := gqa
+	mha.KVHeads = mha.Heads
+	if gqa.AttentionParamsPerLayer() >= mha.AttentionParamsPerLayer() {
+		t.Error("GQA should reduce attention parameters")
+	}
+}
+
+func TestParamsPositiveProperty(t *testing.T) {
+	f := func(layers, hidden uint8) bool {
+		s := Spec{
+			Name: "p", Arch: Transformer,
+			Layers: int(layers%32) + 1, Hidden: (int(hidden%64) + 1) * 64,
+			Heads: 8, KVHeads: 8, FFNHidden: 1024, Vocab: 1000,
+		}
+		return s.Params() > 0 && s.FLOPsPerTokenForward(128) > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFLOPsMonotoneInLayersProperty(t *testing.T) {
+	f := func(l uint8) bool {
+		base := Spec{Arch: Transformer, Layers: int(l%20) + 1, Hidden: 512,
+			Heads: 8, KVHeads: 8, FFNHidden: 2048, Vocab: 1000}
+		more := base
+		more.Layers++
+		return more.FLOPsPerTokenForward(256) > base.FLOPsPerTokenForward(256)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

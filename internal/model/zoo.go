@@ -1,0 +1,176 @@
+package model
+
+// The model zoo covers every workload the paper evaluates (§V-A, §VI-C,
+// §VI-F). Structural fields follow the published architectures; where a
+// paper-quoted total (e.g. "137B") differs from the structural derivation,
+// ParamOverride pins the quoted value so memory budgets match the paper.
+
+// Llama2_30B returns the Llama-30B dense model (60 layers, H=6656).
+func Llama2_30B() Spec {
+	return Spec{
+		Name: "Llama2-30B", Arch: Transformer,
+		Layers: 60, Hidden: 6656, Heads: 52, KVHeads: 52,
+		FFNHidden: 17920, GatedFFN: true,
+		Vocab: 32000, DefaultSeqLen: 4096,
+		ParamOverride: 32.5e9,
+	}
+}
+
+// Llama3_70B returns Llama3-70B (80 layers, H=8192, GQA with 8 KV heads).
+func Llama3_70B() Spec {
+	return Spec{
+		Name: "Llama3-70B", Arch: Transformer,
+		Layers: 80, Hidden: 8192, Heads: 64, KVHeads: 8,
+		FFNHidden: 28672, GatedFFN: true,
+		Vocab: 128256, DefaultSeqLen: 8192,
+		ParamOverride: 70.6e9,
+	}
+}
+
+// Llama_65B returns Llama-65B, used by the recomputation profiling example
+// of Fig 10c.
+func Llama_65B() Spec {
+	return Spec{
+		Name: "Llama-65B", Arch: Transformer,
+		Layers: 80, Hidden: 8192, Heads: 64, KVHeads: 64,
+		FFNHidden: 22016, GatedFFN: true,
+		Vocab: 32000, DefaultSeqLen: 2048,
+		ParamOverride: 65.2e9,
+	}
+}
+
+// GPT_175B returns GPT-3 175B (96 layers, H=12288).
+func GPT_175B() Spec {
+	return Spec{
+		Name: "GPT-175B", Arch: Transformer,
+		Layers: 96, Hidden: 12288, Heads: 96, KVHeads: 96,
+		FFNHidden: 49152, GatedFFN: false,
+		Vocab: 50257, DefaultSeqLen: 2048,
+		ParamOverride: 175e9,
+	}
+}
+
+// Llama3_405B returns Llama3.1-405B (126 layers, H=16384).
+func Llama3_405B() Spec {
+	return Spec{
+		Name: "Llama3-405B", Arch: Transformer,
+		Layers: 126, Hidden: 16384, Heads: 128, KVHeads: 8,
+		FFNHidden: 53248, GatedFFN: true,
+		Vocab: 128256, DefaultSeqLen: 8192,
+		ParamOverride: 405e9,
+	}
+}
+
+// Gshard_137B returns the GShard-style 137B MoE model: 64 experts, top-2
+// routing.
+func Gshard_137B() Spec {
+	return Spec{
+		Name: "Gshard-137B", Arch: MoETransformer,
+		Layers: 24, Hidden: 4096, Heads: 32, KVHeads: 32,
+		GatedFFN: false,
+		MoE: MoEConfig{
+			Experts: 64, TopK: 2,
+			ExpertFFNHidden: 8192,
+		},
+		Vocab: 64000, DefaultSeqLen: 2048,
+		ParamOverride: 137e9,
+	}
+}
+
+// DeepseekV3_671B returns DeepSeek-V3: 61 layers, 256 routed experts top-8
+// plus one shared expert, three leading dense layers.
+func DeepseekV3_671B() Spec {
+	return Spec{
+		Name: "Deepseek-V3-671B", Arch: MoETransformer,
+		Layers: 61, Hidden: 7168, Heads: 128, KVHeads: 128,
+		GatedFFN: true,
+		MoE: MoEConfig{
+			Experts: 256, TopK: 8, SharedExperts: 1,
+			ExpertFFNHidden: 2048,
+			DenseLayers:     3, DenseFFNHidden: 18432,
+		},
+		Vocab: 129280, DefaultSeqLen: 4096,
+		ParamOverride: 671e9,
+	}
+}
+
+// Mamba_2_8B returns the Mamba-2.8B state-space model of §VI-C.
+func Mamba_2_8B() Spec {
+	return Spec{
+		Name: "Mamba-2.8B", Arch: SSM,
+		Layers: 64, Hidden: 2560,
+		SSMStateDim:   16,
+		Vocab:         50280,
+		DefaultSeqLen: 2048,
+		ParamOverride: 2.8e9,
+	}
+}
+
+// Qwen3Next_80B returns Qwen3-Next-80B-A3B: a linear-gated-attention hybrid
+// MoE with roughly 3B active parameters per token.
+func Qwen3Next_80B() Spec {
+	return Spec{
+		Name: "Qwen3-Next-80B-A3B", Arch: LinearAttention,
+		Layers: 48, Hidden: 2048, Heads: 16, KVHeads: 2,
+		GatedFFN: true,
+		MoE: MoEConfig{
+			Experts: 512, TopK: 10, SharedExperts: 1,
+			ExpertFFNHidden: 2560,
+		},
+		Vocab: 151936, DefaultSeqLen: 4096,
+		ParamOverride: 80e9,
+	}
+}
+
+// SD35Large returns Stable Diffusion 3.5 Large, modelled as an 8B diffusion
+// transformer over latent image patches (§VI-C).
+func SD35Large() Spec {
+	return Spec{
+		Name: "SD-3.5-Large", Arch: DiffusionTransformer,
+		Layers: 38, Hidden: 2432, Heads: 38, KVHeads: 38,
+		FFNHidden: 9728, GatedFFN: false,
+		Vocab: 0, DefaultSeqLen: 4096, // latent patch tokens
+		ParamOverride: 8.1e9,
+	}
+}
+
+// GR24 returns the Generative Recommender of §VI-C: a 24-layer HSTU-style
+// backbone with a large DP-sharded embedding table.
+func GR24() Spec {
+	return Spec{
+		Name: "GR-24", Arch: GenerativeRecommender,
+		Layers: 24, Hidden: 4096, Heads: 32, KVHeads: 32,
+		FFNHidden: 16384, GatedFFN: false,
+		Vocab: 0, DefaultSeqLen: 8192,
+		EmbeddingParams: 20e9,
+		ParamOverride:   25e9,
+	}
+}
+
+// EvaluationModels returns the four dense/MoE models of the main evaluation
+// (Figs 15, 16, 18, 20, 23): Llama2-30B, Llama3-70B, Gshard-137B, GPT-175B.
+func EvaluationModels() []Spec {
+	return []Spec{Llama2_30B(), Llama3_70B(), Gshard_137B(), GPT_175B()}
+}
+
+// EmergingModels returns the §VI-C generality workloads (Fig 19).
+func EmergingModels() []Spec {
+	return []Spec{GR24(), SD35Large(), Mamba_2_8B(), Qwen3Next_80B()}
+}
+
+// UltraLargeModels returns the §VI-F multi-wafer workloads (Fig 24a).
+func UltraLargeModels() []Spec {
+	return []Spec{GPT_175B(), Llama3_405B(), DeepseekV3_671B()}
+}
+
+// ByName returns the zoo model with the given name, or false.
+func ByName(name string) (Spec, bool) {
+	all := append(append(EvaluationModels(), EmergingModels()...), UltraLargeModels()...)
+	all = append(all, Llama_65B())
+	for _, s := range all {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}

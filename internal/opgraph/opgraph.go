@@ -1,0 +1,391 @@
+// Package opgraph decomposes a model layer into the fundamental operator
+// units of the WATOS paper (Fig 10a): normalisations, the Q/K/V projections,
+// FlashAttention as a specialised operator, the attention output projection,
+// and the FFN (or expert) GEMMs. Every operator is annotated with its
+// computation type, FLOPs, weight bytes, activation-checkpoint bytes, GEMM
+// shape, and the tensor-parallel collective that follows it, enabling the
+// fine-grained recomputation scheduling of §IV-B.
+//
+// All per-operator quantities are *per die* for a given tensor-parallel
+// degree, and *per micro-batch* for the given workload shape.
+package opgraph
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+// Kind classifies an operator for the predictor and dataflow engine.
+type Kind int
+
+const (
+	// GEMM is a dense matrix multiplication executed on the PE arrays.
+	GEMM Kind = iota
+	// Vector is an element-wise or reduction operator on the vector units
+	// (normalisation, activation functions, residual adds).
+	Vector
+	// FlashAttn is the fused attention operator (§IV-B treats
+	// FlashAttention as a specialised operator with distinct performance
+	// and memory characteristics).
+	FlashAttn
+	// Scan is a selective-scan (SSM) operator.
+	Scan
+	// Router is an MoE token-routing operator.
+	Router
+)
+
+func (k Kind) String() string {
+	switch k {
+	case GEMM:
+		return "gemm"
+	case Vector:
+		return "vector"
+	case FlashAttn:
+		return "flash-attn"
+	case Scan:
+		return "scan"
+	case Router:
+		return "router"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Op is one fundamental operator unit of a layer.
+type Op struct {
+	Name string
+	Kind Kind
+
+	// FwdFLOPs is the forward-pass FLOPs of the operator per die.
+	FwdFLOPs float64
+	// BwdFLOPs is the backward-pass FLOPs (≈2× forward for GEMMs: dX+dW).
+	BwdFLOPs float64
+
+	// M, K, N give the per-die GEMM shape (rows, reduction, cols); zero
+	// for non-GEMM operators.
+	M, K, N int
+
+	// WeightBytes is the per-die weight footprint (FP16).
+	WeightBytes float64
+	// TouchedWeightBytes is the per-die weight traffic actually read per
+	// micro-batch; zero means all of WeightBytes (dense ops). MoE layers
+	// keep every expert resident but only stream the routed ones.
+	TouchedWeightBytes float64
+	// CheckpointBytes is the per-die activation-checkpoint footprint of
+	// the operator's output for one micro-batch: what must be retained
+	// for the backward pass if the operator is not recomputed.
+	CheckpointBytes float64
+	// InputBytes and OutputBytes are per-die forward IO volumes.
+	InputBytes, OutputBytes float64
+
+	// AllReduceBytes is the per-die payload of the tensor-parallel
+	// all-reduce that follows this operator in the forward pass (zero if
+	// none). Backward mirrors it.
+	AllReduceBytes float64
+
+	// Recomputable reports whether the checkpoint can be dropped and the
+	// operator re-executed during the backward pass. Layer inputs are
+	// always retained, so every listed operator is recomputable unless
+	// its output is the layer boundary.
+	Recomputable bool
+}
+
+// RecomputeFLOPs returns the extra FLOPs incurred by recomputing this
+// operator's output during the backward pass (one extra forward execution).
+func (o Op) RecomputeFLOPs() float64 { return o.FwdFLOPs }
+
+// LayerGraph is the operator decomposition of one model layer under a given
+// parallelisation.
+type LayerGraph struct {
+	Model model.Spec
+	// TP is the tensor-parallel degree the graph was built for.
+	TP int
+	// MicroBatch and SeqLen give the per-micro-batch token shape.
+	MicroBatch, SeqLen int
+	Ops                []Op
+}
+
+// allReduceVolume returns the α–β model payload β of Eq 1 for an all-reduce
+// over a B·S·H activation: β = 2·(TP−1)/TP · B·S·H bytes.
+func allReduceVolume(tp int, tokens, hidden float64) float64 {
+	if tp <= 1 {
+		return 0
+	}
+	full := tokens * hidden * units.FP16Bytes
+	return 2 * float64(tp-1) / float64(tp) * full
+}
+
+// Build constructs the per-layer operator graph for the model under the
+// given tensor-parallel degree, micro-batch size and sequence length.
+func Build(spec model.Spec, tp, microBatch, seqLen int) (*LayerGraph, error) {
+	if tp < 1 {
+		return nil, fmt.Errorf("opgraph: tensor-parallel degree must be >= 1, got %d", tp)
+	}
+	if microBatch < 1 || seqLen < 1 {
+		return nil, fmt.Errorf("opgraph: need positive micro-batch and sequence length, got %d, %d", microBatch, seqLen)
+	}
+	g := &LayerGraph{Model: spec, TP: tp, MicroBatch: microBatch, SeqLen: seqLen}
+	switch spec.Arch {
+	case model.SSM:
+		g.buildSSM()
+	default:
+		g.buildTransformer()
+	}
+	return g, nil
+}
+
+// buildTransformer emits the Fig 10a operator sequence. MoE and
+// linear-attention variants adjust the FFN block.
+func (g *LayerGraph) buildTransformer() {
+	spec, tp := g.Model, float64(g.TP)
+	tokens := float64(g.MicroBatch * g.SeqLen)
+	h := float64(spec.Hidden)
+	kv := spec.KVHeads
+	if kv == 0 {
+		kv = spec.Heads
+	}
+	headDim := 0
+	if spec.Heads > 0 {
+		headDim = spec.Hidden / spec.Heads
+	}
+	kvCols := float64(2 * kv * headDim)
+	fullAct := tokens * h * units.FP16Bytes
+
+	// Norm 1 — replicated across TP ranks; checkpoint is the full tensor.
+	g.add(Op{
+		Name: "norm1", Kind: Vector,
+		FwdFLOPs: 5 * tokens * h, BwdFLOPs: 8 * tokens * h,
+		CheckpointBytes: fullAct,
+		InputBytes:      fullAct, OutputBytes: fullAct,
+		Recomputable: true,
+	})
+
+	// Fused Q/K/V projection — column parallel: output split across TP.
+	qkvCols := (h + kvCols) / tp
+	g.add(Op{
+		Name: "qkv", Kind: GEMM,
+		M: int(tokens), K: spec.Hidden, N: int(qkvCols),
+		FwdFLOPs: 2 * tokens * h * qkvCols, BwdFLOPs: 4 * tokens * h * qkvCols,
+		WeightBytes:     h * qkvCols * units.FP16Bytes,
+		CheckpointBytes: tokens * qkvCols * units.FP16Bytes,
+		InputBytes:      fullAct, OutputBytes: tokens * qkvCols * units.FP16Bytes,
+		Recomputable: true,
+	})
+
+	// FlashAttention — heads split across TP; causal attention halves the
+	// score/context FLOPs. Checkpoint is the attention output plus the
+	// log-sum-exp statistics (FlashAttention recomputes the S×S matrix).
+	hPer := h / tp
+	attnFLOPs := 2 * tokens * float64(g.SeqLen) * hPer // score + context, causal
+	g.add(Op{
+		Name: "flash-attention", Kind: FlashAttn,
+		M: int(tokens), K: g.SeqLen, N: int(hPer),
+		FwdFLOPs: attnFLOPs, BwdFLOPs: 2.5 * attnFLOPs,
+		CheckpointBytes: tokens*hPer*units.FP16Bytes + tokens*float64(spec.Heads)/tp*units.FP32Bytes,
+		InputBytes:      tokens * (h + kvCols) / tp * units.FP16Bytes,
+		OutputBytes:     tokens * hPer * units.FP16Bytes,
+		Recomputable:    true,
+	})
+
+	// Attention output projection — row parallel; all-reduce follows.
+	g.add(Op{
+		Name: "attn-proj", Kind: GEMM,
+		M: int(tokens), K: int(hPer), N: spec.Hidden,
+		FwdFLOPs: 2 * tokens * hPer * h, BwdFLOPs: 4 * tokens * hPer * h,
+		WeightBytes:     hPer * h * units.FP16Bytes,
+		CheckpointBytes: fullAct,
+		InputBytes:      tokens * hPer * units.FP16Bytes, OutputBytes: fullAct,
+		AllReduceBytes: allReduceVolume(g.TP, tokens, h),
+		Recomputable:   true,
+	})
+
+	// Norm 2.
+	g.add(Op{
+		Name: "norm2", Kind: Vector,
+		FwdFLOPs: 5 * tokens * h, BwdFLOPs: 8 * tokens * h,
+		CheckpointBytes: fullAct,
+		InputBytes:      fullAct, OutputBytes: fullAct,
+		Recomputable: true,
+	})
+
+	g.buildFFN(tokens, h, fullAct)
+}
+
+// buildFFN emits the FFN (dense) or routed-expert block.
+func (g *LayerGraph) buildFFN(tokens, h, fullAct float64) {
+	spec, tp := g.Model, float64(g.TP)
+	moe := spec.MoE.Experts > 0
+	var inter float64
+	activeTokens := tokens
+	if moe {
+		inter = float64(spec.MoE.ExpertFFNHidden)
+		// Each token visits TopK (+shared) experts; the aggregate routed
+		// GEMM work scales with the active expert count.
+		activeTokens = tokens * float64(spec.MoE.TopK+spec.MoE.SharedExperts)
+		g.add(Op{
+			Name: "router", Kind: Router,
+			FwdFLOPs:        2 * tokens * h * float64(spec.MoE.Experts),
+			BwdFLOPs:        4 * tokens * h * float64(spec.MoE.Experts),
+			WeightBytes:     h * float64(spec.MoE.Experts) * units.FP16Bytes,
+			CheckpointBytes: tokens * float64(spec.MoE.TopK) * units.FP32Bytes * 2,
+			InputBytes:      fullAct, OutputBytes: tokens * float64(spec.MoE.TopK) * units.FP32Bytes,
+			Recomputable: true,
+		})
+	} else {
+		inter = float64(spec.FFNHidden)
+	}
+	interPer := inter / tp
+
+	upMults := 1.0
+	if spec.GatedFFN {
+		upMults = 2.0 // gate and up projections
+	}
+	// Expert weights are sharded across TP ranks; all experts' weights
+	// reside on the TP group even though only TopK are active per token.
+	weightExperts := 1.0
+	if moe {
+		weightExperts = float64(spec.MoE.Experts + spec.MoE.SharedExperts)
+	}
+
+	// Only the routed experts' weights are streamed per micro-batch.
+	touched := 1.0
+	if moe {
+		touched = spec.ActiveFFNFraction()
+	}
+
+	g.add(Op{
+		Name: "ffn-up", Kind: GEMM,
+		M: int(activeTokens), K: spec.Hidden, N: int(interPer * upMults),
+		FwdFLOPs:           2 * activeTokens * h * interPer * upMults,
+		BwdFLOPs:           4 * activeTokens * h * interPer * upMults,
+		WeightBytes:        weightExperts * h * interPer * upMults * units.FP16Bytes,
+		TouchedWeightBytes: touched * weightExperts * h * interPer * upMults * units.FP16Bytes,
+		CheckpointBytes:    activeTokens * interPer * upMults * units.FP16Bytes,
+		InputBytes:         fullAct, OutputBytes: activeTokens * interPer * upMults * units.FP16Bytes,
+		Recomputable: true,
+	})
+	g.add(Op{
+		Name: "ffn-act", Kind: Vector,
+		FwdFLOPs: 4 * activeTokens * interPer, BwdFLOPs: 6 * activeTokens * interPer,
+		CheckpointBytes: activeTokens * interPer * units.FP16Bytes,
+		InputBytes:      activeTokens * interPer * upMults * units.FP16Bytes,
+		OutputBytes:     activeTokens * interPer * units.FP16Bytes,
+		Recomputable:    true,
+	})
+	g.add(Op{
+		Name: "ffn-down", Kind: GEMM,
+		M: int(activeTokens), K: int(interPer), N: spec.Hidden,
+		FwdFLOPs:           2 * activeTokens * interPer * h,
+		BwdFLOPs:           4 * activeTokens * interPer * h,
+		WeightBytes:        weightExperts * interPer * h * units.FP16Bytes,
+		TouchedWeightBytes: touched * weightExperts * interPer * h * units.FP16Bytes,
+		CheckpointBytes:    fullAct,
+		InputBytes:         activeTokens * interPer * units.FP16Bytes, OutputBytes: fullAct,
+		AllReduceBytes: allReduceVolume(g.TP, tokens, h),
+		Recomputable:   true,
+	})
+}
+
+// buildSSM emits a Mamba-style block: input projection, 1D convolution,
+// selective scan, output projection.
+func (g *LayerGraph) buildSSM() {
+	spec, tp := g.Model, float64(g.TP)
+	tokens := float64(g.MicroBatch * g.SeqLen)
+	h := float64(spec.Hidden)
+	inner := 2 * h
+	innerPer := inner / tp
+	state := float64(spec.SSMStateDim)
+	fullAct := tokens * h * units.FP16Bytes
+
+	g.add(Op{
+		Name: "norm", Kind: Vector,
+		FwdFLOPs: 5 * tokens * h, BwdFLOPs: 8 * tokens * h,
+		CheckpointBytes: fullAct, InputBytes: fullAct, OutputBytes: fullAct,
+		Recomputable: true,
+	})
+	g.add(Op{
+		Name: "in-proj", Kind: GEMM,
+		M: int(tokens), K: spec.Hidden, N: int(2 * innerPer),
+		FwdFLOPs: 2 * tokens * h * 2 * innerPer, BwdFLOPs: 4 * tokens * h * 2 * innerPer,
+		WeightBytes:     h * 2 * innerPer * units.FP16Bytes,
+		CheckpointBytes: tokens * 2 * innerPer * units.FP16Bytes,
+		InputBytes:      fullAct, OutputBytes: tokens * 2 * innerPer * units.FP16Bytes,
+		Recomputable: true,
+	})
+	g.add(Op{
+		Name: "selective-scan", Kind: Scan,
+		FwdFLOPs: 6 * tokens * innerPer * state, BwdFLOPs: 12 * tokens * innerPer * state,
+		WeightBytes:     innerPer * state * 3 * units.FP16Bytes,
+		CheckpointBytes: tokens * innerPer * units.FP16Bytes,
+		InputBytes:      tokens * 2 * innerPer * units.FP16Bytes,
+		OutputBytes:     tokens * innerPer * units.FP16Bytes,
+		Recomputable:    true,
+	})
+	g.add(Op{
+		Name: "out-proj", Kind: GEMM,
+		M: int(tokens), K: int(innerPer), N: spec.Hidden,
+		FwdFLOPs: 2 * tokens * innerPer * h, BwdFLOPs: 4 * tokens * innerPer * h,
+		WeightBytes:     innerPer * h * units.FP16Bytes,
+		CheckpointBytes: fullAct,
+		InputBytes:      tokens * innerPer * units.FP16Bytes, OutputBytes: fullAct,
+		AllReduceBytes: allReduceVolume(g.TP, tokens, h),
+		Recomputable:   true,
+	})
+}
+
+func (g *LayerGraph) add(op Op) { g.Ops = append(g.Ops, op) }
+
+// FwdFLOPs returns total forward FLOPs of the layer per die.
+func (g *LayerGraph) FwdFLOPs() float64 {
+	var f float64
+	for _, op := range g.Ops {
+		f += op.FwdFLOPs
+	}
+	return f
+}
+
+// BwdFLOPs returns total backward FLOPs of the layer per die.
+func (g *LayerGraph) BwdFLOPs() float64 {
+	var f float64
+	for _, op := range g.Ops {
+		f += op.BwdFLOPs
+	}
+	return f
+}
+
+// WeightBytes returns total per-die weight bytes of the layer.
+func (g *LayerGraph) WeightBytes() float64 {
+	var b float64
+	for _, op := range g.Ops {
+		b += op.WeightBytes
+	}
+	return b
+}
+
+// CheckpointBytes returns the per-die activation-checkpoint bytes of one
+// micro-batch with no recomputation (every operator checkpointed).
+func (g *LayerGraph) CheckpointBytes() float64 {
+	var b float64
+	for _, op := range g.Ops {
+		b += op.CheckpointBytes
+	}
+	return b
+}
+
+// BoundaryBytes returns the per-die layer-boundary activation (the layer
+// input that must always be retained even under full recomputation).
+func (g *LayerGraph) BoundaryBytes() float64 {
+	return float64(g.MicroBatch*g.SeqLen*g.Model.Hidden) * units.FP16Bytes
+}
+
+// AllReduceBytes returns the total per-die forward all-reduce payload of the
+// layer (β of Eq 1, summed over operators).
+func (g *LayerGraph) AllReduceBytes() float64 {
+	var b float64
+	for _, op := range g.Ops {
+		b += op.AllReduceBytes
+	}
+	return b
+}

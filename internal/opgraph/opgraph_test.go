@@ -1,0 +1,206 @@
+package opgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/units"
+)
+
+func mustBuild(t *testing.T, spec model.Spec, tp, mb, seq int) *LayerGraph {
+	t.Helper()
+	g, err := Build(spec, tp, mb, seq)
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	return g
+}
+
+func TestBuildRejectsBadArgs(t *testing.T) {
+	if _, err := Build(model.Llama2_30B(), 0, 1, 128); err == nil {
+		t.Error("tp=0 should fail")
+	}
+	if _, err := Build(model.Llama2_30B(), 2, 0, 128); err == nil {
+		t.Error("micro-batch=0 should fail")
+	}
+	if _, err := Build(model.Llama2_30B(), 2, 1, 0); err == nil {
+		t.Error("seq=0 should fail")
+	}
+}
+
+func TestTransformerOpSequence(t *testing.T) {
+	g := mustBuild(t, model.Llama3_70B(), 4, 1, 4096)
+	want := []string{"norm1", "qkv", "flash-attention", "attn-proj", "norm2", "ffn-up", "ffn-act", "ffn-down"}
+	if len(g.Ops) != len(want) {
+		t.Fatalf("got %d ops, want %d", len(g.Ops), len(want))
+	}
+	for i, op := range g.Ops {
+		if op.Name != want[i] {
+			t.Errorf("op[%d] = %s, want %s", i, op.Name, want[i])
+		}
+	}
+}
+
+func TestMoEGraphHasRouter(t *testing.T) {
+	g := mustBuild(t, model.DeepseekV3_671B(), 4, 1, 4096)
+	found := false
+	for _, op := range g.Ops {
+		if op.Kind == Router {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("MoE graph missing router op")
+	}
+}
+
+func TestSSMGraphHasScan(t *testing.T) {
+	g := mustBuild(t, model.Mamba_2_8B(), 2, 1, 2048)
+	found := false
+	for _, op := range g.Ops {
+		if op.Kind == Scan {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("SSM graph missing scan op")
+	}
+}
+
+func TestLayerFLOPsMatchSpecDerivation(t *testing.T) {
+	// Sum of per-op FLOPs across TP ranks should approximate the model's
+	// structural per-layer forward FLOPs.
+	spec := model.GPT_175B()
+	seq := 2048
+	tp := 8
+	g := mustBuild(t, spec, tp, 1, seq)
+	perLayerFromSpec := (spec.FLOPsPerTokenForward(seq) - 2*float64(spec.Vocab*spec.Hidden)) / float64(spec.Layers) * float64(seq)
+	got := g.FwdFLOPs() * float64(tp)
+	if got < 0.7*perLayerFromSpec || got > 1.4*perLayerFromSpec {
+		t.Errorf("layer FLOPs %.3g not within [0.7,1.4]x of spec derivation %.3g", got, perLayerFromSpec)
+	}
+}
+
+func TestTPPartitioningScalesPerDieWork(t *testing.T) {
+	spec := model.Llama3_70B()
+	g1 := mustBuild(t, spec, 1, 1, 4096)
+	g4 := mustBuild(t, spec, 4, 1, 4096)
+	// GEMM FLOPs per die should shrink ~4x; replicated vector ops do not.
+	var gemm1, gemm4 float64
+	for _, op := range g1.Ops {
+		if op.Kind == GEMM || op.Kind == FlashAttn {
+			gemm1 += op.FwdFLOPs
+		}
+	}
+	for _, op := range g4.Ops {
+		if op.Kind == GEMM || op.Kind == FlashAttn {
+			gemm4 += op.FwdFLOPs
+		}
+	}
+	ratio := gemm1 / gemm4
+	if math.Abs(ratio-4) > 0.05 {
+		t.Errorf("TP=4 GEMM FLOPs ratio = %.2f, want 4", ratio)
+	}
+	if g4.WeightBytes() >= g1.WeightBytes() {
+		t.Error("TP=4 should shrink per-die weights")
+	}
+}
+
+func TestAllReducePayloadMatchesEq1(t *testing.T) {
+	// Eq 1: β = 2(TP−1)/TP · B·S·H per all-reduce; two all-reduces per
+	// transformer layer (attn-proj, ffn-down).
+	spec := model.Llama2_30B()
+	tp, mb, seq := 4, 2, 1024
+	g := mustBuild(t, spec, tp, mb, seq)
+	full := float64(mb*seq*spec.Hidden) * units.FP16Bytes
+	want := 2 * (2 * float64(tp-1) / float64(tp) * full)
+	if got := g.AllReduceBytes(); math.Abs(got-want)/want > 1e-9 {
+		t.Errorf("all-reduce bytes = %g, want %g", got, want)
+	}
+}
+
+func TestTP1HasNoAllReduce(t *testing.T) {
+	g := mustBuild(t, model.Llama2_30B(), 1, 1, 1024)
+	if g.AllReduceBytes() != 0 {
+		t.Errorf("TP=1 all-reduce bytes = %g, want 0", g.AllReduceBytes())
+	}
+}
+
+func TestCheckpointDominatedByWideTensors(t *testing.T) {
+	// The FFN intermediate checkpoints should dominate a norm checkpoint
+	// (paper Fig 10c: X5 = 4624 MB vs X1 = 1073 MB).
+	g := mustBuild(t, model.Llama_65B(), 2, 8, 2048)
+	var norm1, ffnUp float64
+	for _, op := range g.Ops {
+		switch op.Name {
+		case "norm1":
+			norm1 = op.CheckpointBytes
+		case "ffn-up":
+			ffnUp = op.CheckpointBytes
+		}
+	}
+	if ffnUp <= norm1 {
+		t.Errorf("ffn-up checkpoint (%g) should exceed norm1 (%g)", ffnUp, norm1)
+	}
+}
+
+func TestFig10cScale(t *testing.T) {
+	// Fig 10c (Llama-65B, one die of config2): X1 ≈ 1073 MB, Q ≈ 125 MB.
+	// With TP=8 and micro-batch 32 at S=2048: B·S·H·2 = 1073 MB exactly.
+	g := mustBuild(t, model.Llama_65B(), 8, 32, 2048)
+	x1 := g.Ops[0].CheckpointBytes / units.MB
+	if math.Abs(x1-1073) > 10 {
+		t.Errorf("norm1 checkpoint = %.0f MB, want ~1073 (Fig 10c)", x1)
+	}
+}
+
+func TestBackwardHeavierThanForward(t *testing.T) {
+	g := mustBuild(t, model.GPT_175B(), 4, 1, 2048)
+	if g.BwdFLOPs() <= g.FwdFLOPs() {
+		t.Error("backward pass should exceed forward FLOPs")
+	}
+}
+
+func TestBoundaryBytes(t *testing.T) {
+	spec := model.Llama2_30B()
+	g := mustBuild(t, spec, 4, 2, 1024)
+	want := float64(2*1024*spec.Hidden) * units.FP16Bytes
+	if got := g.BoundaryBytes(); got != want {
+		t.Errorf("boundary bytes = %g, want %g", got, want)
+	}
+}
+
+func TestCheckpointBytesScaleWithMicroBatch(t *testing.T) {
+	spec := model.Llama3_70B()
+	g1 := mustBuild(t, spec, 4, 1, 2048)
+	g2 := mustBuild(t, spec, 4, 2, 2048)
+	if r := g2.CheckpointBytes() / g1.CheckpointBytes(); math.Abs(r-2) > 1e-9 {
+		t.Errorf("checkpoint bytes should double with micro-batch, ratio = %v", r)
+	}
+}
+
+func TestOpInvariantsProperty(t *testing.T) {
+	specs := []model.Spec{model.Llama2_30B(), model.Gshard_137B(), model.Mamba_2_8B()}
+	f := func(tpSel, mb, seqSel uint8) bool {
+		tp := []int{1, 2, 4, 8}[tpSel%4]
+		spec := specs[int(seqSel)%len(specs)]
+		g, err := Build(spec, tp, int(mb%8)+1, (int(seqSel%4)+1)*512)
+		if err != nil {
+			return false
+		}
+		for _, op := range g.Ops {
+			if op.FwdFLOPs <= 0 || op.BwdFLOPs < op.FwdFLOPs {
+				return false
+			}
+			if op.CheckpointBytes < 0 || op.WeightBytes < 0 || op.AllReduceBytes < 0 {
+				return false
+			}
+		}
+		return g.CheckpointBytes() > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+// Package pipeline implements the one-forward-one-backward (1F1B) pipeline
+// schedule of §II-B (Fig 8): warmup, steady and ending phases, the p−s
+// activation-retention rule that causes the memory imbalance of Fig 5c, and
+// a dependency-accurate timeline simulation that exposes the pipeline
+// bubbles introduced by imbalanced per-stage times (e.g. naive
+// recomputation, Fig 8a).
+package pipeline
+
+import (
+	"fmt"
+	"math"
+)
+
+// StageCost gives the per-micro-batch execution times of one pipeline stage.
+type StageCost struct {
+	// Fwd is the forward time of one micro-batch on this stage.
+	Fwd float64
+	// Bwd is the backward time (including any recomputation).
+	Bwd float64
+	// CommFwd is the time to send activations to the next stage.
+	CommFwd float64
+	// CommBwd is the time to send gradients to the previous stage.
+	CommBwd float64
+}
+
+// Result summarises a simulated iteration.
+type Result struct {
+	// IterationTime is the 1F1B makespan of one training iteration.
+	IterationTime float64
+	// BubbleTime is the total idle time across stages.
+	BubbleTime float64
+	// BubbleFraction is BubbleTime / (stages × IterationTime).
+	BubbleFraction float64
+	// StageBusy is the per-stage busy time.
+	StageBusy []float64
+}
+
+// RetainedMicroBatches returns how many micro-batches' activations stage s
+// (0-indexed) must hold under 1F1B: min(n, p−s) — the source of the memory
+// imbalance of Fig 5c.
+func RetainedMicroBatches(p, n, s int) int {
+	r := p - s
+	if r < 1 {
+		r = 1
+	}
+	if n < r {
+		r = n
+	}
+	return r
+}
+
+// Simulate runs the 1F1B schedule for the given per-stage costs over n
+// micro-batches and returns the makespan and bubble accounting. Stage costs
+// may differ per stage (imbalanced recomputation, Fig 8).
+func Simulate(costs []StageCost, n int) (Result, error) {
+	p := len(costs)
+	if p == 0 || n <= 0 {
+		return Result{}, fmt.Errorf("pipeline: need stages and micro-batches, got p=%d n=%d", p, n)
+	}
+	for s, c := range costs {
+		if c.Fwd < 0 || c.Bwd < 0 || c.CommFwd < 0 || c.CommBwd < 0 ||
+			math.IsNaN(c.Fwd+c.Bwd+c.CommFwd+c.CommBwd) {
+			return Result{}, fmt.Errorf("pipeline: invalid cost at stage %d: %+v", s, c)
+		}
+	}
+
+	// Per-stage 1F1B operation order.
+	type op struct {
+		fwd bool
+		mb  int
+	}
+	orders := make([][]op, p)
+	for s := 0; s < p; s++ {
+		warmup := p - s - 1
+		if warmup > n {
+			warmup = n
+		}
+		var seq []op
+		for i := 0; i < warmup; i++ {
+			seq = append(seq, op{fwd: true, mb: i})
+		}
+		f, b := warmup, 0
+		for f < n || b < n {
+			if f < n {
+				seq = append(seq, op{fwd: true, mb: f})
+				f++
+			}
+			if b < n {
+				seq = append(seq, op{fwd: false, mb: b})
+				b++
+			}
+		}
+		orders[s] = seq
+	}
+
+	const unset = -1.0
+	fwdDone := make([][]float64, p)
+	bwdDone := make([][]float64, p)
+	for s := 0; s < p; s++ {
+		fwdDone[s] = filled(n, unset)
+		bwdDone[s] = filled(n, unset)
+	}
+	cursor := make([]float64, p) // per-stage time cursor
+	next := make([]int, p)       // per-stage next op index
+	busy := make([]float64, p)
+
+	// Dependency-driven list scheduling: repeatedly advance any stage whose
+	// next op's dependency is satisfied, until all ops retire.
+	remaining := p * 2 * n
+	for remaining > 0 {
+		progressed := false
+		for s := 0; s < p; s++ {
+			for next[s] < len(orders[s]) {
+				o := orders[s][next[s]]
+				ready := 0.0
+				if o.fwd {
+					if s > 0 {
+						dep := fwdDone[s-1][o.mb]
+						if dep == unset {
+							break
+						}
+						ready = dep + costs[s-1].CommFwd
+					}
+				} else {
+					if s < p-1 {
+						dep := bwdDone[s+1][o.mb]
+						if dep == unset {
+							break
+						}
+						ready = dep + costs[s+1].CommBwd
+					} else {
+						// The last stage's backward follows its own forward.
+						dep := fwdDone[s][o.mb]
+						if dep == unset {
+							break
+						}
+						ready = dep
+					}
+				}
+				start := math.Max(cursor[s], ready)
+				var dur float64
+				if o.fwd {
+					dur = costs[s].Fwd
+				} else {
+					dur = costs[s].Bwd
+				}
+				end := start + dur
+				cursor[s] = end
+				busy[s] += dur
+				if o.fwd {
+					fwdDone[s][o.mb] = end
+				} else {
+					bwdDone[s][o.mb] = end
+				}
+				next[s]++
+				remaining--
+				progressed = true
+			}
+		}
+		if !progressed {
+			return Result{}, fmt.Errorf("pipeline: schedule deadlocked (p=%d n=%d)", p, n)
+		}
+	}
+
+	var makespan float64
+	for s := 0; s < p; s++ {
+		if cursor[s] > makespan {
+			makespan = cursor[s]
+		}
+	}
+	var bubble float64
+	for s := 0; s < p; s++ {
+		bubble += makespan - busy[s]
+	}
+	return Result{
+		IterationTime:  makespan,
+		BubbleTime:     bubble,
+		BubbleFraction: bubble / (float64(p) * makespan),
+		StageBusy:      busy,
+	}, nil
+}
+
+// IdealBalancedTime returns the classic 1F1B lower bound for balanced
+// stages: (n + p − 1) × (F + B).
+func IdealBalancedTime(f, b float64, p, n int) float64 {
+	return float64(n+p-1) * (f + b)
+}
+
+func filled(n int, v float64) []float64 {
+	s := make([]float64, n)
+	for i := range s {
+		s[i] = v
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+package pipeline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func balanced(p int, f, b float64) []StageCost {
+	costs := make([]StageCost, p)
+	for i := range costs {
+		costs[i] = StageCost{Fwd: f, Bwd: b}
+	}
+	return costs
+}
+
+func TestSingleStage(t *testing.T) {
+	r, err := Simulate(balanced(1, 1, 2), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r.IterationTime-12) > 1e-9 {
+		t.Errorf("1-stage iteration = %v, want 12 (4×(1+2))", r.IterationTime)
+	}
+	if r.BubbleFraction != 0 {
+		t.Errorf("1-stage bubble = %v, want 0", r.BubbleFraction)
+	}
+}
+
+func TestBalancedMatchesClosedForm(t *testing.T) {
+	// Balanced 1F1B without comm: makespan = (n + p − 1)(F + B).
+	p, n := 4, 8
+	f, b := 1.0, 2.0
+	r, err := Simulate(balanced(p, f, b), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := IdealBalancedTime(f, b, p, n)
+	if math.Abs(r.IterationTime-want)/want > 1e-9 {
+		t.Errorf("balanced makespan = %v, want %v", r.IterationTime, want)
+	}
+}
+
+func TestBubbleFractionShrinksWithMoreMicroBatches(t *testing.T) {
+	p := 8
+	r4, _ := Simulate(balanced(p, 1, 2), 4)
+	r64, _ := Simulate(balanced(p, 1, 2), 64)
+	if r64.BubbleFraction >= r4.BubbleFraction {
+		t.Errorf("bubble fraction should shrink: n=4 %v, n=64 %v", r4.BubbleFraction, r64.BubbleFraction)
+	}
+	if r64.BubbleFraction > 0.15 {
+		t.Errorf("n=64 bubble fraction = %v, want < 0.15", r64.BubbleFraction)
+	}
+}
+
+func TestImbalancedStageDominates(t *testing.T) {
+	// One slow stage throttles the pipeline (Fig 8a naive recomputation).
+	p, n := 4, 16
+	costs := balanced(p, 1, 2)
+	costs[1].Bwd = 4 // stage 1 recomputes
+	r, err := Simulate(costs, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slowBound := float64(n) * (costs[1].Fwd + costs[1].Bwd)
+	if r.IterationTime < slowBound {
+		t.Errorf("iteration %v below slow-stage bound %v", r.IterationTime, slowBound)
+	}
+	bal, _ := Simulate(balanced(p, 1, 2), n)
+	if r.IterationTime <= bal.IterationTime {
+		t.Error("imbalanced schedule should be slower than balanced")
+	}
+}
+
+func TestBalancedRecomputeBeatsImbalanced(t *testing.T) {
+	// GCMR's core claim (Fig 8b): spreading recompute across stages beats
+	// concentrating it. Same total extra work, different distribution.
+	p, n := 4, 16
+	concentrated := balanced(p, 1, 2)
+	concentrated[0].Bwd = 2 + 2.0 // all extra work on stage 0
+	spread := balanced(p, 1, 2)
+	for s := range spread {
+		spread[s].Bwd = 2 + 0.5
+	}
+	rc, _ := Simulate(concentrated, n)
+	rs, _ := Simulate(spread, n)
+	if rs.IterationTime >= rc.IterationTime {
+		t.Errorf("spread recompute (%v) should beat concentrated (%v)", rs.IterationTime, rc.IterationTime)
+	}
+}
+
+func TestCommDelaysPipeline(t *testing.T) {
+	p, n := 4, 8
+	noComm, _ := Simulate(balanced(p, 1, 2), n)
+	withComm := balanced(p, 1, 2)
+	for s := range withComm {
+		withComm[s].CommFwd = 0.5
+		withComm[s].CommBwd = 0.5
+	}
+	rc, err := Simulate(withComm, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.IterationTime <= noComm.IterationTime {
+		t.Error("inter-stage comm should lengthen the pipeline")
+	}
+}
+
+func TestRetainedMicroBatches(t *testing.T) {
+	// Paper: stage s retains p−s micro-batches (Fig 8a, p=3, n=5).
+	cases := []struct{ p, n, s, want int }{
+		{3, 5, 0, 3},
+		{3, 5, 1, 2},
+		{3, 5, 2, 1},
+		{8, 4, 0, 4}, // capped by n
+		{8, 64, 7, 1},
+	}
+	for _, c := range cases {
+		if got := RetainedMicroBatches(c.p, c.n, c.s); got != c.want {
+			t.Errorf("RetainedMicroBatches(%d,%d,%d) = %d, want %d", c.p, c.n, c.s, got, c.want)
+		}
+	}
+}
+
+func TestMemoryImbalanceShape(t *testing.T) {
+	// Early stages retain more activations than tail stages (Fig 5c).
+	p, n := 8, 64
+	prev := RetainedMicroBatches(p, n, 0)
+	for s := 1; s < p; s++ {
+		cur := RetainedMicroBatches(p, n, s)
+		if cur > prev {
+			t.Fatalf("retention should be non-increasing, stage %d: %d > %d", s, cur, prev)
+		}
+		prev = cur
+	}
+	if RetainedMicroBatches(p, n, 0) <= RetainedMicroBatches(p, n, p-1) {
+		t.Error("first stage should retain more than the last")
+	}
+}
+
+func TestSimulateRejectsBadInput(t *testing.T) {
+	if _, err := Simulate(nil, 4); err == nil {
+		t.Error("empty stages should fail")
+	}
+	if _, err := Simulate(balanced(2, 1, 1), 0); err == nil {
+		t.Error("zero micro-batches should fail")
+	}
+	bad := balanced(2, 1, 1)
+	bad[0].Fwd = -1
+	if _, err := Simulate(bad, 2); err == nil {
+		t.Error("negative cost should fail")
+	}
+}
+
+func TestMakespanLowerBoundsProperty(t *testing.T) {
+	f := func(pSel, nSel uint8, fu, bu uint8) bool {
+		p := int(pSel%8) + 1
+		n := int(nSel%16) + 1
+		fwd := float64(fu%10)/10 + 0.1
+		bwd := float64(bu%10)/10 + 0.2
+		r, err := Simulate(balanced(p, fwd, bwd), n)
+		if err != nil {
+			return false
+		}
+		// Never faster than a single stage's total work, nor than the
+		// pipeline-fill bound.
+		if r.IterationTime < float64(n)*(fwd+bwd)-1e-9 {
+			return false
+		}
+		if r.IterationTime < float64(p)*fwd-1e-9 {
+			return false
+		}
+		return r.BubbleFraction >= -1e-12 && r.BubbleFraction < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMonotoneInCostsProperty(t *testing.T) {
+	f := func(pSel, nSel uint8) bool {
+		p := int(pSel%6) + 2
+		n := int(nSel%12) + 2
+		base, err1 := Simulate(balanced(p, 1, 2), n)
+		slower := balanced(p, 1, 2)
+		slower[p/2].Bwd *= 2
+		r, err2 := Simulate(slower, n)
+		return err1 == nil && err2 == nil && r.IterationTime >= base.IterationTime-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

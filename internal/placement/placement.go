@@ -1,0 +1,227 @@
+// Package placement implements the optimal resource-placement strategy of
+// §IV-C-1 (Fig 11): pipeline stages are assigned rectangular regions of the
+// wafer mesh, and the assignment is chosen to minimise the GlobalCost of
+// Eq 2 — pipeline-path distance weighted by pipeline communication volume,
+// plus Mem_pair (activation-balancing) distance weighted by transfer volume
+// and punished by the routing-conflict factor (1 + γ).
+//
+// Two strategies are provided: the traditional left-to-right, top-to-bottom
+// serpentine placement (the Fig 11a baseline, also used by the
+// Megatron-wafer baseline) and the spatial location-aware placement searched
+// by simulated annealing over stage-region permutations (Fig 11b).
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/mesh"
+	"repro/internal/recompute"
+)
+
+// Region is the set of dies assigned to one pipeline stage.
+type Region struct {
+	Dies []mesh.DieID
+}
+
+// Center returns the centroid of the region (S_i of Eq 2).
+func (r Region) Center() (float64, float64) {
+	if len(r.Dies) == 0 {
+		return 0, 0
+	}
+	var sx, sy float64
+	for _, d := range r.Dies {
+		sx += float64(d.X)
+		sy += float64(d.Y)
+	}
+	n := float64(len(r.Dies))
+	return sx / n, sy / n
+}
+
+// Anchor returns the die nearest the region centroid, used as the routing
+// endpoint for inter-stage paths.
+func (r Region) Anchor() mesh.DieID {
+	cx, cy := r.Center()
+	best := r.Dies[0]
+	bd := math.Inf(1)
+	for _, d := range r.Dies {
+		dist := math.Abs(float64(d.X)-cx) + math.Abs(float64(d.Y)-cy)
+		if dist < bd {
+			bd, best = dist, d
+		}
+	}
+	return best
+}
+
+// Placement maps pipeline stages to wafer regions.
+type Placement struct {
+	// Regions[s] is the region of stage s.
+	Regions []Region
+}
+
+// Workload gives the communication volumes weighting Eq 2.
+type Workload struct {
+	// PipelineBytes[s] is the activation volume stage s sends to s+1 per
+	// iteration (Comm_PP of Eq 2).
+	PipelineBytes []float64
+	// Pairs is the Mem_pair set with per-iteration transfer volumes
+	// (Comm_pair of Eq 2).
+	Pairs []recompute.MemPair
+}
+
+// Partition slices the mesh into pp contiguous regions of tp dies each,
+// walking the mesh in serpentine order. It requires tp·pp ≤ dies.
+func Partition(m *mesh.Mesh, tp, pp int) ([]Region, error) {
+	if tp <= 0 || pp <= 0 {
+		return nil, fmt.Errorf("placement: invalid tp=%d pp=%d", tp, pp)
+	}
+	if tp*pp > m.Dies() {
+		return nil, fmt.Errorf("placement: tp×pp = %d exceeds %d dies", tp*pp, m.Dies())
+	}
+	// Serpentine walk over the mesh.
+	var order []mesh.DieID
+	for y := 0; y < m.Rows; y++ {
+		if y%2 == 0 {
+			for x := 0; x < m.Cols; x++ {
+				order = append(order, mesh.DieID{X: x, Y: y})
+			}
+		} else {
+			for x := m.Cols - 1; x >= 0; x-- {
+				order = append(order, mesh.DieID{X: x, Y: y})
+			}
+		}
+	}
+	regions := make([]Region, pp)
+	for s := 0; s < pp; s++ {
+		regions[s] = Region{Dies: append([]mesh.DieID(nil), order[s*tp:(s+1)*tp]...)}
+	}
+	return regions, nil
+}
+
+// Serpentine returns the traditional left-to-right, top-to-bottom placement
+// (Fig 11a): stage s occupies the s-th region in serpentine order.
+func Serpentine(m *mesh.Mesh, tp, pp int) (*Placement, error) {
+	regions, err := Partition(m, tp, pp)
+	if err != nil {
+		return nil, err
+	}
+	return &Placement{Regions: regions}, nil
+}
+
+// GlobalCost evaluates Eq 2 for the placement under the workload: pipeline
+// hops weighted by pipeline volume plus Mem_pair hops weighted by transfer
+// volume and the conflict punishment (1 + γ), where γ counts balance-path
+// links already occupied by pipeline paths. When several shortest paths
+// exist for a balance transfer, the one minimising the punished cost is
+// chosen.
+func GlobalCost(m *mesh.Mesh, p *Placement, w Workload) float64 {
+	pp := len(p.Regions)
+	if pp == 0 {
+		return 0
+	}
+	occupied := map[mesh.Link]bool{}
+	var cost float64
+	// Pipeline paths (anchor-to-anchor XY routes) in stage order.
+	for s := 0; s+1 < pp; s++ {
+		a, b := p.Regions[s].Anchor(), p.Regions[s+1].Anchor()
+		path := m.XYPath(a, b)
+		vol := 0.0
+		if s < len(w.PipelineBytes) {
+			vol = w.PipelineBytes[s]
+		}
+		cost += float64(len(path)) * vol
+		for _, l := range path {
+			occupied[l] = true
+		}
+	}
+	// Activation-balance paths with conflict punishment.
+	for _, pr := range w.Pairs {
+		if pr.Sender >= pp || pr.Helper >= pp || pr.Sender < 0 || pr.Helper < 0 {
+			continue
+		}
+		a := p.Regions[pr.Sender].Anchor()
+		b := p.Regions[pr.Helper].Anchor()
+		best := math.Inf(1)
+		for _, path := range m.ShortestPaths(a, b) {
+			gamma := mesh.Conflicts(path, occupied)
+			c := float64(len(path)) * pr.Bytes * (1 + float64(gamma))
+			if c < best {
+				best = c
+			}
+		}
+		if !math.IsInf(best, 1) {
+			cost += best
+		}
+	}
+	return cost
+}
+
+// Optimize searches stage→region assignments for the minimal GlobalCost
+// (the spatial location-aware strategy of Fig 11b). Regions keep their
+// geometry; the search permutes which pipeline stage occupies which region
+// via simulated annealing seeded with the serpentine identity.
+func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement, error) {
+	base, err := Partition(m, tp, pp)
+	if err != nil {
+		return nil, err
+	}
+	perm := make([]int, pp)
+	for i := range perm {
+		perm[i] = i
+	}
+	build := func(perm []int) *Placement {
+		regions := make([]Region, pp)
+		for s, r := range perm {
+			regions[s] = base[r]
+		}
+		return &Placement{Regions: regions}
+	}
+	cur := build(perm)
+	curCost := GlobalCost(m, cur, w)
+	best := cur
+	bestCost := curCost
+	if pp <= 1 {
+		return best, nil
+	}
+
+	temp := curCost * 0.1
+	if temp <= 0 {
+		temp = 1
+	}
+	iters := 200 * pp
+	for i := 0; i < iters; i++ {
+		a, b := rng.Intn(pp), rng.Intn(pp)
+		if a == b {
+			continue
+		}
+		perm[a], perm[b] = perm[b], perm[a]
+		cand := build(perm)
+		c := GlobalCost(m, cand, w)
+		if c <= curCost || rng.Float64() < math.Exp((curCost-c)/math.Max(temp, 1e-12)) {
+			cur, curCost = cand, c
+			if c < bestCost {
+				best, bestCost = cand, c
+			}
+		} else {
+			perm[a], perm[b] = perm[b], perm[a] // revert
+		}
+		temp *= 0.995
+	}
+	return best, nil
+}
+
+// TotalHops returns the total pipeline + balance hop count of a placement
+// (the "30% reduction in total hop count" metric of §IV-C-1).
+func TotalHops(m *mesh.Mesh, p *Placement, pairs []recompute.MemPair) int {
+	hops := 0
+	for s := 0; s+1 < len(p.Regions); s++ {
+		hops += m.Hops(p.Regions[s].Anchor(), p.Regions[s+1].Anchor())
+	}
+	for _, pr := range pairs {
+		if pr.Sender < len(p.Regions) && pr.Helper < len(p.Regions) {
+			hops += m.Hops(p.Regions[pr.Sender].Anchor(), p.Regions[pr.Helper].Anchor())
+		}
+	}
+	return hops
+}

@@ -1,0 +1,131 @@
+package predictor
+
+import (
+	"math/rand"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/opgraph"
+)
+
+// LookupTable memoises predictions, implementing the offline
+// "operator-level performance lookup table" of §IV-B/§IV-F: during online
+// exploration the table is accessed read-mostly with negligible overhead.
+type LookupTable struct {
+	base Predictor
+
+	mu    sync.RWMutex
+	cache map[tableKey]Estimate
+}
+
+type tableKey struct {
+	kind     opgraph.Kind
+	m, k, n  int
+	flops    int64
+	weightKB int64
+	ioKB     int64
+	cores    int
+	dramBWGB int64
+	health   int16 // per-mille
+}
+
+// NewLookupTable wraps a predictor with memoisation.
+func NewLookupTable(base Predictor) *LookupTable {
+	return &LookupTable{base: base, cache: map[tableKey]Estimate{}}
+}
+
+func keyOf(op opgraph.Op, die DieContext) tableKey {
+	return tableKey{
+		kind:     op.Kind,
+		m:        op.M,
+		k:        op.K,
+		n:        op.N,
+		flops:    int64(op.FwdFLOPs / 1e6),
+		weightKB: int64(op.WeightBytes / 1024),
+		ioKB:     int64((op.InputBytes + op.OutputBytes) / 1024),
+		cores:    die.Cores,
+		dramBWGB: int64(die.DRAMBandwidth / 1e9),
+		health:   int16(die.health() * 1000),
+	}
+}
+
+// Predict implements Predictor with caching.
+func (t *LookupTable) Predict(op opgraph.Op, die DieContext) Estimate {
+	k := keyOf(op, die)
+	t.mu.RLock()
+	if e, ok := t.cache[k]; ok {
+		t.mu.RUnlock()
+		return e
+	}
+	t.mu.RUnlock()
+	e := t.base.Predict(op, die)
+	t.mu.Lock()
+	t.cache[k] = e
+	t.mu.Unlock()
+	return e
+}
+
+// Size returns the number of memoised entries.
+func (t *LookupTable) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.cache)
+}
+
+// Corpus generates a training/profiling corpus of operator samples across
+// the model zoo, TP degrees, micro-batch sizes and sequence lengths —
+// "different batch sizes and wafer-scale hardware configurations" (§IV-B).
+func Corpus(dies []DieContext, rng *rand.Rand) []Sample {
+	specs := []model.Spec{
+		model.Llama2_30B(), model.Llama3_70B(), model.GPT_175B(),
+		model.Gshard_137B(), model.Llama_65B(),
+	}
+	tps := []int{1, 2, 4, 8}
+	mbs := []int{1, 2, 4, 8}
+	seqs := []int{1024, 2048, 4096}
+	var out []Sample
+	for _, spec := range specs {
+		for _, tp := range tps {
+			for _, mb := range mbs {
+				for _, seq := range seqs {
+					g, err := opgraph.Build(spec, tp, mb, seq)
+					if err != nil {
+						continue
+					}
+					die := dies[rng.Intn(len(dies))]
+					for _, op := range g.Ops {
+						out = append(out, Sample{Op: op, Die: die})
+					}
+				}
+			}
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// CompareAccuracy returns the mean absolute relative latency error of the
+// given predictor against the tile-level ground truth over the samples —
+// the Fig 10b experiment.
+func CompareAccuracy(p Predictor, samples []Sample) float64 {
+	gt := TileLevel{}
+	var sum float64
+	n := 0
+	for _, s := range samples {
+		truth := gt.Predict(s.Op, s.Die)
+		if !isFinite(truth.Latency) || truth.Latency <= 0 {
+			continue
+		}
+		pred := p.Predict(s.Op, s.Die)
+		d := pred.Latency - truth.Latency
+		if d < 0 {
+			d = -d
+		}
+		sum += d / truth.Latency
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,298 @@
+// Package recompute implements the globally coordinated memory-efficient
+// recomputation (GCMR) strategy of §IV-B (Alg 2): a dynamic program that
+// distributes the wafer's aggregate checkpoint-memory budget across pipeline
+// stages so the maximum stage-execution time is minimised, followed by
+// Sender/Helper identification for stages whose chosen checkpoint footprint
+// exceeds their local DRAM (Mem_pair construction). A naive baseline
+// (uniform local-only recomputation, Fig 8a) is provided for ablations.
+package recompute
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Option is one point on a stage's recomputation pareto frontier: which
+// operators to recompute, the per-micro-batch checkpoint bytes retained, and
+// the extra backward time incurred.
+type Option struct {
+	// RecomputedOps lists the recomputed operator indices of the layer
+	// graph (empty = full checkpointing, "Type 0" of Fig 7).
+	RecomputedOps []int
+	// CkptBytesPerMB is the per-die checkpoint footprint of ONE
+	// micro-batch across the whole stage (layers × retained ops +
+	// boundary).
+	CkptBytesPerMB float64
+	// ExtraBwdTime is the added per-micro-batch backward time of the
+	// whole stage (recompute execution + collectives of recomputed
+	// tensors, Eq 1).
+	ExtraBwdTime float64
+}
+
+// StageProfile is the recomputation search input for one pipeline stage —
+// the output of "RecompProfiling" in Alg 2 line 1.
+type StageProfile struct {
+	// Options is the pareto frontier sorted by descending CkptBytesPerMB
+	// (options[0] = no recomputation).
+	Options []Option
+	// Retained is the 1F1B activation-retention count of the stage.
+	Retained int
+	// FwdTime and BwdTime are the per-micro-batch stage times without
+	// recomputation.
+	FwdTime, BwdTime float64
+	// ModelPBytes is the stage's aggregate resident model state across
+	// its dies.
+	ModelPBytes float64
+	// LocalBytes is the stage's aggregate DRAM capacity across its dies.
+	LocalBytes float64
+}
+
+// localCheckpointCapacity returns the stage's DRAM left for checkpoints.
+func (p StageProfile) localCheckpointCapacity() float64 {
+	c := p.LocalBytes - p.ModelPBytes
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// ParetoFront filters and sorts options: dominated options (more memory and
+// more time) are dropped; the result is sorted by descending memory.
+func ParetoFront(opts []Option) []Option {
+	sorted := append([]Option(nil), opts...)
+	// Skyline scan: ascending memory; an option survives only if its time
+	// beats every option that already uses less memory.
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].CkptBytesPerMB != sorted[j].CkptBytesPerMB {
+			return sorted[i].CkptBytesPerMB < sorted[j].CkptBytesPerMB
+		}
+		return sorted[i].ExtraBwdTime < sorted[j].ExtraBwdTime
+	})
+	var asc []Option
+	bestTime := math.Inf(1)
+	for _, o := range sorted {
+		if o.ExtraBwdTime < bestTime {
+			asc = append(asc, o)
+			bestTime = o.ExtraBwdTime
+		}
+	}
+	// Return in descending-memory order (options[0] = no recomputation).
+	out := make([]Option, len(asc))
+	for i, o := range asc {
+		out[len(asc)-1-i] = o
+	}
+	return out
+}
+
+// MemPair records an activation-balancing assignment: the Sender stage
+// offloads Bytes of checkpoints to the Helper stage's DRAM (on-wafer, not
+// off-wafer — §IV-B).
+type MemPair struct {
+	Sender, Helper int
+	Bytes          float64
+}
+
+// Plan is the GCMR output.
+type Plan struct {
+	// Choice is the selected option index per stage.
+	Choice []int
+	// StageCkptBytes is the total checkpoint memory chosen per stage
+	// (CkptBytesPerMB × retained).
+	StageCkptBytes []float64
+	// ExtraBwd is the per-micro-batch extra backward time per stage.
+	ExtraBwd []float64
+	// MaxStageTime is the minimised bottleneck per-micro-batch stage time
+	// (F + B + extra).
+	MaxStageTime float64
+	// Senders and Helpers list stage indices by memory pressure (Alg 2
+	// lines 9–12).
+	Senders, Helpers []int
+	// Pairs is the Mem_pair set.
+	Pairs []MemPair
+	// OverflowBytes is the total checkpoint volume moved between stages.
+	OverflowBytes float64
+}
+
+// budgetQuanta controls the DP memory discretisation.
+const budgetQuanta = 256
+
+// GCMR runs Alg 2: distribute the global checkpoint budget across stages to
+// minimise the bottleneck stage time, then pair overflowing Senders with
+// spare-capacity Helpers.
+func GCMR(profiles []StageProfile) (*Plan, error) {
+	p := len(profiles)
+	if p == 0 {
+		return nil, fmt.Errorf("recompute: no stages")
+	}
+	var totalBudget float64
+	for s, prof := range profiles {
+		if len(prof.Options) == 0 {
+			return nil, fmt.Errorf("recompute: stage %d has no options", s)
+		}
+		totalBudget += prof.localCheckpointCapacity()
+	}
+	// Feasibility: even maximal recomputation must fit the global budget.
+	var minNeed float64
+	for _, prof := range profiles {
+		minOpt := prof.Options[len(prof.Options)-1]
+		minNeed += minOpt.CkptBytesPerMB * float64(prof.Retained)
+	}
+	if minNeed > totalBudget {
+		return nil, fmt.Errorf("recompute: OOM — minimal checkpoints need %.1f GB but wafer provides %.1f GB",
+			minNeed/1e9, totalBudget/1e9)
+	}
+
+	quantum := totalBudget / budgetQuanta
+	if quantum <= 0 {
+		return nil, fmt.Errorf("recompute: no checkpoint budget")
+	}
+	need := func(o Option, prof StageProfile) int {
+		return int(math.Ceil(o.CkptBytesPerMB * float64(prof.Retained) / quantum))
+	}
+	stageTime := func(prof StageProfile, o Option) float64 {
+		return prof.FwdTime + prof.BwdTime + o.ExtraBwdTime
+	}
+
+	// DP from the last stage backwards (Alg 2 lines 2–5):
+	// T[t][m] = minimal achievable bottleneck time for stages t..p−1 given
+	// m quanta of budget.
+	const inf = math.MaxFloat64
+	T := make([][]float64, p+1)
+	choice := make([][]int, p)
+	for t := range T {
+		T[t] = make([]float64, budgetQuanta+1)
+	}
+	for m := 0; m <= budgetQuanta; m++ {
+		T[p][m] = 0
+	}
+	for t := p - 1; t >= 0; t-- {
+		choice[t] = make([]int, budgetQuanta+1)
+		for m := 0; m <= budgetQuanta; m++ {
+			best := inf
+			bestOpt := -1
+			for oi, o := range profiles[t].Options {
+				q := need(o, profiles[t])
+				if q > m {
+					continue
+				}
+				tail := T[t+1][m-q]
+				if tail >= inf {
+					continue
+				}
+				tmax := math.Max(tail, stageTime(profiles[t], o))
+				// Tie-break toward less recomputation (options are
+				// sorted by descending memory, ascending time).
+				if tmax < best {
+					best = tmax
+					bestOpt = oi
+				}
+			}
+			T[t][m] = best
+			choice[t][m] = bestOpt
+		}
+	}
+	if T[0][budgetQuanta] >= inf {
+		return nil, fmt.Errorf("recompute: no feasible recomputation plan")
+	}
+
+	// Extract the per-stage choices (Alg 2 lines 6–8).
+	plan := &Plan{
+		Choice:         make([]int, p),
+		StageCkptBytes: make([]float64, p),
+		ExtraBwd:       make([]float64, p),
+		MaxStageTime:   T[0][budgetQuanta],
+	}
+	m := budgetQuanta
+	for t := 0; t < p; t++ {
+		oi := choice[t][m]
+		if oi < 0 {
+			return nil, fmt.Errorf("recompute: extraction failed at stage %d", t)
+		}
+		o := profiles[t].Options[oi]
+		plan.Choice[t] = oi
+		plan.StageCkptBytes[t] = o.CkptBytesPerMB * float64(profiles[t].Retained)
+		plan.ExtraBwd[t] = o.ExtraBwdTime
+		m -= need(o, profiles[t])
+	}
+
+	// Sender/Helper identification and pairing (Alg 2 lines 9–14).
+	type pressure struct {
+		stage int
+		delta float64 // positive = overflow, negative = spare
+	}
+	var senders, helpers []pressure
+	for t := 0; t < p; t++ {
+		delta := plan.StageCkptBytes[t] - profiles[t].localCheckpointCapacity()
+		if delta > 1e-6 {
+			senders = append(senders, pressure{t, delta})
+			plan.Senders = append(plan.Senders, t)
+		} else {
+			helpers = append(helpers, pressure{t, delta})
+			plan.Helpers = append(plan.Helpers, t)
+		}
+	}
+	sort.Slice(senders, func(i, j int) bool { return senders[i].delta > senders[j].delta })
+	sort.Slice(helpers, func(i, j int) bool { return helpers[i].delta < helpers[j].delta }) // most spare first
+	hi := 0
+	for _, s := range senders {
+		remaining := s.delta
+		for remaining > 1e-6 && hi < len(helpers) {
+			spare := -helpers[hi].delta
+			if spare <= 1e-6 {
+				hi++
+				continue
+			}
+			take := math.Min(spare, remaining)
+			plan.Pairs = append(plan.Pairs, MemPair{Sender: s.stage, Helper: helpers[hi].stage, Bytes: take})
+			plan.OverflowBytes += take
+			helpers[hi].delta += take
+			remaining -= take
+			if -helpers[hi].delta <= 1e-6 {
+				hi++
+			}
+		}
+		if remaining > 1e-6 {
+			return nil, fmt.Errorf("recompute: sender %d overflow %.1f GB unplaceable", s.stage, remaining/1e9)
+		}
+	}
+	return plan, nil
+}
+
+// Naive returns the baseline recomputation plan of Fig 8a: each stage only
+// considers its local capacity, picking the cheapest option that fits
+// locally (no cross-stage balancing). Stages that cannot fit even full
+// recomputation locally return an error (the OOM of Fig 8c).
+func Naive(profiles []StageProfile) (*Plan, error) {
+	p := len(profiles)
+	if p == 0 {
+		return nil, fmt.Errorf("recompute: no stages")
+	}
+	plan := &Plan{
+		Choice:         make([]int, p),
+		StageCkptBytes: make([]float64, p),
+		ExtraBwd:       make([]float64, p),
+	}
+	for t, prof := range profiles {
+		local := prof.localCheckpointCapacity()
+		found := false
+		for oi, o := range prof.Options {
+			if o.CkptBytesPerMB*float64(prof.Retained) <= local {
+				plan.Choice[t] = oi
+				plan.StageCkptBytes[t] = o.CkptBytesPerMB * float64(prof.Retained)
+				plan.ExtraBwd[t] = o.ExtraBwdTime
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("recompute: naive plan OOM at stage %d", t)
+		}
+		st := prof.FwdTime + prof.BwdTime + plan.ExtraBwd[t]
+		if st > plan.MaxStageTime {
+			plan.MaxStageTime = st
+		}
+		plan.Helpers = append(plan.Helpers, t)
+	}
+	return plan, nil
+}

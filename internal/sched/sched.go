@@ -1,0 +1,469 @@
+// Package sched implements the early-pruning central scheduler of §IV-A
+// (Alg 1): it iterates feasible (TP, PP) factorisations of the
+// model-parallel die budget, prunes candidates whose resident model state
+// (modelP) cannot fit the aggregate memory, delegates memory-pressured
+// configurations to the recomputation and memory schedulers, and evaluates
+// each surviving strategy with the Evaluator to select the configuration
+// with the highest throughput.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/collective"
+	"repro/internal/engine"
+	"repro/internal/ga"
+	"repro/internal/hw"
+	"repro/internal/memalloc"
+	"repro/internal/memory"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/opgraph"
+	"repro/internal/pipeline"
+	"repro/internal/placement"
+	"repro/internal/predictor"
+	"repro/internal/recompute"
+	"repro/internal/sim"
+)
+
+// Options configure the search.
+type Options struct {
+	// MaxTP caps the tensor-parallel degree (0 = number of dies).
+	MaxTP int
+	// Collectives lists the TP collective algorithms to consider;
+	// nil = {BiRing}.
+	Collectives []collective.Algorithm
+	// DisableRecompute turns the recomputation scheduler off (ablation /
+	// Fig 15a "w/o recomputation").
+	DisableRecompute bool
+	// DisableMemScheduler turns location-aware placement and DRAM
+	// allocation off (serpentine placement, ablation +M).
+	DisableMemScheduler bool
+	// DisablePruning turns Alg 1's early pruning off (ablation).
+	DisablePruning bool
+	// NaiveRecompute replaces GCMR with the local-only baseline.
+	NaiveRecompute bool
+	// FixedTP/FixedPP pin the parallelism (baseline reproduction).
+	FixedTP, FixedPP int
+	// PipelineWafers spreads the PP stages over this many wafers of a
+	// multi-wafer node (§VI-F); 0/1 keeps the pipeline on one wafer.
+	PipelineWafers int
+	// UseGA enables the genetic-algorithm global optimizer (§IV-D) on top
+	// of the greedy GCMR + memory-scheduler solution.
+	UseGA bool
+	// GAOmega is the elitism proportion ω (Fig 24b); default 0.5.
+	GAOmega float64
+	// GAGenerations bounds the GA search (default 60).
+	GAGenerations int
+	// Seed drives the placement optimiser and GA.
+	Seed int64
+}
+
+// Candidate records one explored configuration.
+type Candidate struct {
+	TP, PP     int
+	Collective collective.Algorithm
+	Report     sim.Report
+	Strategy   sim.Strategy
+	Pruned     bool
+	Err        error
+}
+
+// Result is the scheduler output.
+type Result struct {
+	Best *Candidate
+	// Explored lists every configuration visited, including pruned and
+	// failed ones (the framework's "Exploration Records").
+	Explored []Candidate
+	// PrunedCount is the number of candidates rejected by early pruning.
+	PrunedCount int
+}
+
+// Search runs Alg 1 for the model/workload on the wafer.
+func Search(w hw.WaferConfig, spec model.Spec, work model.Workload, pred predictor.Predictor, opts Options) (*Result, error) {
+	if err := work.Validate(); err != nil {
+		return nil, err
+	}
+	m := mesh.New(w)
+	dies := m.Dies()
+	maxTP := opts.MaxTP
+	if maxTP <= 0 || maxTP > dies {
+		maxTP = dies
+	}
+	collectives := opts.Collectives
+	if len(collectives) == 0 {
+		collectives = []collective.Algorithm{collective.BiRing}
+	}
+	rng := rand.New(rand.NewSource(opts.Seed + 1))
+
+	res := &Result{}
+	// Alg 1 line 1–2: prune when modelP exceeds the wafer's aggregate
+	// memory outright.
+	if !opts.DisablePruning && !memory.FitsModelP(spec, w.TotalDies(), w.DieDRAM()) {
+		return nil, fmt.Errorf("sched: modelP (%.0f GB) exceeds node memory (%.0f GB)",
+			spec.ModelPBytes()/1e9, float64(w.TotalDies())*w.DieDRAM()/1e9)
+	}
+
+	for _, tpPP := range factorisations(dies, maxTP, spec.Layers, opts) {
+		tp, pp := tpPP[0], tpPP[1]
+		for _, coll := range collectives {
+			// The 2D-mesh communication requirement (Alg 1 line 4):
+			// TP instances must have an even die count for ring pairing
+			// unless the collective supports odd groups.
+			if tp > 2 && tp%2 == 1 && coll != collective.RingBiOdd && coll != collective.TACOS {
+				continue
+			}
+			cand := explore(w, m, spec, work, pred, tp, pp, coll, opts, rng)
+			res.Explored = append(res.Explored, cand)
+			if cand.Pruned {
+				res.PrunedCount++
+				continue
+			}
+			if cand.Err != nil {
+				continue
+			}
+			if res.Best == nil || cand.Report.Throughput > res.Best.Report.Throughput {
+				c := cand
+				res.Best = &c
+			}
+		}
+	}
+	if res.Best == nil {
+		// Return the exploration records alongside the error so callers
+		// can inspect why every candidate failed.
+		return res, fmt.Errorf("sched: no feasible configuration for %s on %s%s",
+			spec.Name, w.Name, firstFailure(res.Explored))
+	}
+	return res, nil
+}
+
+func firstFailure(cands []Candidate) string {
+	for _, c := range cands {
+		if c.Err != nil {
+			return " (first failure: " + c.Err.Error() + ")"
+		}
+	}
+	return ""
+}
+
+// factorisations enumerates (tp, pp) pairs with tp·pp ≤ dies (Alg 1 line 4).
+func factorisations(dies, maxTP, layers int, opts Options) [][2]int {
+	var out [][2]int
+	if opts.FixedTP > 0 && opts.FixedPP > 0 {
+		return [][2]int{{opts.FixedTP, opts.FixedPP}}
+	}
+	for tp := 1; tp <= maxTP; tp *= 2 {
+		maxPP := dies / tp
+		if layers < maxPP {
+			maxPP = layers
+		}
+		// Meaningful pipeline depths: powers of two plus divisors of the
+		// remaining die budget (full-wafer coverage points).
+		pps := map[int]bool{}
+		for pp := 1; pp <= maxPP; pp *= 2 {
+			pps[pp] = true
+		}
+		for pp := 1; pp <= maxPP; pp++ {
+			if (dies/tp)%pp == 0 {
+				pps[pp] = true
+			}
+		}
+		pps[maxPP] = true
+		for pp := range pps {
+			if pp >= 1 && pp <= maxPP && tp*pp <= dies {
+				out = append(out, [2]int{tp, pp})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+func explore(w hw.WaferConfig, m *mesh.Mesh, spec model.Spec, work model.Workload,
+	pred predictor.Predictor, tp, pp int, coll collective.Algorithm, opts Options, rng *rand.Rand) Candidate {
+
+	cand := Candidate{TP: tp, PP: pp, Collective: coll}
+	mp := tp * pp
+
+	// Early pruning (Alg 1 lines 1–2): modelP must fit the model-parallel
+	// dies' aggregate memory.
+	if !opts.DisablePruning && !memory.FitsModelP(spec, mp, w.DieDRAM()) {
+		cand.Pruned = true
+		cand.Err = fmt.Errorf("pruned: modelP does not fit %d dies", mp)
+		return cand
+	}
+
+	cfg := engine.Config{
+		Wafer: w, Spec: spec, Workload: work,
+		TP: tp, PP: pp, Collective: coll, Predictor: pred,
+	}
+	if err := cfg.Validate(); err != nil {
+		cand.Err = err
+		return cand
+	}
+
+	// Placement: serpentine baseline, upgraded by the memory scheduler.
+	// Multi-wafer pipelines repeat the per-wafer partition on each wafer.
+	pipeWafers := opts.PipelineWafers
+	if pipeWafers < 1 {
+		pipeWafers = 1
+	}
+	var pl *placement.Placement
+	if pipeWafers > 1 {
+		if pp%pipeWafers != 0 {
+			cand.Err = fmt.Errorf("sched: pp=%d not divisible by %d wafers", pp, pipeWafers)
+			return cand
+		}
+		perWafer := pp / pipeWafers
+		base, err := placement.Partition(m, tp, perWafer)
+		if err != nil {
+			cand.Err = err
+			return cand
+		}
+		regions := make([]placement.Region, pp)
+		for s := range regions {
+			regions[s] = base[s%perWafer]
+		}
+		pl = &placement.Placement{Regions: regions}
+	} else {
+		var err error
+		pl, err = placement.Serpentine(m, tp, pp)
+		if err != nil {
+			cand.Err = err
+			return cand
+		}
+	}
+
+	strat := sim.Strategy{Placement: pl, PipelineWafers: pipeWafers}
+
+	// Recomputation scheduling (Alg 1 lines 5–6: delegate to downstream
+	// schedulers when modelP + checkpoints overflow).
+	var plan *recompute.Plan
+	var profiles []recompute.StageProfile
+	if !opts.DisableRecompute {
+		var err error
+		profiles, plan, err = buildRecomputePlan(cfg, m, opts)
+		if err != nil {
+			cand.Err = err
+			return cand
+		}
+		strat.Recompute = plan
+	}
+
+	// Memory scheduler: location-aware placement + DRAM allocation.
+	if !opts.DisableMemScheduler && plan != nil && len(plan.Pairs) > 0 {
+		wl := placementWorkload(cfg, plan)
+		if better, err := placement.Optimize(m, tp, pp, wl, rng); err == nil {
+			pl = better
+			strat.Placement = pl
+		}
+	}
+
+	// Global optimizer (§IV-D): escape the greedy local optimum by jointly
+	// mutating recomputation, placement and Mem_pairs.
+	if opts.UseGA && plan != nil && profiles != nil {
+		base, err := placement.Partition(m, tp, pp)
+		if err == nil {
+			prob := &ga.Problem{
+				Mesh:          m,
+				Profiles:      profiles,
+				BaseRegions:   base,
+				PipelineBytes: placementWorkload(cfg, plan).PipelineBytes,
+			}
+			omega := opts.GAOmega
+			if omega == 0 {
+				omega = 0.5
+			}
+			gens := opts.GAGenerations
+			if gens == 0 {
+				gens = 60
+			}
+			if gaRes, err := ga.Optimize(prob, ga.SeedFromPlan(plan, pp), ga.Options{
+				Omega: omega, Generations: gens, Seed: opts.Seed,
+			}); err == nil {
+				refined := applyGenome(gaRes.Best, profiles, plan)
+				if refined != nil {
+					plan = refined
+					strat.Recompute = plan
+					regions := make([]placement.Region, pp)
+					for s, r := range gaRes.Best.Perm {
+						regions[s] = base[r%len(base)]
+					}
+					pl = &placement.Placement{Regions: regions}
+					strat.Placement = pl
+				}
+			}
+		}
+	}
+
+	if !opts.DisableMemScheduler && plan != nil && len(plan.Pairs) > 0 {
+		local := localCapacity(cfg, m, pl)
+		reqs, budgets := memalloc.FromPlan(pl, plan, local)
+		if allocs, err := memalloc.Allocate(m, pl, reqs, budgets, nil); err == nil {
+			strat.Allocations = allocs
+		}
+	}
+
+	report, err := sim.Evaluate(cfg, m, strat)
+	if err != nil {
+		cand.Err = err
+		return cand
+	}
+	cand.Report = report
+	cand.Strategy = strat
+	return cand
+}
+
+// applyGenome converts a GA genome back into a recomputation plan, keeping
+// sender/helper bookkeeping consistent.
+func applyGenome(g ga.Genome, profiles []recompute.StageProfile, prev *recompute.Plan) *recompute.Plan {
+	pp := len(profiles)
+	if len(g.RecompChoice) != pp {
+		return nil
+	}
+	plan := &recompute.Plan{
+		Choice:         append([]int(nil), g.RecompChoice...),
+		StageCkptBytes: make([]float64, pp),
+		ExtraBwd:       make([]float64, pp),
+		Pairs:          append([]recompute.MemPair(nil), g.Pairs...),
+	}
+	for s := 0; s < pp; s++ {
+		oi := plan.Choice[s]
+		if oi < 0 || oi >= len(profiles[s].Options) {
+			return nil
+		}
+		o := profiles[s].Options[oi]
+		plan.StageCkptBytes[s] = o.CkptBytesPerMB * float64(profiles[s].Retained)
+		plan.ExtraBwd[s] = o.ExtraBwdTime
+		t := profiles[s].FwdTime + profiles[s].BwdTime + o.ExtraBwdTime
+		if t > plan.MaxStageTime {
+			plan.MaxStageTime = t
+		}
+	}
+	senders := map[int]bool{}
+	for _, p := range plan.Pairs {
+		plan.OverflowBytes += p.Bytes
+		senders[p.Sender] = true
+	}
+	for s := 0; s < pp; s++ {
+		if senders[s] {
+			plan.Senders = append(plan.Senders, s)
+		} else {
+			plan.Helpers = append(plan.Helpers, s)
+		}
+	}
+	return plan
+}
+
+// buildRecomputePlan assembles per-stage recomputation profiles and runs
+// GCMR (or the naive baseline).
+func buildRecomputePlan(cfg engine.Config, m *mesh.Mesh, opts Options) ([]recompute.StageProfile, *recompute.Plan, error) {
+	layers, err := memory.SplitLayers(cfg.Spec.Layers, cfg.PP)
+	if err != nil {
+		return nil, nil, err
+	}
+	mb := cfg.Workload.MicroBatch
+	if mb <= 0 {
+		mb = 1
+	}
+	g, err := opgraph.Build(cfg.Spec, cfg.TP, mb, cfg.Workload.SeqLen)
+	if err != nil {
+		return nil, nil, err
+	}
+	cost := engine.GCMRCostFn(cfg, m)
+	n := cfg.Workload.MicroBatches()
+	die := predictor.Context(cfg.Wafer)
+
+	var fwdLayer, bwdLayer float64
+	for _, op := range g.Ops {
+		est := cfg.Predictor.Predict(op, die)
+		fwdLayer += est.Latency
+		ratio := 2.0
+		if op.FwdFLOPs > 0 {
+			ratio = op.BwdFLOPs / op.FwdFLOPs
+		}
+		bwdLayer += est.Latency * ratio
+	}
+
+	profiles := make([]recompute.StageProfile, cfg.PP)
+	for s := 0; s < cfg.PP; s++ {
+		options, err := recompute.BuildOptions(g, cost, layers[s])
+		if err != nil {
+			return nil, nil, err
+		}
+		// BuildOptions reports per-die checkpoint bytes; stage profiles
+		// budget against the stage's aggregate DRAM (×TP), so scale the
+		// footprints to stage totals.
+		for i := range options {
+			options[i].CkptBytesPerMB *= float64(cfg.TP)
+		}
+		extra := 0.0
+		if s == 0 {
+			extra += float64(cfg.Spec.Vocab*cfg.Spec.Hidden) + cfg.Spec.EmbeddingParams
+		}
+		if s == cfg.PP-1 && cfg.Spec.Vocab > 0 {
+			extra += float64(cfg.Spec.Vocab * cfg.Spec.Hidden)
+		}
+		profiles[s] = recompute.StageProfile{
+			Options:     options,
+			Retained:    pipeline.RetainedMicroBatches(cfg.PP, n, s),
+			FwdTime:     fwdLayer * float64(layers[s]),
+			BwdTime:     bwdLayer * float64(layers[s]),
+			ModelPBytes: memory.ModelPPerDie(cfg.Spec, layers[s], cfg.TP, extra) * float64(cfg.TP),
+			LocalBytes:  cfg.Wafer.DieDRAM() * float64(cfg.TP),
+		}
+	}
+	if opts.NaiveRecompute || opts.DisableMemScheduler {
+		// Without the memory scheduler, cross-stage balancing is
+		// unavailable; fall back to local-only recomputation.
+		plan, err := recompute.Naive(profiles)
+		return profiles, plan, err
+	}
+	plan, err := recompute.GCMR(profiles)
+	return profiles, plan, err
+}
+
+// placementWorkload derives the Eq 2 weights from the plan.
+func placementWorkload(cfg engine.Config, plan *recompute.Plan) placement.Workload {
+	mb := cfg.Workload.MicroBatch
+	if mb <= 0 {
+		mb = 1
+	}
+	n := cfg.Workload.MicroBatches()
+	boundary := float64(mb*cfg.Workload.SeqLen*cfg.Spec.Hidden) * 2 * float64(n)
+	pipe := make([]float64, cfg.PP)
+	for i := range pipe {
+		pipe[i] = boundary
+	}
+	return placement.Workload{PipelineBytes: pipe, Pairs: plan.Pairs}
+}
+
+// localCapacity returns a stage's DRAM left for checkpoints after modelP.
+func localCapacity(cfg engine.Config, m *mesh.Mesh, pl *placement.Placement) func(int) float64 {
+	layers, _ := memory.SplitLayers(cfg.Spec.Layers, cfg.PP)
+	return func(s int) float64 {
+		if layers == nil || s >= len(layers) {
+			return 0
+		}
+		extra := 0.0
+		if s == 0 {
+			extra += float64(cfg.Spec.Vocab*cfg.Spec.Hidden) + cfg.Spec.EmbeddingParams
+		}
+		if s == cfg.PP-1 && cfg.Spec.Vocab > 0 {
+			extra += float64(cfg.Spec.Vocab * cfg.Spec.Hidden)
+		}
+		modelP := memory.ModelPPerDie(cfg.Spec, layers[s], cfg.TP, extra) * float64(cfg.TP)
+		c := cfg.Wafer.DieDRAM()*float64(cfg.TP) - modelP
+		if c < 0 {
+			return 0
+		}
+		return c
+	}
+}

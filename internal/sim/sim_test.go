@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/engine"
+	"repro/internal/hw"
+	"repro/internal/mesh"
+	"repro/internal/model"
+	"repro/internal/placement"
+	"repro/internal/predictor"
+)
+
+var testPred = predictor.NewLookupTable(predictor.TileLevel{})
+
+func testCfg(tp, pp int) engine.Config {
+	return engine.Config{
+		Wafer:      hw.Config3(),
+		Spec:       model.Llama2_30B(),
+		Workload:   model.Workload{GlobalBatch: 32, MicroBatch: 1, SeqLen: 2048},
+		TP:         tp,
+		PP:         pp,
+		Collective: collective.BiRing,
+		Predictor:  testPred,
+	}
+}
+
+func evaluate(t *testing.T, tp, pp int) Report {
+	t.Helper()
+	cfg := testCfg(tp, pp)
+	m := mesh.New(cfg.Wafer)
+	pl, err := placement.Serpentine(m, tp, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Evaluate(cfg, m, Strategy{Placement: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestEvaluateBasicSanity(t *testing.T) {
+	rep := evaluate(t, 4, 8)
+	if rep.IterationTime <= 0 {
+		t.Fatal("non-positive iteration time")
+	}
+	if rep.Throughput <= 0 {
+		t.Fatal("non-positive throughput")
+	}
+	if rep.BubbleFraction < 0 || rep.BubbleFraction >= 1 {
+		t.Fatalf("bubble fraction = %v", rep.BubbleFraction)
+	}
+	if rep.ComputeUtilization <= 0 || rep.ComputeUtilization > 1 {
+		t.Fatalf("compute utilization = %v", rep.ComputeUtilization)
+	}
+	if rep.DP < 1 || rep.MicroBatches < 1 {
+		t.Fatalf("dp=%d n=%d", rep.DP, rep.MicroBatches)
+	}
+	if len(rep.PerDieMemory) == 0 {
+		t.Fatal("no per-die memory map")
+	}
+}
+
+func TestThroughputNeverExceedsPeak(t *testing.T) {
+	for _, c := range [][2]int{{2, 8}, {4, 8}, {4, 14}, {8, 7}} {
+		rep := evaluate(t, c[0], c[1])
+		peak := hw.Config3().PeakFLOPS()
+		if rep.Throughput > peak {
+			t.Errorf("tp=%d pp=%d throughput %.3g exceeds wafer peak %.3g", c[0], c[1], rep.Throughput, peak)
+		}
+	}
+}
+
+func TestMemoryRespectsCapacity(t *testing.T) {
+	rep := evaluate(t, 4, 8)
+	capacity := hw.Config3().DieDRAM()
+	for d, used := range rep.PerDieMemory {
+		if used > capacity*1.0001 {
+			t.Errorf("die %v over capacity: %.1f GB", d, used/1e9)
+		}
+	}
+}
+
+func TestMoreStagesMoreBubbles(t *testing.T) {
+	// Small workload so full checkpointing fits even at PP=14.
+	run := func(tp, pp int) Report {
+		cfg := testCfg(tp, pp)
+		cfg.Workload = model.Workload{GlobalBatch: 16, MicroBatch: 1, SeqLen: 1024}
+		m := mesh.New(cfg.Wafer)
+		pl, err := placement.Serpentine(m, tp, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := Evaluate(cfg, m, Strategy{Placement: pl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	shallow := run(4, 4)
+	deep := run(4, 14)
+	if deep.BubbleFraction <= shallow.BubbleFraction {
+		t.Errorf("deeper pipeline should bubble more: pp=4 %v vs pp=14 %v",
+			shallow.BubbleFraction, deep.BubbleFraction)
+	}
+}
+
+func TestEvaluateRejectsNilPlacement(t *testing.T) {
+	cfg := testCfg(2, 2)
+	m := mesh.New(cfg.Wafer)
+	if _, err := Evaluate(cfg, m, Strategy{}); err == nil {
+		t.Fatal("nil placement should fail")
+	}
+}
+
+func TestEvaluateOOMForHugeModelWithoutRecompute(t *testing.T) {
+	cfg := testCfg(4, 8)
+	cfg.Spec = model.GPT_175B()
+	cfg.Workload = model.Workload{GlobalBatch: 256, MicroBatch: 4, SeqLen: 2048}
+	m := mesh.New(cfg.Wafer)
+	pl, _ := placement.Serpentine(m, 4, 8)
+	if _, err := Evaluate(cfg, m, Strategy{Placement: pl}); err == nil {
+		t.Fatal("expected OOM for GPT-175B without recomputation at large batch")
+	}
+}
+
+func TestMultiWaferDPIncreasesReplicas(t *testing.T) {
+	cfg := testCfg(4, 8)
+	cfg.Wafer = hw.MultiWafer(hw.Config3(), 4, 1.8e12)
+	m := mesh.New(cfg.Wafer)
+	pl, _ := placement.Serpentine(m, 4, 8)
+	rep, err := Evaluate(cfg, m, Strategy{Placement: pl, PipelineWafers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single := evaluate(t, 4, 8)
+	if rep.DP <= single.DP {
+		t.Errorf("4-wafer node should have more DP replicas: %d vs %d", rep.DP, single.DP)
+	}
+}
+
+func TestLowerW2WBandwidthSlower(t *testing.T) {
+	run := func(bw float64) Report {
+		cfg := testCfg(8, 14)
+		cfg.Spec = model.Llama3_405B()
+		// Small workload so full checkpointing fits without a recompute plan.
+		cfg.Workload = model.Workload{GlobalBatch: 8, MicroBatch: 1, SeqLen: 1024}
+		cfg.Wafer = hw.MultiWafer(hw.Config3(), 4, bw)
+		m := mesh.New(cfg.Wafer)
+		base, err := placement.Partition(m, 8, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		regions := make([]placement.Region, 14)
+		for s := range regions {
+			regions[s] = base[s%7]
+		}
+		rep, err := Evaluate(cfg, m, Strategy{
+			Placement:      &placement.Placement{Regions: regions},
+			PipelineWafers: 2,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	fast := run(1.8e12)
+	slow := run(400e9)
+	if slow.IterationTime <= fast.IterationTime {
+		t.Errorf("lower W2W bandwidth should be slower: %v vs %v", slow.IterationTime, fast.IterationTime)
+	}
+}

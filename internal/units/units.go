@@ -1,0 +1,46 @@
+// Package units defines the physical units and conversion constants used
+// throughout the WATOS framework. All quantities are carried as float64 in
+// base SI units: bytes, bytes/second, FLOPs, FLOPs/second, seconds, and
+// millimetres for silicon geometry.
+package units
+
+// Byte quantities.
+const (
+	KiB = 1024.0
+	MiB = 1024.0 * KiB
+	GiB = 1024.0 * MiB
+	TiB = 1024.0 * GiB
+
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+)
+
+// Compute quantities (FLOPs and FLOP/s).
+const (
+	GFLOPS = 1e9
+	TFLOPS = 1e12
+	PFLOPS = 1e15
+)
+
+// Time quantities, in seconds.
+const (
+	Nanosecond  = 1e-9
+	Microsecond = 1e-6
+	Millisecond = 1e-3
+	Second      = 1.0
+)
+
+// Data-type widths in bytes.
+const (
+	FP32Bytes = 4.0
+	FP16Bytes = 2.0
+	BF16Bytes = 2.0
+	FP8Bytes  = 1.0
+)
+
+// BytesPerParamMixed is the per-parameter static footprint of mixed-precision
+// Adam training: FP16 weight (2) + FP16 gradient (2) + FP32 master weight,
+// momentum and variance (4+4+4). This is the "modelP" unit cost in the paper.
+const BytesPerParamMixed = 16.0
