@@ -18,6 +18,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/recompute"
 	"repro/internal/sched"
+	"repro/internal/search"
 )
 
 // benchExperiment runs one figure/table runner per iteration.
@@ -28,6 +29,11 @@ func benchExperiment(b *testing.B, id string) {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	for i := 0; i < b.N; i++ {
+		// Cold-start each iteration: the process-wide memo caches would
+		// otherwise serve iterations 2..N and the timing would measure
+		// LRU lookups, not the experiment.
+		search.DefaultCache().Reset()
+		sched.ResetCache()
 		t, err := runner()
 		if err != nil {
 			b.Fatal(err)
@@ -75,12 +81,12 @@ func BenchmarkAblationGCMR(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		gcmr, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
-			sched.Options{FixedTP: 8, FixedPP: 7})
+			sched.Options{FixedTP: 8, FixedPP: 7, DisableCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
 		naive, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
-			sched.Options{FixedTP: 8, FixedPP: 7, NaiveRecompute: true, DisableMemScheduler: true})
+			sched.Options{FixedTP: 8, FixedPP: 7, NaiveRecompute: true, DisableMemScheduler: true, DisableCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +132,7 @@ func BenchmarkAblationDataflow(b *testing.B) {
 	_ = die
 	for i := 0; i < b.N; i++ {
 		g, err := sched.Search(hw.Config3(), model.Llama3_70B(), benchWork(), benchPred,
-			sched.Options{FixedTP: 4, FixedPP: 14})
+			sched.Options{FixedTP: 4, FixedPP: 14, DisableCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -139,12 +145,12 @@ func BenchmarkAblationGA(b *testing.B) {
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		greedy, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
-			sched.Options{FixedTP: 4, FixedPP: 14})
+			sched.Options{FixedTP: 4, FixedPP: 14, DisableCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
 		ga, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred,
-			sched.Options{FixedTP: 4, FixedPP: 14, UseGA: true, GAGenerations: 40})
+			sched.Options{FixedTP: 4, FixedPP: 14, UseGA: true, GAGenerations: 40, DisableCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -158,7 +164,7 @@ func BenchmarkAblationGA(b *testing.B) {
 func BenchmarkAblationPruning(b *testing.B) {
 	var prunedFrac float64
 	for i := 0; i < b.N; i++ {
-		res, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred, sched.Options{})
+		res, err := sched.Search(hw.Config3(), model.GPT_175B(), benchWork(), benchPred, sched.Options{DisableCache: true})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,10 +193,63 @@ func BenchmarkCollectives(b *testing.B) {
 // paper reports 0.274 s per 100 optimizer steps on a Xeon).
 func BenchmarkSearch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred, sched.Options{}); err != nil {
+		if _, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred,
+			sched.Options{DisableCache: true}); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkSearchSequential is the single-threaded, uncached baseline of the
+// concurrent evaluation runtime: every candidate is re-simulated on one
+// worker, reproducing the seed's strictly sequential behaviour.
+func BenchmarkSearchSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred,
+			sched.Options{Workers: 1, DisableCache: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSearchParallel runs the same search on the full worker pool with
+// the memoization cache enabled — the production configuration. Against
+// BenchmarkSearchSequential it measures the combined worker-pool speedup
+// (scales with cores) and cache speedup (repeated searches are served from
+// memoized reports); the hit rate over the run is reported alongside.
+func BenchmarkSearchParallel(b *testing.B) {
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred,
+			sched.Options{Workers: 0}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	s := sched.CacheStats()
+	b.ReportMetric(s.HitRate()*100, "cache-hit-%")
+}
+
+// BenchmarkSearchCacheHitRate isolates the memoization layer: each iteration
+// runs a cold search followed by an identical hot search on a fresh cache,
+// reporting the steady-state hit rate (the re-simulation work a shared cache
+// removes from baselines, ablations and figure reproductions).
+func BenchmarkSearchCacheHitRate(b *testing.B) {
+	var rate float64
+	for i := 0; i < b.N; i++ {
+		search.DefaultCache().Reset()
+		sched.ResetCache()
+		for pass := 0; pass < 2; pass++ {
+			if _, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred,
+				sched.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		rate = sched.CacheStats().HitRate()
+	}
+	b.ReportMetric(rate*100, "cache-hit-%")
 }
 
 // BenchmarkPredictor measures lookup-table hit latency (§IV-F "negligible

@@ -18,7 +18,9 @@ import (
 func main() {
 	fig := flag.String("fig", "", "experiment ID to run (e.g. 1, 5a, 15, table2); empty = all")
 	list := flag.Bool("list", false, "list available experiment IDs")
+	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
+	experiments.Workers = *workers
 
 	reg := experiments.Registry()
 	if *list {
@@ -43,6 +45,15 @@ func main() {
 		}
 		t.Fprint(os.Stdout)
 	}
+	// Figure points share the process-wide caches: repeated (wafer,
+	// strategy) configurations across baselines and ablations are explored
+	// and simulated once.
+	cc := experiments.CandidateCacheStats()
+	cs := experiments.CacheStats()
+	fmt.Fprintf(os.Stderr, "candidate cache: %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
+		cc.Hits, cc.Misses, cc.HitRate()*100, cc.Size)
+	fmt.Fprintf(os.Stderr, "eval cache:      %d hits / %d misses (%.0f%% hit rate, %d entries)\n",
+		cs.Hits, cs.Misses, cs.HitRate()*100, cs.Size)
 	if failed > 0 {
 		os.Exit(1)
 	}

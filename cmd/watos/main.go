@@ -17,6 +17,7 @@ import (
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/units"
 )
 
@@ -27,6 +28,8 @@ func main() {
 	micro := flag.Int("micro", 1, "micro-batch size per pipeline stage")
 	seq := flag.Int("seq", 0, "sequence length (0 = model default, capped at 4096)")
 	useGA := flag.Bool("ga", false, "enable the genetic-algorithm global optimizer")
+	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	noCache := flag.Bool("nocache", false, "disable the strategy-evaluation memoization cache")
 	listModels := flag.Bool("models", false, "list available models")
 	flag.Parse()
 
@@ -56,7 +59,7 @@ func main() {
 	}
 
 	fw := core.New()
-	fw.Options = sched.Options{UseGA: *useGA}
+	fw.Options = sched.Options{UseGA: *useGA, Workers: *workers, DisableCache: *noCache}
 
 	var candidates []hw.WaferConfig
 	switch *configName {
@@ -100,6 +103,14 @@ func main() {
 	}
 	fmt.Printf("explored:          %d strategy candidates", len(res.Best.Result.Explored))
 	fmt.Printf(" (%d pruned early)\n", res.Best.Result.PrunedCount)
+	if !*noCache {
+		cc := sched.CacheStats()
+		cs := search.DefaultCache().Stats()
+		fmt.Printf("candidate cache:   %d hits / %d misses (%.0f%% hit rate)\n",
+			cc.Hits, cc.Misses, cc.HitRate()*100)
+		fmt.Printf("eval cache:        %d hits / %d misses (%.0f%% hit rate)\n",
+			cs.Hits, cs.Misses, cs.HitRate()*100)
+	}
 	for _, ar := range res.PerArch {
 		status := "ok"
 		if ar.Err != nil {

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,6 +16,9 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	flag.Parse()
+
 	spec := model.Llama3_70B()
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 4096}
 
@@ -22,10 +26,14 @@ func main() {
 	// per die, all under the wafer-area budget.
 	candidates := hw.Enumerate(hw.EnumeratorOptions{
 		HBMPerDie: []int{2, 3, 4, 5, 6},
+		Workers:   *workers,
 	})
 	fmt.Printf("enumerator produced %d feasible wafer candidates\n\n", len(candidates))
 
+	// The architecture sweep fans out over the shared worker pool; every
+	// candidate's strategy evaluations are memoized in the process cache.
 	watos := core.New()
+	watos.Options.Workers = *workers
 	res, err := watos.Explore(candidates, spec, work)
 	if err != nil {
 		log.Fatal(err)

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -18,6 +19,9 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	flag.Parse()
+
 	spec := model.Llama3_405B()
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 4096}
 	pred := predictor.NewLookupTable(predictor.TileLevel{})
@@ -28,7 +32,7 @@ func main() {
 	for _, bw := range []float64{400 * units.GB, 1.8 * units.TB} {
 		node := hw.MultiWafer(hw.Config3(), 4, bw)
 		res, err := sched.Search(node, spec, work, pred, sched.Options{
-			FixedTP: 8, FixedPP: 14, PipelineWafers: 2,
+			FixedTP: 8, FixedPP: 14, PipelineWafers: 2, Workers: *workers,
 		})
 		if err != nil {
 			log.Fatalf("W2W %.1f TB/s: %v", bw/units.TB, err)

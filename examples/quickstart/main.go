@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -14,14 +15,18 @@ import (
 )
 
 func main() {
+	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	flag.Parse()
+
 	// 1. Pick a wafer architecture and a model from the zoo.
 	wafer := hw.Config3()
 	spec := model.Llama2_30B()
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 4096}
 
 	// 2. Create the framework (tile-level predictor behind the offline
-	//    lookup table) and search training strategies.
+	//    lookup table) and search training strategies on the worker pool.
 	watos := core.New()
+	watos.Options.Workers = *workers
 	res, err := watos.SearchStrategy(wafer, spec, work)
 	if err != nil {
 		log.Fatal(err)

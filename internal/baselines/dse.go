@@ -8,6 +8,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/predictor"
 	"repro/internal/sched"
+	"repro/internal/search"
 )
 
 // Framework identifies a DSE comparison framework of Fig 20 / Table I.
@@ -131,4 +132,27 @@ func (f Framework) options() sched.Options {
 // RunFramework evaluates the framework's restricted search on the wafer.
 func RunFramework(f Framework, w hw.WaferConfig, spec model.Spec, work model.Workload, pred predictor.Predictor) (*sched.Result, error) {
 	return sched.Search(w, spec, work, pred, f.options())
+}
+
+// FrameworkResult is one framework's outcome in a comparison sweep.
+type FrameworkResult struct {
+	Framework Framework
+	Result    *sched.Result
+	Err       error
+}
+
+// RunFrameworks evaluates every framework's restricted search concurrently
+// on the shared worker pool (workers = pool width, 0 = GOMAXPROCS) and
+// returns the outcomes in input order. The frameworks are independent, and
+// each inner search runs sequentially so parallelism is applied across the
+// sweep; results are identical to running RunFramework in a loop.
+func RunFrameworks(fws []Framework, w hw.WaferConfig, spec model.Spec, work model.Workload,
+	pred predictor.Predictor, workers int) []FrameworkResult {
+	runner := search.NewRunner(workers)
+	return search.Map(runner, len(fws), func(i int) FrameworkResult {
+		opts := fws[i].options()
+		opts.Workers = 1
+		res, err := sched.Search(w, spec, work, pred, opts)
+		return FrameworkResult{Framework: fws[i], Result: res, Err: err}
+	})
 }

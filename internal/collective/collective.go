@@ -79,9 +79,17 @@ func (r Result) MeanLinkUtilization(m *mesh.Mesh) float64 {
 	if peak == 0 {
 		return 0
 	}
+	// Sum in sorted link order: float accumulation over map iteration order
+	// is not associative, and the evaluation runtime guarantees bit-identical
+	// reports run-to-run.
+	links := make([]mesh.Link, 0, len(r.LinkBytes))
+	for l := range r.LinkBytes {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return mesh.LinkLess(links[i], links[j]) })
 	var sum float64
-	for _, b := range r.LinkBytes {
-		sum += b / peak
+	for _, l := range links {
+		sum += r.LinkBytes[l] / peak
 	}
 	total := 2 * (m.Cols*(m.Rows-1) + m.Rows*(m.Cols-1))
 	if total == 0 {
@@ -253,7 +261,15 @@ func twoDAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64) (Result, err
 	total := Result{LinkBytes: map[mesh.Link]float64{}}
 	phase := func(groups map[int][]mesh.DieID, vol float64) error {
 		var phaseTime float64
-		for _, g := range groups {
+		// Deterministic group order: per-link byte accumulation must not
+		// depend on map iteration order.
+		keys := make([]int, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			g := groups[k]
 			if len(g) < 2 {
 				continue
 			}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/predictor"
 	"repro/internal/sched"
+	"repro/internal/search"
 )
 
 // Framework is a configured WATOS instance.
@@ -62,17 +63,31 @@ func (f *Framework) Explore(candidates []hw.WaferConfig, spec model.Spec, work m
 		f.Predictor = predictor.NewLookupTable(predictor.TileLevel{})
 	}
 	out := &ExploreResult{}
-	var bestThroughput float64
-	for _, w := range candidates {
+	// Architecture candidates are independent: sweep them on the shared
+	// worker pool. Each inner sched.Search runs its own candidate loop
+	// sequentially (Workers=1) so parallelism is applied at one level and
+	// the pool is not oversubscribed; results are collected in input order
+	// so the winner (first strictly-best candidate) matches a sequential
+	// sweep exactly.
+	inner := f.Options
+	archWorkers := inner.Workers
+	if len(candidates) > 1 {
+		inner.Workers = 1
+	}
+	runner := search.NewRunner(archWorkers)
+	out.PerArch = search.Map(runner, len(candidates), func(i int) ArchResult {
+		w := candidates[i]
 		if err := w.Validate(); err != nil {
-			out.PerArch = append(out.PerArch, ArchResult{Wafer: w, Err: err})
-			continue
+			return ArchResult{Wafer: w, Err: err}
 		}
-		res, err := sched.Search(w, spec, work, f.Predictor, f.Options)
-		ar := ArchResult{Wafer: w, Result: res, Err: err}
-		out.PerArch = append(out.PerArch, ar)
-		if err == nil && res.Best != nil && res.Best.Report.Throughput > bestThroughput {
-			bestThroughput = res.Best.Report.Throughput
+		res, err := sched.Search(w, spec, work, f.Predictor, inner)
+		return ArchResult{Wafer: w, Result: res, Err: err}
+	})
+	var bestThroughput float64
+	for _, ar := range out.PerArch {
+		if ar.Err == nil && ar.Result != nil && ar.Result.Best != nil &&
+			ar.Result.Best.Report.Throughput > bestThroughput {
+			bestThroughput = ar.Result.Best.Report.Throughput
 			out.Best = ar
 		}
 	}

@@ -137,7 +137,7 @@ func Fig02() (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	wa, err := sched.Search(hw.Config3(), spec, work, pred, sched.Options{})
+	wa, err := sched.Search(hw.Config3(), spec, work, pred, searchOpts(sched.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -171,7 +171,7 @@ func Fig05a() (*Table, error) {
 		times := make([]float64, len(configs))
 		var base float64
 		for i, c := range configs {
-			res, err := sched.Search(w, spec, work, pred, sched.Options{FixedTP: c[0], FixedPP: c[1]})
+			res, err := sched.Search(w, spec, work, pred, searchOpts(sched.Options{FixedTP: c[0], FixedPP: c[1]}))
 			if err != nil {
 				times[i] = math.Inf(1)
 				continue
@@ -334,7 +334,7 @@ func Fig06b() (*Table, error) {
 	var ratios []float64
 	for _, spec := range []model.Spec{model.Llama2_30B(), model.Llama3_70B(), model.GPT_175B()} {
 		work := evalWorkload(spec)
-		res, err := sched.Search(w, spec, work, pred, sched.Options{})
+		res, err := sched.Search(w, spec, work, pred, searchOpts(sched.Options{}))
 		if err != nil {
 			return nil, err
 		}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/recompute"
 	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/units"
 )
 
@@ -60,7 +61,7 @@ func Fig15() (*Table, error) {
 			row := []string{spec.Name, mode}
 			vals := make([]float64, len(configs))
 			for i, w := range configs {
-				res, err := sched.Search(w, spec, work, pred, opts)
+				res, err := sched.Search(w, spec, work, pred, searchOpts(opts))
 				if err != nil {
 					vals[i] = 0
 					continue
@@ -140,7 +141,7 @@ func Fig16() (*Table, error) {
 		gr, gerr := baselines.MegatronGPU(gpu, spec, work)
 		mw, merr := baselines.MegatronWafer(w, spec, work, pred)
 		cb, cerr := baselines.Cerebras(w, spec, work, pred)
-		wa, werr := sched.Search(w, spec, work, pred, sched.Options{UseGA: true})
+		wa, werr := sched.Search(w, spec, work, pred, searchOpts(sched.Options{UseGA: true}))
 		if werr != nil {
 			return nil, fmt.Errorf("fig16 WATOS %s: %w", spec.Name, werr)
 		}
@@ -196,7 +197,7 @@ func Fig17() (*Table, error) {
 	w := hw.Config3()
 	spec := model.GPT_175B()
 	work := evalWorkload(spec)
-	wa, err := sched.Search(w, spec, work, pred, sched.Options{})
+	wa, err := sched.Search(w, spec, work, pred, searchOpts(sched.Options{}))
 	if err != nil {
 		return nil, err
 	}
@@ -234,7 +235,7 @@ func Fig18() (*Table, error) {
 		row := []string{spec.Name}
 		var base float64
 		for i, opt := range variants {
-			res, err := sched.Search(w, spec, work, pred, opt)
+			res, err := sched.Search(w, spec, work, pred, searchOpts(opt))
 			val := 0.0
 			if err == nil {
 				val = res.Best.Report.Throughput
@@ -268,7 +269,7 @@ func Fig19() (*Table, error) {
 	gpu := hw.BlackwellUltraNode()
 	for _, spec := range model.EmergingModels() {
 		work := evalWorkload(spec)
-		wa, err := sched.Search(w, spec, work, pred, sched.Options{})
+		wa, err := sched.Search(w, spec, work, pred, searchOpts(sched.Options{}))
 		if err != nil {
 			return nil, fmt.Errorf("fig19 %s: %w", spec.Name, err)
 		}
@@ -304,10 +305,9 @@ func Fig20() (*Table, error) {
 		work := evalWorkload(spec)
 		row := []string{spec.Name}
 		vals := map[baselines.Framework]float64{}
-		for _, fw := range baselines.Frameworks() {
-			res, err := baselines.RunFramework(fw, w, spec, work, pred)
-			if err == nil {
-				vals[fw] = res.Best.Report.Throughput
+		for _, fr := range baselines.RunFrameworks(baselines.Frameworks(), w, spec, work, pred, Workers) {
+			if fr.Err == nil {
+				vals[fr.Framework] = fr.Result.Best.Report.Throughput
 			}
 		}
 		base := vals[baselines.Timeloop]
@@ -357,9 +357,9 @@ func Fig21() (*Table, error) {
 		}
 		var entries []entry
 		for _, a := range algos {
-			res, err := sched.Search(w, spec, work, pred, sched.Options{
+			res, err := sched.Search(w, spec, work, pred, searchOpts(sched.Options{
 				Collectives: []collective.Algorithm{a.algo},
-			})
+			}))
 			if err != nil {
 				entries = append(entries, entry{name: a.name})
 				continue
@@ -435,7 +435,7 @@ func Fig23() (*Table, error) {
 	w := hw.Config3MeshSwitch()
 	for _, spec := range model.EvaluationModels() {
 		work := evalWorkload(spec)
-		wa, err := sched.Search(w, spec, work, pred, sched.Options{})
+		wa, err := sched.Search(w, spec, work, pred, searchOpts(sched.Options{}))
 		if err != nil {
 			return nil, fmt.Errorf("fig23 %s: %w", spec.Name, err)
 		}
@@ -479,9 +479,9 @@ func Fig24a() (*Table, error) {
 			if pp > spec.Layers {
 				pp = spec.Layers - spec.Layers%pipeWafers
 			}
-			res, err := sched.Search(node, spec, work, pred, sched.Options{
+			res, err := sched.Search(node, spec, work, pred, searchOpts(sched.Options{
 				FixedTP: 8, FixedPP: pp, PipelineWafers: pipeWafers,
-			})
+			}))
 			if err != nil {
 				return 0, err
 			}
@@ -525,6 +525,7 @@ func Fig24b() (*Table, error) {
 	for _, omega := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
 		r, err := ga.Optimize(prob, seed, ga.Options{
 			Population: 32, Generations: 100, Omega: omega, Seed: 42,
+			Workers: Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -604,24 +605,35 @@ func Fig25() (*Table, error) {
 		name, class          string
 		area, mem, thpt, obj float64
 	}
-	var pts []point
-	for _, die := range hw.DieSweep() {
+	// Die candidates are independent: sweep the Fig 25 design space on the
+	// shared worker pool (each inner search sequential), collecting points
+	// in sweep order so the table is identical for every worker count.
+	dieSweep := hw.DieSweep()
+	runner := search.NewRunner(Workers)
+	swept := search.Map(runner, len(dieSweep), func(i int) *point {
+		die := dieSweep[i]
 		cands := hw.Enumerate(hw.EnumeratorOptions{Dies: []hw.DieConfig{die}, HBMPerDie: []int{4}})
 		if len(cands) == 0 {
-			continue
+			return nil
 		}
 		w := cands[0]
-		res, err := sched.Search(w, spec, work, pred, sched.Options{})
+		res, err := sched.Search(w, spec, work, pred, sched.Options{Workers: 1})
 		if err != nil {
-			continue
+			return nil
 		}
-		pts = append(pts, point{
+		return &point{
 			name:  die.Name,
 			class: hw.Classify(die).String(),
 			area:  die.AreaMM2(),
 			mem:   w.TotalDRAM(),
 			thpt:  res.Best.Report.Throughput,
-		})
+		}
+	})
+	var pts []point
+	for _, p := range swept {
+		if p != nil {
+			pts = append(pts, *p)
+		}
 	}
 	if len(pts) == 0 {
 		return nil, fmt.Errorf("fig25: no feasible die candidates")

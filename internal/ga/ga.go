@@ -16,6 +16,7 @@ import (
 	"repro/internal/mesh"
 	"repro/internal/placement"
 	"repro/internal/recompute"
+	"repro/internal/search/pool"
 )
 
 // Genome is one candidate configuration.
@@ -128,6 +129,10 @@ type Options struct {
 	Omega float64
 	// Seed for reproducibility.
 	Seed int64
+	// Workers sizes the fitness-evaluation worker pool (0 = GOMAXPROCS,
+	// 1 = sequential). Fitness is a pure function of the genome, so the
+	// result is identical for every worker count.
+	Workers int
 }
 
 // Result reports the best genome and the convergence history.
@@ -163,14 +168,24 @@ func Optimize(p *Problem, seed Genome, opts Options) (*Result, error) {
 		omega = 1
 	}
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
+	// Genome generation stays sequential (it consumes the RNG stream), but
+	// fitness — the expensive, pure part — is scored on the worker pool.
+	// Fitness depends only on the genome, so parallel scoring is exact.
+	runner := pool.New(opts.Workers)
+	score := func(genomes []Genome) []scored {
+		return pool.Map(runner, len(genomes), func(i int) scored {
+			return scored{genomes[i], p.Fitness(genomes[i])}
+		})
+	}
 
-	population := make([]scored, 0, pop)
-	population = append(population, scored{seed.Clone(), p.Fitness(seed)})
-	for len(population) < pop {
+	initial := make([]Genome, 0, pop)
+	initial = append(initial, seed.Clone())
+	for len(initial) < pop {
 		g := seed.Clone()
 		p.mutate(&g, rng)
-		population = append(population, scored{g, p.Fitness(g)})
+		initial = append(initial, g)
 	}
+	population := score(initial)
 
 	res := &Result{BestFitness: math.Inf(1)}
 	for gen := 0; gen < gens; gen++ {
@@ -191,7 +206,8 @@ func Optimize(p *Problem, seed Genome, opts Options) (*Result, error) {
 		for i := 0; i < elite && i < len(population); i++ {
 			next = append(next, scored{population[i].g.Clone(), population[i].f})
 		}
-		for len(next) < pop {
+		children := make([]Genome, 0, pop-len(next))
+		for len(next)+len(children) < pop {
 			a := p.tournament(population, rng)
 			child := a.Clone()
 			// Crossover with a second tournament parent half the time.
@@ -200,8 +216,9 @@ func Optimize(p *Problem, seed Genome, opts Options) (*Result, error) {
 				p.crossover(&child, b, rng)
 			}
 			p.mutate(&child, rng)
-			next = append(next, scored{child, p.Fitness(child)})
+			children = append(children, child)
 		}
+		next = append(next, score(children)...)
 		population = next
 	}
 	sort.Slice(population, func(i, j int) bool { return population[i].f < population[j].f })

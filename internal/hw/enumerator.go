@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/search/pool"
 	"repro/internal/units"
 )
 
@@ -25,6 +26,9 @@ type EnumeratorOptions struct {
 	Chiplet HBMChipletConfig
 	// WaferEdgeMM overrides the usable wafer edge; zero uses 198.32.
 	WaferEdgeMM float64
+	// Workers sizes the enumeration worker pool (0 = GOMAXPROCS). The
+	// candidate list is independent of the worker count.
+	Workers int
 }
 
 func (o *EnumeratorOptions) setDefaults() {
@@ -55,41 +59,59 @@ func (o *EnumeratorOptions) setDefaults() {
 // by descending aggregate compute throughput.
 func Enumerate(opts EnumeratorOptions) []WaferConfig {
 	opts.setDefaults()
-	var out []WaferConfig
+	// Candidates are independent points of the (die, HBM count) grid: pack
+	// each one on the worker pool, then filter in index order so the
+	// candidate list is identical for every worker count.
+	type point struct {
+		die DieConfig
+		hbm int
+	}
+	var grid []point
 	for _, die := range opts.Dies {
 		for _, hbm := range opts.HBMPerDie {
-			w := WaferConfig{
-				Name:           fmt.Sprintf("%s-hbm%d", die.Name, hbm),
-				Die:            die,
-				HBMPerDie:      hbm,
-				HBM:            opts.Chiplet,
-				D2DLinkLatency: 100 * units.Nanosecond,
-				NoCLatency:     20 * units.Nanosecond,
-				Topology:       Mesh2D,
-				WaferEdgeMM:    opts.WaferEdgeMM,
-				HostBandwidth:  160 * units.GB,
-			}
-			site := w.SiteAreaMM2()
-			if site <= 0 {
-				continue
-			}
-			maxDies := int(math.Floor(w.AreaBudget() / site))
-			if maxDies < 1 {
-				continue
-			}
-			dx, dy := nearSquareGrid(maxDies)
-			if dx < 1 || dy < 1 {
-				continue
-			}
-			w.DiesX, w.DiesY = dx, dy
-			if w.Dies() < opts.MinDies || w.Dies() > opts.MaxDies {
-				continue
-			}
-			if err := w.Validate(); err != nil {
-				continue
-			}
-			w.Name = fmt.Sprintf("%s-%dx%d", w.Name, dx, dy)
-			out = append(out, w)
+			grid = append(grid, point{die: die, hbm: hbm})
+		}
+	}
+	runner := pool.New(opts.Workers)
+	packed := pool.Map(runner, len(grid), func(i int) *WaferConfig {
+		die, hbm := grid[i].die, grid[i].hbm
+		w := WaferConfig{
+			Name:           fmt.Sprintf("%s-hbm%d", die.Name, hbm),
+			Die:            die,
+			HBMPerDie:      hbm,
+			HBM:            opts.Chiplet,
+			D2DLinkLatency: 100 * units.Nanosecond,
+			NoCLatency:     20 * units.Nanosecond,
+			Topology:       Mesh2D,
+			WaferEdgeMM:    opts.WaferEdgeMM,
+			HostBandwidth:  160 * units.GB,
+		}
+		site := w.SiteAreaMM2()
+		if site <= 0 {
+			return nil
+		}
+		maxDies := int(math.Floor(w.AreaBudget() / site))
+		if maxDies < 1 {
+			return nil
+		}
+		dx, dy := nearSquareGrid(maxDies)
+		if dx < 1 || dy < 1 {
+			return nil
+		}
+		w.DiesX, w.DiesY = dx, dy
+		if w.Dies() < opts.MinDies || w.Dies() > opts.MaxDies {
+			return nil
+		}
+		if err := w.Validate(); err != nil {
+			return nil
+		}
+		w.Name = fmt.Sprintf("%s-%dx%d", w.Name, dx, dy)
+		return &w
+	})
+	var out []WaferConfig
+	for _, w := range packed {
+		if w != nil {
+			out = append(out, *w)
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -51,9 +51,17 @@ type helperEntry struct {
 
 type helperQueue []*helperEntry
 
-func (q helperQueue) Len() int           { return len(q) }
-func (q helperQueue) Less(i, j int) bool { return q[i].cost < q[j].cost }
-func (q helperQueue) Swap(i, j int)      { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
+func (q helperQueue) Len() int { return len(q) }
+func (q helperQueue) Less(i, j int) bool {
+	// Tie-break equal costs by die coordinate so the allocation is a pure
+	// function of its inputs (the evaluation cache and the parallel search
+	// runtime both rely on run-to-run determinism).
+	if q[i].cost != q[j].cost {
+		return q[i].cost < q[j].cost
+	}
+	return mesh.DieLess(q[i].die, q[j].die)
+}
+func (q helperQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
 func (q *helperQueue) Push(x interface{}) {
 	e := x.(*helperEntry)
 	e.index = len(*q)
@@ -76,13 +84,24 @@ func (q *helperQueue) Pop() interface{} {
 // capacity (Alg 3 lines 5–9).
 func Allocate(m *mesh.Mesh, pl *placement.Placement, requests []Request, budgets []DieBudget, occupied map[mesh.Link]bool) ([]Allocation, error) {
 	free := map[mesh.DieID]float64{}
+	// dieOrder keeps the helper dies in first-seen budget order so the heap
+	// is seeded deterministically (map iteration order is randomised).
+	var dieOrder []mesh.DieID
 	for _, b := range budgets {
 		if b.Free > 0 {
+			if _, seen := free[b.Die]; !seen {
+				dieOrder = append(dieOrder, b.Die)
+			}
 			free[b.Die] += b.Free
 		}
 	}
 	reqs := append([]Request(nil), requests...)
-	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Bytes > reqs[j].Bytes })
+	sort.Slice(reqs, func(i, j int) bool {
+		if reqs[i].Bytes != reqs[j].Bytes {
+			return reqs[i].Bytes > reqs[j].Bytes
+		}
+		return reqs[i].Sender < reqs[j].Sender
+	})
 	var out []Allocation
 	for _, req := range reqs {
 		if req.Bytes <= 0 {
@@ -95,7 +114,8 @@ func Allocate(m *mesh.Mesh, pl *placement.Placement, requests []Request, budgets
 		// Build the priority queue Q of helper dies (Alg 3 line 2).
 		q := &helperQueue{}
 		heap.Init(q)
-		for die, f := range free {
+		for _, die := range dieOrder {
+			f := free[die]
 			if f <= 0 {
 				continue
 			}
@@ -166,11 +186,17 @@ func pathCost(m *mesh.Mesh, from, to mesh.DieID, occupied map[mesh.Link]bool) fl
 func FromPlan(pl *placement.Placement, plan *recompute.Plan, localCapacity func(stage int) float64) ([]Request, []DieBudget) {
 	var reqs []Request
 	overflow := map[int]float64{}
+	var senderOrder []int
 	for _, pr := range plan.Pairs {
+		if _, seen := overflow[pr.Sender]; !seen {
+			senderOrder = append(senderOrder, pr.Sender)
+		}
 		overflow[pr.Sender] += pr.Bytes
 	}
-	for s, b := range overflow {
-		reqs = append(reqs, Request{Sender: s, Bytes: b})
+	// Emit requests in first-seen sender order (not map order) so repeated
+	// runs produce identical allocations.
+	for _, s := range senderOrder {
+		reqs = append(reqs, Request{Sender: s, Bytes: overflow[s]})
 	}
 	var budgets []DieBudget
 	for _, h := range plan.Helpers {

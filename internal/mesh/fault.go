@@ -1,6 +1,11 @@
 package mesh
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
 
 // InjectLinkFault degrades a link by the given fraction (1 = complete
 // failure). Degradation accumulates up to full failure.
@@ -67,6 +72,30 @@ func (m *Mesh) AllLinks() []Link {
 		}
 	}
 	return out
+}
+
+// FaultKey returns a canonical fingerprint of the mesh's fault state: the
+// empty string for a healthy mesh, otherwise a sorted rendering of every
+// degraded link and die. The evaluation cache (internal/search) folds it
+// into its memoization key so that results computed on a degraded mesh are
+// never aliased with healthy-mesh results.
+func (m *Mesh) FaultKey() string {
+	if len(m.linkFaults) == 0 && len(m.dieFaults) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(m.linkFaults)+len(m.dieFaults))
+	for l, d := range m.linkFaults {
+		if d > 0 {
+			parts = append(parts, fmt.Sprintf("L%d,%d>%d,%d=%g", l.From.X, l.From.Y, l.To.X, l.To.Y, d))
+		}
+	}
+	for id, d := range m.dieFaults {
+		if d > 0 {
+			parts = append(parts, fmt.Sprintf("D%d,%d=%g", id.X, id.Y, d))
+		}
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
 }
 
 // InjectRandomLinkFaults degrades a random fraction of links to a random

@@ -17,8 +17,27 @@ type DieID struct{ X, Y int }
 
 func (d DieID) String() string { return fmt.Sprintf("(%d,%d)", d.X, d.Y) }
 
+// DieLess is the canonical (Y, X) total order on dies, shared by every
+// consumer that must iterate deterministically (the evaluation runtime's
+// bit-identical-reports guarantee depends on a single ordering).
+func DieLess(a, b DieID) bool {
+	if a.Y != b.Y {
+		return a.Y < b.Y
+	}
+	return a.X < b.X
+}
+
 // Link identifies a directed D2D link between two adjacent dies.
 type Link struct{ From, To DieID }
+
+// LinkLess is the canonical total order on links (From then To, DieLess
+// order), for deterministic iteration.
+func LinkLess(a, b Link) bool {
+	if a.From != b.From {
+		return DieLess(a.From, b.From)
+	}
+	return DieLess(a.To, b.To)
+}
 
 func (l Link) String() string { return l.From.String() + "->" + l.To.String() }
 

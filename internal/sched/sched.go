@@ -5,6 +5,13 @@
 // configurations to the recomputation and memory schedulers, and evaluates
 // each surviving strategy with the Evaluator to select the configuration
 // with the highest throughput.
+//
+// Candidate evaluation runs on the shared concurrent runtime of
+// internal/search: independent (TP, PP, collective) candidates fan out over
+// a bounded worker pool and strategy evaluations are memoized in the shared
+// LRU cache. Results are deterministic for a fixed Options.Seed regardless
+// of Options.Workers — each candidate derives its own RNG stream and the
+// pool collects results in candidate order.
 package sched
 
 import (
@@ -25,6 +32,7 @@ import (
 	"repro/internal/placement"
 	"repro/internal/predictor"
 	"repro/internal/recompute"
+	"repro/internal/search"
 	"repro/internal/sim"
 )
 
@@ -59,6 +67,48 @@ type Options struct {
 	GAGenerations int
 	// Seed drives the placement optimiser and GA.
 	Seed int64
+	// Workers sizes the candidate-evaluation worker pool: 0 = auto
+	// (GOMAXPROCS), 1 = strictly sequential on the calling goroutine (the
+	// reproducible single-threaded mode for ablations). Results are
+	// identical for every worker count.
+	Workers int
+	// DisableCache bypasses the shared evaluation memoization cache.
+	DisableCache bool
+}
+
+// candidateCacheCapacity bounds the candidate memo. A Candidate is much
+// heavier than a bare sim.Report (placement regions, recompute plan,
+// allocations, per-stage detail, a per-die memory map — tens of KB on a
+// large wafer), so the bound is tighter than search.DefaultCacheCapacity
+// to keep worst-case residency around tens of MB.
+const candidateCacheCapacity = 1024
+
+// candidateCache memoizes whole explored candidates across Search calls:
+// strategy construction (GCMR, placement optimisation, GA) dominates a
+// candidate's cost, so caching only the final evaluation would leave most
+// of the repeated work on the table. Cached candidates (and the strategies
+// they reference) are shared and must be treated as read-only.
+var candidateCache = search.NewLRU[Candidate](candidateCacheCapacity)
+
+// CacheStats reports the candidate-level memoization counters.
+func CacheStats() search.CacheStats { return candidateCache.Stats() }
+
+// ResetCache clears the candidate-level memoization cache (benchmarks and
+// tests that measure cold-start behaviour).
+func ResetCache() { candidateCache.Reset() }
+
+// candidateKey is the canonical fingerprint of one exploration point: the
+// wafer architecture, model, workload, predictor identity, (TP, PP)
+// factorisation, collective algorithm, every result-affecting option, and
+// the candidate's derived RNG seed (placement/GA stream). Worker count and
+// cache policy are excluded — results are invariant to both.
+func candidateKey(w hw.WaferConfig, spec model.Spec, work model.Workload, pred predictor.Predictor,
+	tp, pp int, coll collective.Algorithm, opts Options, candSeed int64) string {
+	norm := opts
+	norm.Workers = 0
+	norm.DisableCache = false
+	return fmt.Sprintf("w=%+v|s=%+v|wl=%+v|p=%d|tp=%d|pp=%d|c=%d|o=%+v|cs=%d",
+		w, spec, work, search.PredictorID(pred), tp, pp, coll, norm, candSeed)
 }
 
 // Candidate records one explored configuration.
@@ -96,7 +146,6 @@ func Search(w hw.WaferConfig, spec model.Spec, work model.Workload, pred predict
 	if len(collectives) == 0 {
 		collectives = []collective.Algorithm{collective.BiRing}
 	}
-	rng := rand.New(rand.NewSource(opts.Seed + 1))
 
 	res := &Result{}
 	// Alg 1 line 1–2: prune when modelP exceeds the wafer's aggregate
@@ -106,6 +155,13 @@ func Search(w hw.WaferConfig, spec model.Spec, work model.Workload, pred predict
 			spec.ModelPBytes()/1e9, float64(w.TotalDies())*w.DieDRAM()/1e9)
 	}
 
+	// Enumerate the candidate (TP, PP, collective) jobs up front so they
+	// can fan out over the worker pool with a stable order.
+	type job struct {
+		tp, pp int
+		coll   collective.Algorithm
+	}
+	var jobs []job
 	for _, tpPP := range factorisations(dies, maxTP, spec.Layers, opts) {
 		tp, pp := tpPP[0], tpPP[1]
 		for _, coll := range collectives {
@@ -115,19 +171,58 @@ func Search(w hw.WaferConfig, spec model.Spec, work model.Workload, pred predict
 			if tp > 2 && tp%2 == 1 && coll != collective.RingBiOdd && coll != collective.TACOS {
 				continue
 			}
-			cand := explore(w, m, spec, work, pred, tp, pp, coll, opts, rng)
-			res.Explored = append(res.Explored, cand)
-			if cand.Pruned {
-				res.PrunedCount++
-				continue
+			jobs = append(jobs, job{tp: tp, pp: pp, coll: coll})
+		}
+	}
+
+	ev := search.New(opts.DisableCache)
+	runner := search.NewRunner(opts.Workers)
+	// Parallelism is applied at one level: when several candidates fan out
+	// concurrently, each candidate's GA scores its population sequentially
+	// (nesting pools would run up to Workers² CPU-bound goroutines). A
+	// single-candidate search (FixedTP/FixedPP) hands the pool to the GA
+	// instead. Results are worker-count invariant either way.
+	exploreOpts := opts
+	if len(jobs) > 1 {
+		exploreOpts.Workers = 1
+	}
+	res.Explored = search.Map(runner, len(jobs), func(i int) Candidate {
+		j := jobs[i]
+		// Each candidate owns a deterministic RNG stream derived from the
+		// search seed and its job index, so the result is byte-identical
+		// for every worker count.
+		candSeed := opts.Seed + 1 + int64(i)*1000003
+		// Candidate-level memoization: the full exploration of one
+		// (TP, PP, collective) point — recompute planning, placement
+		// optimisation, GA refinement and evaluation — is a pure function
+		// of its fingerprint, so repeated searches (baselines, ablations,
+		// figure points sharing configurations) skip it entirely.
+		var key string
+		if !opts.DisableCache {
+			key = candidateKey(w, spec, work, pred, j.tp, j.pp, j.coll, opts, candSeed)
+			if cand, ok := candidateCache.Get(key); ok {
+				return cand
 			}
-			if cand.Err != nil {
-				continue
-			}
-			if res.Best == nil || cand.Report.Throughput > res.Best.Report.Throughput {
-				c := cand
-				res.Best = &c
-			}
+		}
+		rng := rand.New(rand.NewSource(candSeed))
+		cand := explore(w, m, spec, work, pred, j.tp, j.pp, j.coll, exploreOpts, rng, ev)
+		if !opts.DisableCache {
+			candidateCache.Put(key, cand)
+		}
+		return cand
+	})
+	for i := range res.Explored {
+		cand := res.Explored[i]
+		if cand.Pruned {
+			res.PrunedCount++
+			continue
+		}
+		if cand.Err != nil {
+			continue
+		}
+		if res.Best == nil || cand.Report.Throughput > res.Best.Report.Throughput {
+			c := cand
+			res.Best = &c
 		}
 	}
 	if res.Best == nil {
@@ -187,7 +282,8 @@ func factorisations(dies, maxTP, layers int, opts Options) [][2]int {
 }
 
 func explore(w hw.WaferConfig, m *mesh.Mesh, spec model.Spec, work model.Workload,
-	pred predictor.Predictor, tp, pp int, coll collective.Algorithm, opts Options, rng *rand.Rand) Candidate {
+	pred predictor.Predictor, tp, pp int, coll collective.Algorithm, opts Options,
+	rng *rand.Rand, ev search.Evaluator) Candidate {
 
 	cand := Candidate{TP: tp, PP: pp, Collective: coll}
 	mp := tp * pp
@@ -287,6 +383,7 @@ func explore(w hw.WaferConfig, m *mesh.Mesh, spec model.Spec, work model.Workloa
 			}
 			if gaRes, err := ga.Optimize(prob, ga.SeedFromPlan(plan, pp), ga.Options{
 				Omega: omega, Generations: gens, Seed: opts.Seed,
+				Workers: opts.Workers,
 			}); err == nil {
 				refined := applyGenome(gaRes.Best, profiles, plan)
 				if refined != nil {
@@ -311,7 +408,7 @@ func explore(w hw.WaferConfig, m *mesh.Mesh, spec model.Spec, work model.Workloa
 		}
 	}
 
-	report, err := sim.Evaluate(cfg, m, strat)
+	report, err := ev.Evaluate(cfg, m, strat)
 	if err != nil {
 		cand.Err = err
 		return cand

@@ -1,0 +1,88 @@
+// Package pool provides the bounded worker pool underlying the concurrent
+// evaluation runtime of internal/search. It is deliberately dependency-free
+// so that leaf packages (e.g. internal/hw's architecture enumerator) can fan
+// work out without importing the evaluation stack and creating an import
+// cycle.
+//
+// Determinism contract: Run/Map execute fn(i) for every i in [0, n) exactly
+// once and collect results by index, so the output of a parallel run is
+// byte-identical to a sequential one as long as fn(i) depends only on i.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Runner is a bounded worker pool. The zero value runs with GOMAXPROCS
+// workers; Workers pins the width (1 = strictly sequential, no goroutines,
+// preserving single-threaded behaviour for reproducible ablations).
+type Runner struct {
+	// Workers is the pool width; <=0 selects GOMAXPROCS.
+	Workers int
+}
+
+// New returns a Runner with the given width (<=0 = GOMAXPROCS).
+func New(workers int) *Runner { return &Runner{Workers: workers} }
+
+// width resolves the effective worker count for n tasks.
+func (r *Runner) width(n int) int {
+	w := 0
+	if r != nil {
+		w = r.Workers
+	}
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Run executes fn(i) for every i in [0, n). With one worker it runs inline
+// on the calling goroutine in index order; otherwise tasks are distributed
+// over the pool and Run returns once all complete.
+func (r *Runner) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := r.width(n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn over [0, n) on the pool and returns the results in index
+// order, making parallel output identical to sequential output.
+func Map[T any](r *Runner, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	r.Run(n, func(i int) { out[i] = fn(i) })
+	return out
+}

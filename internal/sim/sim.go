@@ -9,6 +9,7 @@ package sim
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/memalloc"
@@ -285,8 +286,17 @@ func memoryMap(cfg engine.Config, m *mesh.Mesh, strat Strategy, n int) (map[mesh
 			perDie[a.Die] += a.Bytes
 		}
 	}
+	// Iterate dies in sorted order: the mean-utilisation float sum and the
+	// first-reported OOM die must not depend on map iteration order (the
+	// evaluation cache and parallel search rely on bit-identical reports).
+	dies := make([]mesh.DieID, 0, len(perDie))
+	for d := range perDie {
+		dies = append(dies, d)
+	}
+	sort.Slice(dies, func(i, j int) bool { return mesh.DieLess(dies[i], dies[j]) })
 	var sum float64
-	for d, used := range perDie {
+	for _, d := range dies {
+		used := perDie[d]
 		if used > capacity*1.0001 {
 			return nil, 0, fmt.Errorf("sim: die %v OOM: %.1f GB used, %.1f GB capacity", d, used/1e9, capacity/1e9)
 		}
