@@ -1,0 +1,19 @@
+.PHONY: build test race bench figures
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Tier-2 performance trajectory: runs the benchmark suite in-process with
+# -benchmem semantics and writes BENCH_pr2.json (ns/op, allocs/op, B/op per
+# benchmark, plus the speedup vs the recorded PR-1 baseline).
+bench:
+	go run ./cmd/bench -out BENCH_pr2.json
+
+figures:
+	go run ./cmd/figures

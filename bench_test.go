@@ -10,6 +10,7 @@ import (
 	"testing"
 
 	"repro/internal/collective"
+	"repro/internal/engine"
 	"repro/internal/experiments"
 	"repro/internal/hw"
 	"repro/internal/mesh"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/recompute"
 	"repro/internal/sched"
 	"repro/internal/search"
+	"repro/internal/sim"
 )
 
 // benchExperiment runs one figure/table runner per iteration.
@@ -250,6 +252,53 @@ func BenchmarkSearchCacheHitRate(b *testing.B) {
 		rate = sched.CacheStats().HitRate()
 	}
 	b.ReportMetric(rate*100, "cache-hit-%")
+}
+
+// benchStrategy returns a fixed (config, mesh, strategy) triple — the best
+// Llama2-30B strategy on Config3 — for evaluator micro-benchmarks.
+func benchStrategy(b *testing.B) (engine.Config, *mesh.Mesh, sim.Strategy) {
+	b.Helper()
+	res, err := sched.Search(hw.Config3(), model.Llama2_30B(), benchWork(), benchPred,
+		sched.Options{FixedTP: 4, FixedPP: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := engine.Config{
+		Wafer: hw.Config3(), Spec: model.Llama2_30B(), Workload: benchWork(),
+		TP: res.Best.TP, PP: res.Best.PP, Collective: res.Best.Collective, Predictor: benchPred,
+	}
+	return cfg, mesh.New(hw.Config3()), res.Best.Strategy
+}
+
+// BenchmarkEvaluateCold measures one cache-cold sim.Evaluate — the inner
+// loop of every search — with the collective plan store cleared each
+// iteration, so ring embedding and routing are included.
+func BenchmarkEvaluateCold(b *testing.B) {
+	cfg, m, strat := benchStrategy(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		collective.ResetPlanCache()
+		if _, err := sim.Evaluate(cfg, m, strat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateWarm measures sim.Evaluate with warm collective plans —
+// the steady-state per-candidate cost inside one search.
+func BenchmarkEvaluateWarm(b *testing.B) {
+	cfg, m, strat := benchStrategy(b)
+	if _, err := sim.Evaluate(cfg, m, strat); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Evaluate(cfg, m, strat); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkPredictor measures lookup-table hit latency (§IV-F "negligible

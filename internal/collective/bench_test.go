@@ -1,0 +1,80 @@
+package collective
+
+import (
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/mesh"
+)
+
+// BenchmarkAllReducePlan measures a plan-cache-warm all-reduce — the cost
+// the evaluator pays per stage once a collective's structure is memoized:
+// one dense-vector scale, no routing, no maps.
+func BenchmarkAllReducePlan(b *testing.B) {
+	m := mesh.New(hw.Config3())
+	group := Rectangle(0, 0, 4, 2)
+	if _, err := AllReduce(m, group, 1e9, BiRing); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AllReduce(m, group, 1e9, BiRing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllReducePlanCold measures the same all-reduce with the plan
+// store cleared every iteration: ring embedding, routing and bandwidth
+// snapshotting included.
+func BenchmarkAllReducePlanCold(b *testing.B) {
+	m := mesh.New(hw.Config3())
+	group := Rectangle(0, 0, 4, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ResetPlanCache()
+		if _, err := AllReduce(m, group, 1e9, BiRing); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAllReducePlanAllocs pins the allocation count of the warm plan path:
+// the per-call work is one dense load vector plus the Result wrapper. The
+// pre-plan implementation allocated per ring edge, per path and per map
+// entry (hundreds of allocations on an 8-die group).
+func TestAllReducePlanAllocs(t *testing.T) {
+	m := mesh.New(hw.Config3())
+	group := Rectangle(0, 0, 4, 2)
+	if _, err := AllReduce(m, group, 1e9, BiRing); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AllReduce(m, group, 1e9, BiRing); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("warm plan AllReduce allocates %.0f objects per call, want <= 8", allocs)
+	}
+}
+
+// TestTwoDPlanAllocs pins the warm 2D-TP path, which composes several ring
+// sub-plans into one dense vector.
+func TestTwoDPlanAllocs(t *testing.T) {
+	m := mesh.New(hw.Config3())
+	group := Rectangle(0, 0, 4, 4)
+	if _, err := AllReduce(m, group, 1e9, TwoD); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := AllReduce(m, group, 1e9, TwoD); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Errorf("warm plan 2D all-reduce allocates %.0f objects per call, want <= 8", allocs)
+	}
+}

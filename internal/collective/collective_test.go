@@ -150,11 +150,11 @@ func TestLinkLoadsRecorded(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.LinkBytes) == 0 {
+	if len(r.LinkBytes()) == 0 {
 		t.Fatal("no link loads recorded")
 	}
 	var total float64
-	for _, b := range r.LinkBytes {
+	for _, b := range r.LinkBytes() {
 		if b < 0 {
 			t.Fatal("negative link load")
 		}

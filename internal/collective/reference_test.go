@@ -1,0 +1,218 @@
+package collective
+
+// This file preserves the pre-plan, map-based collective implementation as an
+// internal reference. The equivalence tests assert that the dense plan-based
+// AllReduce/AllGather produce exactly the same time, step count and per-link
+// traffic as this reference for every algorithm, group shape and fault
+// pattern. It is test-only code and does not ship in the build; once a few
+// PRs of mileage confirm the plan path, it can be deleted.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/mesh"
+)
+
+// referenceResult mirrors the pre-refactor Result shape.
+type referenceResult struct {
+	Time      float64
+	Steps     int
+	LinkBytes map[mesh.Link]float64
+}
+
+func referenceAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64, algo Algorithm) (referenceResult, error) {
+	n := len(group)
+	if n == 0 {
+		return referenceResult{}, fmt.Errorf("collective: empty group")
+	}
+	if n == 1 || bytes <= 0 {
+		return referenceResult{LinkBytes: map[mesh.Link]float64{}}, nil
+	}
+	switch algo {
+	case Ring:
+		if n%2 == 1 && n > 2 {
+			return referenceResult{}, fmt.Errorf("collective: naive ring cannot handle odd group size %d (use RingBiOdd or TACOS)", n)
+		}
+		return referenceRingAllReduce(m, group, bytes, false)
+	case BiRing:
+		if n%2 == 1 && n > 2 {
+			return referenceResult{}, fmt.Errorf("collective: bidirectional ring cannot handle odd group size %d (use RingBiOdd or TACOS)", n)
+		}
+		return referenceRingAllReduce(m, group, bytes, true)
+	case RingBiOdd:
+		r, err := referenceRingAllReduce(m, group, bytes, true)
+		if err != nil {
+			return r, err
+		}
+		if n%2 == 1 {
+			r.Time *= 1 + 1/float64(n)
+		}
+		return r, nil
+	case TwoD:
+		return referenceTwoDAllReduce(m, group, bytes)
+	case TACOS:
+		return referenceTacosAllReduce(m, group, bytes)
+	case Multitree:
+		r, err := referenceTacosAllReduce(m, group, bytes)
+		if err != nil {
+			return r, err
+		}
+		r.Time *= 1.1
+		return r, nil
+	default:
+		return referenceResult{}, fmt.Errorf("collective: unknown algorithm %v", algo)
+	}
+}
+
+func referenceAllGather(m *mesh.Mesh, group []mesh.DieID, bytes float64, algo Algorithm) (referenceResult, error) {
+	n := len(group)
+	if n <= 1 || bytes <= 0 {
+		return referenceResult{LinkBytes: map[mesh.Link]float64{}}, nil
+	}
+	full, err := referenceAllReduce(m, group, bytes, algo)
+	if err != nil {
+		return full, err
+	}
+	full.Time /= 2
+	full.Steps = (full.Steps + 1) / 2
+	for l := range full.LinkBytes {
+		full.LinkBytes[l] /= 2
+	}
+	return full, nil
+}
+
+func referenceRingAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64, bidirectional bool) (referenceResult, error) {
+	n := len(group)
+	order := ringOrder(group)
+	chunk := bytes / float64(n)
+	steps := 2 * (n - 1)
+
+	if bidirectional {
+		chunk /= 2
+	}
+
+	loads := map[mesh.Link]float64{}
+	stepLoad := map[mesh.Link]float64{}
+	maxHops := 0
+	addEdge := func(a, b mesh.DieID) error {
+		paths := m.ShortestPaths(a, b)
+		if len(paths) == 0 {
+			return fmt.Errorf("collective: no path %v->%v", a, b)
+		}
+		p := paths[0]
+		if len(p) > maxHops {
+			maxHops = len(p)
+		}
+		for _, l := range p {
+			stepLoad[l] += chunk
+		}
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		a, b := order[i], order[(i+1)%n]
+		if err := addEdge(a, b); err != nil {
+			return referenceResult{}, err
+		}
+		if bidirectional {
+			if err := addEdge(b, a); err != nil {
+				return referenceResult{}, err
+			}
+		}
+	}
+	var worst float64
+	for l, b := range stepLoad {
+		bw := m.EffectiveLinkBandwidth(l)
+		if bw <= 0 {
+			return referenceResult{}, fmt.Errorf("collective: ring edge uses dead link %v", l)
+		}
+		if t := b / bw; t > worst {
+			worst = t
+		}
+	}
+	stepTime := worst + float64(maxHops)*m.LinkLatency
+	for l, b := range stepLoad {
+		loads[l] = b * float64(steps)
+	}
+	return referenceResult{Time: float64(steps) * stepTime, Steps: steps, LinkBytes: loads}, nil
+}
+
+func referenceTwoDAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64) (referenceResult, error) {
+	rows := map[int][]mesh.DieID{}
+	cols := map[int][]mesh.DieID{}
+	for _, d := range group {
+		rows[d.Y] = append(rows[d.Y], d)
+		cols[d.X] = append(cols[d.X], d)
+	}
+	total := referenceResult{LinkBytes: map[mesh.Link]float64{}}
+	phase := func(groups map[int][]mesh.DieID, vol float64) error {
+		var phaseTime float64
+		keys := make([]int, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Ints(keys)
+		for _, k := range keys {
+			g := groups[k]
+			if len(g) < 2 {
+				continue
+			}
+			r, err := referenceRingAllReduce(m, g, vol, true)
+			if err != nil {
+				return err
+			}
+			if r.Time > phaseTime {
+				phaseTime = r.Time
+			}
+			for l, b := range r.LinkBytes {
+				total.LinkBytes[l] += b
+			}
+			total.Steps += r.Steps
+		}
+		total.Time += phaseTime
+		return nil
+	}
+	if err := phase(rows, bytes); err != nil {
+		return referenceResult{}, err
+	}
+	if err := phase(cols, bytes); err != nil {
+		return referenceResult{}, err
+	}
+	return total, nil
+}
+
+func referenceTacosAllReduce(m *mesh.Mesh, group []mesh.DieID, bytes float64) (referenceResult, error) {
+	n := len(group)
+	inGroup := map[mesh.DieID]bool{}
+	for _, d := range group {
+		inGroup[d] = true
+	}
+	minDeg := math.MaxInt32
+	links := map[mesh.Link]bool{}
+	for _, d := range group {
+		deg := 0
+		for _, nb := range []mesh.DieID{{X: d.X + 1, Y: d.Y}, {X: d.X - 1, Y: d.Y}, {X: d.X, Y: d.Y + 1}, {X: d.X, Y: d.Y - 1}} {
+			if inGroup[nb] && m.EffectiveLinkBandwidth(mesh.Link{From: d, To: nb}) > 0 {
+				deg++
+				links[mesh.Link{From: d, To: nb}] = true
+			}
+		}
+		if deg < minDeg {
+			minDeg = deg
+		}
+	}
+	if minDeg == 0 || minDeg == math.MaxInt32 {
+		return referenceResult{}, fmt.Errorf("collective: group is disconnected for TACOS")
+	}
+	wire := 2 * float64(n-1) / float64(n) * bytes
+	eff := float64(minDeg) * m.LinkBandwidth * 0.9
+	steps := 2 * (n - 1)
+	t := wire/eff + float64(steps)*m.LinkLatency
+	loads := map[mesh.Link]float64{}
+	per := wire * float64(n) / float64(len(links))
+	for l := range links {
+		loads[l] = per
+	}
+	return referenceResult{Time: t, Steps: steps, LinkBytes: loads}, nil
+}

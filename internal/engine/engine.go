@@ -122,6 +122,7 @@ func StageCosts(cfg Config, m *mesh.Mesh, pl *placement.Placement, extraBwd []fl
 		region := pl.Regions[s].Dies
 		var arFwd, arBwd float64
 		var linkBytes map[mesh.Link]float64
+		var busyVec []float64
 		var meanUtil float64
 		if cfg.TP > 1 && arBytes > 0 {
 			// op.AllReduceBytes already carries the 2(t−1)/t wire factor
@@ -133,7 +134,8 @@ func StageCosts(cfg Config, m *mesh.Mesh, pl *placement.Placement, extraBwd []fl
 			}
 			arFwd = res.Time
 			arBwd = res.Time // backward mirrors the forward collectives
-			linkBytes = res.LinkBytes
+			linkBytes = res.LinkBytes()
+			busyVec = res.Loads.Vec()
 			meanUtil = res.MeanLinkUtilization(m)
 		}
 		fwd := fwdLayer*float64(layers[s]) + arFwd*float64(layers[s])
@@ -149,7 +151,7 @@ func StageCosts(cfg Config, m *mesh.Mesh, pl *placement.Placement, extraBwd []fl
 		if s+1 < cfg.PP {
 			a := pl.Regions[s].Anchor()
 			b := pl.Regions[s+1].Anchor()
-			t := bestPathTime(m, a, b, boundaryBytes, linkBytes)
+			t := bestPathTime(m, a, b, boundaryBytes, busyVec)
 			commFwd = t
 			commBwd = t // gradient of the boundary tensor, same size
 		}
@@ -178,8 +180,9 @@ func arFactor(tp int) float64 {
 
 // bestPathTime routes an inter-stage transfer over the lowest-cost shortest
 // path, punishing links already carrying TP collective traffic (the PP
-// engine's contention-avoiding link assignment, Fig 13 step 4).
-func bestPathTime(m *mesh.Mesh, a, b mesh.DieID, bytes float64, busy map[mesh.Link]float64) float64 {
+// engine's contention-avoiding link assignment, Fig 13 step 4). busy is the
+// dense per-link traffic vector of the stage's collective (nil = idle).
+func bestPathTime(m *mesh.Mesh, a, b mesh.DieID, bytes float64, busy []float64) float64 {
 	if a == b {
 		return 0
 	}
@@ -189,11 +192,17 @@ func bestPathTime(m *mesh.Mesh, a, b mesh.DieID, bytes float64, busy map[mesh.Li
 		var penalty float64
 		minBW := math.Inf(1)
 		for _, l := range p {
-			bw := m.EffectiveLinkBandwidth(l)
+			idx := m.LinkIndex(l)
+			var bw float64
+			if idx >= 0 {
+				bw = m.EffBW(idx)
+			} else {
+				bw = m.EffectiveLinkBandwidth(l)
+			}
 			if bw < minBW {
 				minBW = bw
 			}
-			if busy != nil && busy[l] > 0 {
+			if busy != nil && idx >= 0 && busy[idx] > 0 {
 				penalty += 0.5 // occupied-link punishment factor
 			}
 		}

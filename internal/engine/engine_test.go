@@ -114,9 +114,9 @@ func TestBestPathTimeAvoidsBusyLinks(t *testing.T) {
 	m := mesh.New(hw.Config3())
 	a, b := mesh.DieID{X: 0, Y: 0}, mesh.DieID{X: 2, Y: 2}
 	clean := bestPathTime(m, a, b, 1e9, nil)
-	busy := map[mesh.Link]float64{}
+	busy := make([]float64, m.NumLinks())
 	for _, l := range m.XYPath(a, b) {
-		busy[l] = 1
+		busy[m.LinkIndex(l)] = 1
 	}
 	avoided := bestPathTime(m, a, b, 1e9, busy)
 	// The YX alternative is clean, so the penalty should be avoided

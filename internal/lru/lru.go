@@ -1,0 +1,106 @@
+// Package lru provides the thread-safe, generic LRU memoization cache shared
+// by the evaluation runtime (internal/search), the scheduler's candidate memo
+// (internal/sched) and the collective plan store (internal/collective). It is
+// a dependency-free leaf package so that leaf packages of the simulation
+// stack can memoize without importing the search runtime (which would cycle
+// through engine → collective).
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a snapshot of cache effectiveness counters.
+type Stats struct {
+	Hits, Misses uint64
+	Size         int
+}
+
+// HitRate returns hits / (hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Cache is a thread-safe, generic LRU memoization cache with hit/miss
+// counters. Values are stored by value/shared reference and must be treated
+// as read-only by consumers.
+type Cache[V any] struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+	hits     uint64
+	misses   uint64
+}
+
+type entry[V any] struct {
+	key   string
+	value V
+}
+
+// New returns a Cache bounded to capacity entries; capacity must be > 0.
+func New[V any](capacity int) *Cache[V] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Cache[V]{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the memoized value for the key, counting a hit or miss.
+func (c *Cache[V]) Get(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*entry[V]).value, true
+}
+
+// Put stores a value, evicting the least recently used entries beyond the
+// capacity bound.
+func (c *Cache[V]) Put(key string, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*entry[V]).value = v
+		return
+	}
+	el := c.order.PushFront(&entry[V]{key: key, value: v})
+	c.entries[key] = el
+	for c.order.Len() > c.capacity {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.entries, last.Value.(*entry[V]).key)
+	}
+}
+
+// Stats snapshots the hit/miss counters and current size.
+func (c *Cache[V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{Hits: c.hits, Misses: c.misses, Size: c.order.Len()}
+}
+
+// Reset drops all entries and zeroes the counters.
+func (c *Cache[V]) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[string]*list.Element)
+	c.order = list.New()
+	c.hits, c.misses = 0, 0
+}

@@ -62,12 +62,12 @@ func (q helperQueue) Less(i, j int) bool {
 	return mesh.DieLess(q[i].die, q[j].die)
 }
 func (q helperQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i]; q[i].index = i; q[j].index = j }
-func (q *helperQueue) Push(x interface{}) {
+func (q *helperQueue) Push(x any) {
 	e := x.(*helperEntry)
 	e.index = len(*q)
 	*q = append(*q, e)
 }
-func (q *helperQueue) Pop() interface{} {
+func (q *helperQueue) Pop() any {
 	old := *q
 	n := len(old)
 	e := old[n-1]
@@ -81,8 +81,9 @@ func (q *helperQueue) Pop() interface{} {
 // (punished by conflicts with pipeline paths), and capacity is drawn from
 // the cheapest dies until the overflow is covered. Budgets are shared
 // across senders; partially drained dies are re-inserted with their reduced
-// capacity (Alg 3 lines 5–9).
-func Allocate(m *mesh.Mesh, pl *placement.Placement, requests []Request, budgets []DieBudget, occupied map[mesh.Link]bool) ([]Allocation, error) {
+// capacity (Alg 3 lines 5–9). occupied is the dense set of links already
+// carrying pipeline traffic (nil = none).
+func Allocate(m *mesh.Mesh, pl *placement.Placement, requests []Request, budgets []DieBudget, occupied *mesh.LinkSet) ([]Allocation, error) {
 	free := map[mesh.DieID]float64{}
 	// dieOrder keeps the helper dies in first-seen budget order so the heap
 	// is seeded deterministically (map iteration order is randomised).
@@ -153,7 +154,7 @@ func Allocate(m *mesh.Mesh, pl *placement.Placement, requests []Request, budgets
 
 // pathCost ranks a helper die for a sender: hop distance punished by (1+γ)
 // conflicts against existing pipeline paths; dead routes are +inf-like.
-func pathCost(m *mesh.Mesh, from, to mesh.DieID, occupied map[mesh.Link]bool) float64 {
+func pathCost(m *mesh.Mesh, from, to mesh.DieID, occupied *mesh.LinkSet) float64 {
 	if from == to {
 		return 0
 	}
@@ -169,7 +170,10 @@ func pathCost(m *mesh.Mesh, from, to mesh.DieID, occupied map[mesh.Link]bool) fl
 		if !usable {
 			continue
 		}
-		gamma := mesh.Conflicts(p, occupied)
+		gamma := 0
+		if occupied != nil {
+			gamma = m.PathConflicts(p, occupied)
+		}
 		c := float64(len(p)) * (1 + float64(gamma))
 		if best < 0 || c < best {
 			best = c

@@ -102,10 +102,8 @@ func TestAllocateAvoidsConflictedPaths(t *testing.T) {
 	// Occupy the direct row between stage 0 and its right neighbours; the
 	// allocator should then prefer dies reachable without conflicts when
 	// cost-equivalent capacity exists elsewhere.
-	occupied := map[mesh.Link]bool{}
-	for _, l := range m.XYPath(pl.Regions[0].Anchor(), pl.Regions[1].Anchor()) {
-		occupied[l] = true
-	}
+	occupied := m.NewLinkSet()
+	m.AddPath(occupied, m.XYPath(pl.Regions[0].Anchor(), pl.Regions[1].Anchor()))
 	reqs := []Request{{Sender: 0, Bytes: 2e9}}
 	budgets := append(budgetsFor(pl, []int{1}, 5e9), budgetsFor(pl, []int{2}, 5e9)...)
 	allocs, err := Allocate(m, pl, reqs, budgets, occupied)

@@ -18,6 +18,7 @@ func (m *Mesh) InjectLinkFault(l Link, degradation float64) {
 		d = 1
 	}
 	m.linkFaults[l] = d
+	m.refreshFaultState()
 }
 
 // InjectDieFault degrades a die's compute capability by the given fraction.
@@ -33,6 +34,7 @@ func (m *Mesh) InjectDieFault(d DieID, degradation float64) {
 		m.deadDies[d] = true
 	}
 	m.dieFaults[d] = f
+	m.refreshFaultState()
 }
 
 // DieHealth returns the remaining compute fraction of a die in [0,1].

@@ -3,6 +3,13 @@
 // shortest-path enumeration, per-link load accounting for congestion, the
 // conflict factor γ of Eq 2, the mesh-switch hybrid topology of §VI-E, and
 // the link/die fault model of §VI-D.
+//
+// Every die and directed link carries a stable small-integer ID assigned at
+// New() (DieIndex/LinkIndex), load accounting runs on dense []float64
+// vectors instead of map[Link]float64, and shortest paths are interned once
+// per mesh so the hot path of the evaluator performs no per-call map
+// operations or path allocations. Paths returned by XYPath/YXPath/
+// ShortestPaths are shared, read-only slices — callers must not modify them.
 package mesh
 
 import (
@@ -19,7 +26,8 @@ func (d DieID) String() string { return fmt.Sprintf("(%d,%d)", d.X, d.Y) }
 
 // DieLess is the canonical (Y, X) total order on dies, shared by every
 // consumer that must iterate deterministically (the evaluation runtime's
-// bit-identical-reports guarantee depends on a single ordering).
+// bit-identical-reports guarantee depends on a single ordering). DieIndex
+// enumerates dies in exactly this order.
 func DieLess(a, b DieID) bool {
 	if a.Y != b.Y {
 		return a.Y < b.Y
@@ -31,7 +39,9 @@ func DieLess(a, b DieID) bool {
 type Link struct{ From, To DieID }
 
 // LinkLess is the canonical total order on links (From then To, DieLess
-// order), for deterministic iteration.
+// order), for deterministic iteration. LinkIndex enumerates links in exactly
+// this order, so ascending-index iteration over a dense link vector visits
+// links in canonical order.
 func LinkLess(a, b Link) bool {
 	if a.From != b.From {
 		return DieLess(a.From, b.From)
@@ -43,6 +53,24 @@ func (l Link) String() string { return l.From.String() + "->" + l.To.String() }
 
 // Reverse returns the opposite-direction link.
 func (l Link) Reverse() Link { return Link{From: l.To, To: l.From} }
+
+// maxInternedDies bounds the eager all-pairs path interning: beyond this the
+// quadratic table would dominate memory, so paths are built per call (the
+// legacy behaviour). Every wafer in the paper's design space is far below
+// this bound.
+const maxInternedDies = 160
+
+// dirDelta enumerates the four mesh neighbours of a die in canonical DieLess
+// order of the neighbour: up (Y-1), left (X-1), right (X+1), down (Y+1).
+// Keeping this order is what makes LinkIndex ascend in LinkLess order.
+var dirDelta = [4][2]int{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
+
+// pathEntry interns the routes of one ordered die pair.
+type pathEntry struct {
+	xy, yx []Link
+	sp     [2][]Link
+	spLen  int
+}
 
 // Mesh is a wafer's interconnect state: topology, per-link bandwidth and
 // accumulated load, and fault status.
@@ -60,11 +88,22 @@ type Mesh struct {
 	// for the MeshSwitch topology (0 = whole mesh, no switch).
 	SwitchGroupCols int
 
-	load       map[Link]float64
-	switchLoad float64
-	linkFaults map[Link]float64 // degradation in [0,1]; 1 = dead
-	dieFaults  map[DieID]float64
-	deadDies   map[DieID]bool
+	nDies   int
+	links   []Link  // canonical LinkLess order; LinkAt(i) = links[i]
+	linkIdx []int32 // [dieIndex*4+dir] -> link ID, -1 when off-mesh
+
+	effBW     []float64 // per-link effective bandwidth (fault-adjusted)
+	deadDense []bool    // per-die dead flag
+
+	load         []float64 // dense per-link accumulated bytes
+	overflowLoad map[Link]float64
+	switchLoad   float64
+	linkFaults   map[Link]float64 // degradation in [0,1]; 1 = dead
+	dieFaults    map[DieID]float64
+	deadDies     map[DieID]bool
+
+	paths []pathEntry // interned all-pairs routes (nil above maxInternedDies)
+	sig   string      // topology+fault signature, rebuilt on fault injection
 }
 
 // New creates a mesh for the wafer configuration.
@@ -76,7 +115,6 @@ func New(w hw.WaferConfig) *Mesh {
 		LinkLatency:     w.D2DLinkLatency,
 		Topology:        w.Topology,
 		SwitchBandwidth: w.SwitchBandwidth,
-		load:            map[Link]float64{},
 		linkFaults:      map[Link]float64{},
 		dieFaults:       map[DieID]float64{},
 		deadDies:        map[DieID]bool{},
@@ -86,11 +124,134 @@ func New(w hw.WaferConfig) *Mesh {
 		// modelled here as SwitchGroupCols columns per group.
 		m.SwitchGroupCols = w.DiesX
 	}
+	m.buildTopology()
+	m.internPaths()
+	m.refreshFaultState()
 	return m
 }
 
+// buildTopology assigns the dense die and link IDs.
+func (m *Mesh) buildTopology() {
+	m.nDies = m.Cols * m.Rows
+	if m.nDies < 0 {
+		m.nDies = 0
+	}
+	m.linkIdx = make([]int32, m.nDies*4)
+	for i := range m.linkIdx {
+		m.linkIdx[i] = -1
+	}
+	m.links = make([]Link, 0, 2*(m.Cols*(m.Rows-1)+m.Rows*(m.Cols-1)))
+	for di := 0; di < m.nDies; di++ {
+		d := m.DieAt(di)
+		for dir, delta := range dirDelta {
+			nb := DieID{X: d.X + delta[0], Y: d.Y + delta[1]}
+			if m.Contains(nb) {
+				m.linkIdx[di*4+dir] = int32(len(m.links))
+				m.links = append(m.links, Link{From: d, To: nb})
+			}
+		}
+	}
+	m.load = make([]float64, len(m.links))
+	m.effBW = make([]float64, len(m.links))
+	m.deadDense = make([]bool, m.nDies)
+}
+
+// internPaths precomputes the XY/YX routes of every ordered die pair so the
+// routing hot path returns shared slices instead of reallocating.
+func (m *Mesh) internPaths() {
+	if m.nDies > maxInternedDies {
+		return
+	}
+	m.paths = make([]pathEntry, m.nDies*m.nDies)
+	for ai := 0; ai < m.nDies; ai++ {
+		a := m.DieAt(ai)
+		for bi := 0; bi < m.nDies; bi++ {
+			b := m.DieAt(bi)
+			e := &m.paths[ai*m.nDies+bi]
+			e.xy = m.buildXYPath(a, b)
+			e.yx = m.buildYXPath(a, b)
+			e.sp[0] = e.xy
+			e.spLen = 1
+			if a.X != b.X && a.Y != b.Y {
+				e.sp[1] = e.yx
+				e.spLen = 2
+			}
+		}
+	}
+}
+
+// refreshFaultState rebuilds the dense fault-derived tables and the mesh
+// signature after a fault injection.
+func (m *Mesh) refreshFaultState() {
+	for i, l := range m.links {
+		m.effBW[i] = m.effectiveLinkBandwidthSlow(l)
+	}
+	for di := 0; di < m.nDies; di++ {
+		m.deadDense[di] = m.deadDies[m.DieAt(di)]
+	}
+	sig := fmt.Sprintf("%dx%d|%g|%g|%d|%g|%d",
+		m.Cols, m.Rows, m.LinkBandwidth, m.LinkLatency, m.Topology, m.SwitchBandwidth, m.SwitchGroupCols)
+	if fk := m.FaultKey(); fk != "" {
+		sig += "|" + fk
+	}
+	m.sig = sig
+}
+
+// Signature returns a canonical fingerprint of everything that affects
+// routing and link timing: grid shape, bandwidths, latency, topology and the
+// current fault state. Two meshes with equal signatures produce identical
+// collective plans, which is what lets the plan cache be shared across the
+// fresh Mesh instances each Search call creates.
+func (m *Mesh) Signature() string { return m.sig }
+
 // Dies returns the total die count.
-func (m *Mesh) Dies() int { return m.Cols * m.Rows }
+func (m *Mesh) Dies() int { return m.nDies }
+
+// DieIndex returns the dense ID of a die — its rank in the canonical DieLess
+// order — or -1 for coordinates off the mesh.
+func (m *Mesh) DieIndex(d DieID) int {
+	if !m.Contains(d) {
+		return -1
+	}
+	return d.Y*m.Cols + d.X
+}
+
+// DieAt returns the die with dense ID i (the inverse of DieIndex).
+func (m *Mesh) DieAt(i int) DieID { return DieID{X: i % m.Cols, Y: i / m.Cols} }
+
+// NumLinks returns the number of directed mesh links.
+func (m *Mesh) NumLinks() int { return len(m.links) }
+
+// LinkAt returns the link with dense ID i (the inverse of LinkIndex). Links
+// ascend in canonical LinkLess order.
+func (m *Mesh) LinkAt(i int) Link { return m.links[i] }
+
+// Links returns the shared canonical link table; callers must not modify it.
+func (m *Mesh) Links() []Link { return m.links }
+
+// LinkIndex returns the dense ID of a directed mesh link, or -1 when the
+// link is not a unit-hop link of the mesh.
+func (m *Mesh) LinkIndex(l Link) int {
+	fi := m.DieIndex(l.From)
+	if fi < 0 {
+		return -1
+	}
+	dx, dy := l.To.X-l.From.X, l.To.Y-l.From.Y
+	var dir int
+	switch {
+	case dx == 0 && dy == -1:
+		dir = 0
+	case dx == -1 && dy == 0:
+		dir = 1
+	case dx == 1 && dy == 0:
+		dir = 2
+	case dx == 0 && dy == 1:
+		dir = 3
+	default:
+		return -1
+	}
+	return int(m.linkIdx[fi*4+dir])
+}
 
 // Contains reports whether the die coordinate is on the mesh.
 func (m *Mesh) Contains(d DieID) bool {
@@ -111,10 +272,13 @@ func (m *Mesh) Hops(a, b DieID) int {
 	return abs(a.X-b.X) + abs(a.Y-b.Y)
 }
 
-// XYPath returns the dimension-ordered (X then Y) route between two dies as
-// a sequence of links.
-func (m *Mesh) XYPath(a, b DieID) []Link {
-	var path []Link
+// buildXYPath allocates the dimension-ordered (X then Y) route.
+func (m *Mesh) buildXYPath(a, b DieID) []Link {
+	hops := m.Hops(a, b)
+	if hops == 0 {
+		return nil
+	}
+	path := make([]Link, 0, hops)
 	cur := a
 	for cur.X != b.X {
 		next := cur
@@ -139,27 +303,75 @@ func (m *Mesh) XYPath(a, b DieID) []Link {
 	return path
 }
 
-// YXPath returns the Y-then-X route.
-func (m *Mesh) YXPath(a, b DieID) []Link {
+// buildYXPath allocates the Y-then-X route.
+func (m *Mesh) buildYXPath(a, b DieID) []Link {
 	mid := DieID{X: a.X, Y: b.Y}
-	p := m.XYPath(a, mid)
-	return append(p, m.XYPath(mid, b)...)
+	p := m.buildXYPath(a, mid)
+	return append(p, m.buildXYPath(mid, b)...)
+}
+
+// pathAt returns the interned routes of an ordered pair, or nil when the
+// pair is off the interning table.
+func (m *Mesh) pathAt(a, b DieID) *pathEntry {
+	if m.paths == nil {
+		return nil
+	}
+	ai, bi := m.DieIndex(a), m.DieIndex(b)
+	if ai < 0 || bi < 0 {
+		return nil
+	}
+	return &m.paths[ai*m.nDies+bi]
+}
+
+// XYPath returns the dimension-ordered (X then Y) route between two dies as
+// a sequence of links. The returned slice is shared — do not modify it.
+func (m *Mesh) XYPath(a, b DieID) []Link {
+	if e := m.pathAt(a, b); e != nil {
+		return e.xy
+	}
+	return m.buildXYPath(a, b)
+}
+
+// YXPath returns the Y-then-X route. The returned slice is shared — do not
+// modify it.
+func (m *Mesh) YXPath(a, b DieID) []Link {
+	if e := m.pathAt(a, b); e != nil {
+		return e.yx
+	}
+	return m.buildYXPath(a, b)
 }
 
 // ShortestPaths returns up to two distinct minimal routes (XY and YX) for
 // conflict-aware path selection; when multiple shortest paths exist the
-// placement optimiser enumerates them (§IV-C-1).
+// placement optimiser enumerates them (§IV-C-1). The returned slices are
+// shared — do not modify them.
 func (m *Mesh) ShortestPaths(a, b DieID) [][]Link {
-	xy := m.XYPath(a, b)
+	if e := m.pathAt(a, b); e != nil {
+		return e.sp[:e.spLen]
+	}
+	xy := m.buildXYPath(a, b)
 	if a.X == b.X || a.Y == b.Y {
 		return [][]Link{xy}
 	}
-	return [][]Link{xy, m.YXPath(a, b)}
+	return [][]Link{xy, m.buildYXPath(a, b)}
 }
 
 // EffectiveLinkBandwidth returns the link's bandwidth after fault
 // degradation; zero for dead links or links touching dead dies.
 func (m *Mesh) EffectiveLinkBandwidth(l Link) float64 {
+	if i := m.LinkIndex(l); i >= 0 {
+		return m.effBW[i]
+	}
+	return m.effectiveLinkBandwidthSlow(l)
+}
+
+// EffBW returns the effective bandwidth of the link with dense ID i.
+func (m *Mesh) EffBW(i int) float64 { return m.effBW[i] }
+
+// effectiveLinkBandwidthSlow computes the fault-adjusted bandwidth from the
+// fault maps (the pre-dense code path, kept for off-mesh links and for
+// rebuilding the dense table after fault injection).
+func (m *Mesh) effectiveLinkBandwidthSlow(l Link) float64 {
 	if m.deadDies[l.From] || m.deadDies[l.To] {
 		return 0
 	}
@@ -173,7 +385,14 @@ func (m *Mesh) EffectiveLinkBandwidth(l Link) float64 {
 // AddLoad accumulates bytes of traffic on every link of the path.
 func (m *Mesh) AddLoad(path []Link, bytes float64) {
 	for _, l := range path {
-		m.load[l] += bytes
+		if i := m.LinkIndex(l); i >= 0 {
+			m.load[i] += bytes
+			continue
+		}
+		if m.overflowLoad == nil {
+			m.overflowLoad = map[Link]float64{}
+		}
+		m.overflowLoad[l] += bytes
 	}
 }
 
@@ -182,19 +401,39 @@ func (m *Mesh) AddSwitchLoad(bytes float64) { m.switchLoad += bytes }
 
 // ResetLoad clears accumulated traffic.
 func (m *Mesh) ResetLoad() {
-	m.load = map[Link]float64{}
+	for i := range m.load {
+		m.load[i] = 0
+	}
+	m.overflowLoad = nil
 	m.switchLoad = 0
 }
 
 // LinkLoad returns accumulated bytes on a link.
-func (m *Mesh) LinkLoad(l Link) float64 { return m.load[l] }
+func (m *Mesh) LinkLoad(l Link) float64 {
+	if i := m.LinkIndex(l); i >= 0 {
+		return m.load[i]
+	}
+	return m.overflowLoad[l]
+}
 
 // MaxLinkTime returns the serialisation time of the most-loaded link given
 // the accumulated traffic — the congestion bound used by the evaluator.
 func (m *Mesh) MaxLinkTime() float64 {
 	var worst float64
-	for l, b := range m.load {
-		bw := m.EffectiveLinkBandwidth(l)
+	for i, b := range m.load {
+		bw := m.effBW[i]
+		if bw <= 0 {
+			if b > 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		if t := b / bw; t > worst {
+			worst = t
+		}
+	}
+	for l, b := range m.overflowLoad {
+		bw := m.effectiveLinkBandwidthSlow(l)
 		if bw <= 0 {
 			if b > 0 {
 				return math.Inf(1)
@@ -244,6 +483,56 @@ func Conflicts(path []Link, occupied map[Link]bool) int {
 	return n
 }
 
+// LinkSet is a dense bitset over the mesh's link IDs — the allocation-free
+// replacement for map[Link]bool occupied-link bookkeeping on the Eq 2 hot
+// path (placement search, memory allocation).
+type LinkSet struct {
+	bits []uint64
+}
+
+// NewLinkSet returns an empty set sized for the mesh's links.
+func (m *Mesh) NewLinkSet() *LinkSet {
+	return &LinkSet{bits: make([]uint64, (len(m.links)+63)/64)}
+}
+
+// Add inserts a link ID; negative IDs (off-mesh links) are ignored.
+func (s *LinkSet) Add(i int) {
+	if i >= 0 {
+		s.bits[i>>6] |= 1 << (uint(i) & 63)
+	}
+}
+
+// Has reports membership of a link ID.
+func (s *LinkSet) Has(i int) bool {
+	return i >= 0 && s.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Clear empties the set in place (scratch reuse).
+func (s *LinkSet) Clear() {
+	for i := range s.bits {
+		s.bits[i] = 0
+	}
+}
+
+// AddPath inserts every link of the path.
+func (m *Mesh) AddPath(s *LinkSet, path []Link) {
+	for _, l := range path {
+		s.Add(m.LinkIndex(l))
+	}
+}
+
+// PathConflicts returns the γ conflict count of a path against the occupied
+// set — the LinkSet counterpart of Conflicts.
+func (m *Mesh) PathConflicts(path []Link, occupied *LinkSet) int {
+	n := 0
+	for _, l := range path {
+		if occupied.Has(m.LinkIndex(l)) {
+			n++
+		}
+	}
+	return n
+}
+
 // Utilization returns per-link utilisation = load/(busiest-link load), and
 // the mean utilisation across loaded links, for the Fig 5b / Fig 17 reports.
 func (m *Mesh) Utilization() (perLink map[Link]float64, mean float64) {
@@ -254,11 +543,27 @@ func (m *Mesh) Utilization() (perLink map[Link]float64, mean float64) {
 			peak = b
 		}
 	}
+	for _, b := range m.overflowLoad {
+		if b > peak {
+			peak = b
+		}
+	}
 	if peak == 0 {
 		return perLink, 0
 	}
 	var sum float64
-	for l, b := range m.load {
+	for i, b := range m.load {
+		if b == 0 {
+			continue
+		}
+		u := b / peak
+		perLink[m.links[i]] = u
+		sum += u
+	}
+	for l, b := range m.overflowLoad {
+		if b == 0 {
+			continue
+		}
 		u := b / peak
 		perLink[l] = u
 		sum += u

@@ -120,31 +120,41 @@ func GlobalCost(m *mesh.Mesh, p *Placement, w Workload) float64 {
 	if pp == 0 {
 		return 0
 	}
-	occupied := map[mesh.Link]bool{}
+	anchors := make([]mesh.DieID, pp)
+	for s := range p.Regions {
+		anchors[s] = p.Regions[s].Anchor()
+	}
+	return anchorCost(m, anchors, w, m.NewLinkSet())
+}
+
+// anchorCost is the Eq 2 core shared by GlobalCost and the annealing loop:
+// it evaluates the cost of a stage→anchor assignment directly, reusing the
+// caller's occupied-link scratch set. anchors[s] is the routing endpoint of
+// stage s.
+func anchorCost(m *mesh.Mesh, anchors []mesh.DieID, w Workload, occupied *mesh.LinkSet) float64 {
+	pp := len(anchors)
+	occupied.Clear()
 	var cost float64
 	// Pipeline paths (anchor-to-anchor XY routes) in stage order.
 	for s := 0; s+1 < pp; s++ {
-		a, b := p.Regions[s].Anchor(), p.Regions[s+1].Anchor()
-		path := m.XYPath(a, b)
+		path := m.XYPath(anchors[s], anchors[s+1])
 		vol := 0.0
 		if s < len(w.PipelineBytes) {
 			vol = w.PipelineBytes[s]
 		}
 		cost += float64(len(path)) * vol
-		for _, l := range path {
-			occupied[l] = true
-		}
+		m.AddPath(occupied, path)
 	}
 	// Activation-balance paths with conflict punishment.
 	for _, pr := range w.Pairs {
 		if pr.Sender >= pp || pr.Helper >= pp || pr.Sender < 0 || pr.Helper < 0 {
 			continue
 		}
-		a := p.Regions[pr.Sender].Anchor()
-		b := p.Regions[pr.Helper].Anchor()
+		a := anchors[pr.Sender]
+		b := anchors[pr.Helper]
 		best := math.Inf(1)
 		for _, path := range m.ShortestPaths(a, b) {
-			gamma := mesh.Conflicts(path, occupied)
+			gamma := m.PathConflicts(path, occupied)
 			c := float64(len(path)) * pr.Bytes * (1 + float64(gamma))
 			if c < best {
 				best = c
@@ -161,15 +171,27 @@ func GlobalCost(m *mesh.Mesh, p *Placement, w Workload) float64 {
 // (the spatial location-aware strategy of Fig 11b). Regions keep their
 // geometry; the search permutes which pipeline stage occupies which region
 // via simulated annealing seeded with the serpentine identity.
+//
+// The annealing loop never materialises a Placement: region anchors are
+// fixed by the partition geometry, so each candidate permutation is scored
+// directly on the anchor table with a reused occupied-link scratch set, and
+// only the final best permutation is built into a Placement.
 func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement, error) {
 	base, err := Partition(m, tp, pp)
 	if err != nil {
 		return nil, err
 	}
+	baseAnchors := make([]mesh.DieID, pp)
+	for i := range base {
+		baseAnchors[i] = base[i].Anchor()
+	}
 	perm := make([]int, pp)
+	anchors := make([]mesh.DieID, pp)
 	for i := range perm {
 		perm[i] = i
+		anchors[i] = baseAnchors[i]
 	}
+	occupied := m.NewLinkSet()
 	build := func(perm []int) *Placement {
 		regions := make([]Region, pp)
 		for s, r := range perm {
@@ -177,12 +199,11 @@ func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement,
 		}
 		return &Placement{Regions: regions}
 	}
-	cur := build(perm)
-	curCost := GlobalCost(m, cur, w)
-	best := cur
+	curCost := anchorCost(m, anchors, w, occupied)
+	bestPerm := append([]int(nil), perm...)
 	bestCost := curCost
 	if pp <= 1 {
-		return best, nil
+		return build(bestPerm), nil
 	}
 
 	temp := curCost * 0.1
@@ -196,19 +217,21 @@ func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement,
 			continue
 		}
 		perm[a], perm[b] = perm[b], perm[a]
-		cand := build(perm)
-		c := GlobalCost(m, cand, w)
+		anchors[a], anchors[b] = anchors[b], anchors[a]
+		c := anchorCost(m, anchors, w, occupied)
 		if c <= curCost || rng.Float64() < math.Exp((curCost-c)/math.Max(temp, 1e-12)) {
-			cur, curCost = cand, c
+			curCost = c
 			if c < bestCost {
-				best, bestCost = cand, c
+				bestCost = c
+				copy(bestPerm, perm)
 			}
 		} else {
 			perm[a], perm[b] = perm[b], perm[a] // revert
+			anchors[a], anchors[b] = anchors[b], anchors[a]
 		}
 		temp *= 0.995
 	}
-	return best, nil
+	return build(bestPerm), nil
 }
 
 // TotalHops returns the total pipeline + balance hop count of a placement

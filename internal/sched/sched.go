@@ -490,11 +490,23 @@ func buildRecomputePlan(cfg engine.Config, m *mesh.Mesh, opts Options) ([]recomp
 	}
 
 	profiles := make([]recompute.StageProfile, cfg.PP)
+	// BuildOptions enumerates the layer graph's recomputation subsets — the
+	// most expensive profiling step — and depends only on the stage's layer
+	// count, which takes at most two distinct values across a balanced
+	// split. Memoize per count and hand each stage its own copy (the
+	// footprints are scaled per stage below).
+	optionsByLayers := map[int][]recompute.Option{}
 	for s := 0; s < cfg.PP; s++ {
-		options, err := recompute.BuildOptions(g, cost, layers[s])
-		if err != nil {
-			return nil, nil, err
+		base, ok := optionsByLayers[layers[s]]
+		if !ok {
+			var err error
+			base, err = recompute.BuildOptions(g, cost, layers[s])
+			if err != nil {
+				return nil, nil, err
+			}
+			optionsByLayers[layers[s]] = base
 		}
+		options := append([]recompute.Option(nil), base...)
 		// BuildOptions reports per-die checkpoint bytes; stage profiles
 		// budget against the stage's aggregate DRAM (×TP), so scale the
 		// footprints to stage totals.

@@ -1,12 +1,12 @@
 package search
 
 import (
-	"container/list"
 	"fmt"
 	"strings"
 	"sync"
 
 	"repro/internal/engine"
+	"repro/internal/lru"
 	"repro/internal/mesh"
 	"repro/internal/predictor"
 	"repro/internal/sim"
@@ -46,38 +46,16 @@ func PredictorID(p predictor.Predictor) uint64 {
 // 100 MB while covering every figure reproduction of a full harness run.
 const DefaultCacheCapacity = 8192
 
-// CacheStats is a snapshot of cache effectiveness counters.
-type CacheStats struct {
-	Hits, Misses uint64
-	Size         int
-}
-
-// HitRate returns hits / (hits+misses), or 0 before any lookup.
-func (s CacheStats) HitRate() float64 {
-	total := s.Hits + s.Misses
-	if total == 0 {
-		return 0
-	}
-	return float64(s.Hits) / float64(total)
-}
+// CacheStats is a snapshot of cache effectiveness counters (re-exported from
+// the dependency-free lru package).
+type CacheStats = lru.Stats
 
 // LRU is a thread-safe, generic LRU memoization cache with hit/miss
-// counters. Values are stored by value/shared reference and must be treated
-// as read-only by consumers. It backs both the strategy-evaluation Cache
-// here and the scheduler's candidate-level memoization.
-type LRU[V any] struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[string]*list.Element
-	order    *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
-}
-
-type lruEntry[V any] struct {
-	key   string
-	value V
-}
+// counters (re-exported from the dependency-free lru package so leaf
+// packages of the simulation stack can share the same primitive). It backs
+// the strategy-evaluation Cache here, the scheduler's candidate-level
+// memoization and the collective plan store.
+type LRU[V any] = lru.Cache[V]
 
 // NewLRU returns an LRU cache bounded to capacity entries (<=0 selects
 // DefaultCacheCapacity).
@@ -85,61 +63,7 @@ func NewLRU[V any](capacity int) *LRU[V] {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &LRU[V]{
-		capacity: capacity,
-		entries:  make(map[string]*list.Element),
-		order:    list.New(),
-	}
-}
-
-// Get returns the memoized value for the key, counting a hit or miss.
-func (c *LRU[V]) Get(key string) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.misses++
-		var zero V
-		return zero, false
-	}
-	c.hits++
-	c.order.MoveToFront(el)
-	return el.Value.(*lruEntry[V]).value, true
-}
-
-// Put stores a value, evicting the least recently used entries beyond the
-// capacity bound.
-func (c *LRU[V]) Put(key string, v V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		el.Value.(*lruEntry[V]).value = v
-		return
-	}
-	el := c.order.PushFront(&lruEntry[V]{key: key, value: v})
-	c.entries[key] = el
-	for c.order.Len() > c.capacity {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.entries, last.Value.(*lruEntry[V]).key)
-	}
-}
-
-// Stats snapshots the hit/miss counters and current size.
-func (c *LRU[V]) Stats() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: c.order.Len()}
-}
-
-// Reset drops all entries and zeroes the counters.
-func (c *LRU[V]) Reset() {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.entries = make(map[string]*list.Element)
-	c.order = list.New()
-	c.hits, c.misses = 0, 0
+	return lru.New[V](capacity)
 }
 
 // Cache is the LRU memoization cache for strategy evaluations: one entry

@@ -9,7 +9,6 @@ package sim
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"repro/internal/engine"
 	"repro/internal/memalloc"
@@ -129,7 +128,7 @@ func Evaluate(cfg engine.Config, m *mesh.Mesh, strat Strategy) (Report, error) {
 	// the W2W transfer instead of an on-wafer hop.
 	if pipeWafers > 1 {
 		perWafer := (cfg.PP + pipeWafers - 1) / pipeWafers
-		boundary := float64(maxInt(perReplica.MicroBatch, 1)*perReplica.SeqLen*cfg.Spec.Hidden) * units.FP16Bytes
+		boundary := float64(max(perReplica.MicroBatch, 1)*perReplica.SeqLen*cfg.Spec.Hidden) * units.FP16Bytes
 		for s := 0; s+1 < cfg.PP; s++ {
 			if (s+1)%perWafer == 0 { // wafer boundary
 				t := cfg.Wafer.W2W.Latency + boundary/cfg.Wafer.W2W.Bandwidth
@@ -221,9 +220,16 @@ func Evaluate(cfg engine.Config, m *mesh.Mesh, strat Strategy) (Report, error) {
 }
 
 // memoryMap builds the per-die memory occupancy (Fig 17 heatmap) and
-// verifies capacity.
+// verifies capacity. Accumulation runs on a dense per-die-index vector; the
+// map is materialised once at the end for the report.
 func memoryMap(cfg engine.Config, m *mesh.Mesh, strat Strategy, n int) (map[mesh.DieID]float64, float64, error) {
-	perDie := map[mesh.DieID]float64{}
+	dense := make([]float64, m.Dies())
+	touched := make([]bool, m.Dies())
+	charge := func(d mesh.DieID, bytes float64) {
+		i := m.DieIndex(d)
+		dense[i] += bytes
+		touched[i] = true
+	}
 	layers, err := memory.SplitLayers(cfg.Spec.Layers, cfg.PP)
 	if err != nil {
 		return nil, 0, err
@@ -274,7 +280,7 @@ func memoryMap(cfg engine.Config, m *mesh.Mesh, strat Strategy, n int) (map[mesh
 		}
 		perDieCkpt := math.Max(ckptStage, 0) / float64(len(region.Dies))
 		for _, d := range region.Dies {
-			perDie[d] += modelP + perDieCkpt
+			charge(d, modelP+perDieCkpt)
 		}
 	}
 	// Helper-die allocations. For multi-wafer pipelines the placement
@@ -283,35 +289,34 @@ func memoryMap(cfg engine.Config, m *mesh.Mesh, strat Strategy, n int) (map[mesh
 	// GCMR budget, and the per-die map covers wafer 0 only.
 	if strat.PipelineWafers <= 1 {
 		for _, a := range strat.Allocations {
-			perDie[a.Die] += a.Bytes
+			charge(a.Die, a.Bytes)
 		}
 	}
-	// Iterate dies in sorted order: the mean-utilisation float sum and the
-	// first-reported OOM die must not depend on map iteration order (the
-	// evaluation cache and parallel search rely on bit-identical reports).
-	dies := make([]mesh.DieID, 0, len(perDie))
-	for d := range perDie {
-		dies = append(dies, d)
-	}
-	sort.Slice(dies, func(i, j int) bool { return mesh.DieLess(dies[i], dies[j]) })
+	// Ascending die-index iteration is the canonical DieLess order: the
+	// mean-utilisation float sum and the first-reported OOM die must not
+	// depend on map iteration order (the evaluation cache and parallel
+	// search rely on bit-identical reports).
 	var sum float64
-	for _, d := range dies {
-		used := perDie[d]
+	count := 0
+	for i, used := range dense {
+		if !touched[i] {
+			continue
+		}
 		if used > capacity*1.0001 {
-			return nil, 0, fmt.Errorf("sim: die %v OOM: %.1f GB used, %.1f GB capacity", d, used/1e9, capacity/1e9)
+			return nil, 0, fmt.Errorf("sim: die %v OOM: %.1f GB used, %.1f GB capacity", m.DieAt(i), used/1e9, capacity/1e9)
 		}
 		sum += used / capacity
+		count++
 	}
 	util := 0.0
-	if len(perDie) > 0 {
-		util = sum / float64(len(perDie))
+	if count > 0 {
+		util = sum / float64(count)
+	}
+	perDie := make(map[mesh.DieID]float64, count)
+	for i, used := range dense {
+		if touched[i] {
+			perDie[m.DieAt(i)] = used
+		}
 	}
 	return perDie, util, nil
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
