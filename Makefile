@@ -10,10 +10,11 @@ race:
 	go test -race ./...
 
 # Tier-2 performance trajectory: runs the benchmark suite in-process with
-# -benchmem semantics and writes BENCH_pr2.json (ns/op, allocs/op, B/op per
-# benchmark, plus the speedup vs the recorded PR-1 baseline).
+# -benchmem semantics and writes BENCH_pr3.json (ns/op, allocs/op, B/op per
+# benchmark, service jobs/sec + dedup rate, plus the speedups vs the
+# recorded PR-1/PR-2 baselines).
 bench:
-	go run ./cmd/bench -out BENCH_pr2.json
+	go run ./cmd/bench -out BENCH_pr3.json
 
 figures:
 	go run ./cmd/figures

@@ -3,20 +3,28 @@
 // machine-readable BENCH_<tag>.json so the repo carries a perf trajectory
 // across PRs. The acceptance benchmark is search-sequential-nocache: one
 // full strategy search with the evaluation and candidate memoization caches
-// disabled, i.e. the cache-cold inner loop.
+// disabled, i.e. the cache-cold inner loop. Prior PRs' acceptance numbers
+// are carried forward in the baselines list.
+//
+// The service benchmarks drive an in-process watosd (internal/service)
+// through its HTTP API with concurrent identical and distinct jobs,
+// reporting the dedup hit rate and sustained jobs/sec.
 //
 // Usage:
 //
-//	go run ./cmd/bench                # writes BENCH_pr2.json
+//	go run ./cmd/bench                # writes BENCH_pr3.json
 //	go run ./cmd/bench -out perf.json # custom output path
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"runtime"
+	"sync"
 	"time"
 
 	"repro/internal/collective"
@@ -27,6 +35,8 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/sim"
 )
 
@@ -39,31 +49,60 @@ type entry struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// report is the BENCH_*.json schema.
-type report struct {
-	Tag        string  `json:"tag"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	NumCPU     int     `json:"num_cpu"`
-	Benchmarks []entry `json:"benchmarks"`
-	// Baseline carries the pre-PR numbers of the acceptance benchmark so
-	// the improvement factors are recorded alongside the measurement.
-	Baseline        entry   `json:"baseline"`
-	BaselineNote    string  `json:"baseline_note"`
-	SpeedupNs       float64 `json:"speedup_ns_vs_baseline"`
-	SpeedupAllocs   float64 `json:"speedup_allocs_vs_baseline"`
-	AcceptanceBench string  `json:"acceptance_benchmark"`
+// taggedEntry is a prior PR's acceptance-benchmark measurement, carried
+// forward so the trajectory travels with the repo.
+type taggedEntry struct {
+	Tag string `json:"tag"`
+	entry
 }
 
-// baselinePR1 is BenchmarkSearchSequential measured at the PR 1 tree (the
-// map-based mesh/collective hot path), on the reference CI-class machine.
-var baselinePR1 = entry{
-	Name:        "search-sequential-nocache",
-	Iterations:  3,
-	NsPerOp:     247068009,
-	AllocsPerOp: 1630840,
-	BytesPerOp:  246066109,
+// serviceEntry is one service-throughput measurement.
+type serviceEntry struct {
+	Name        string  `json:"name"`
+	Jobs        int     `json:"jobs"`
+	Coalesced   uint64  `json:"coalesced"`
+	DedupRate   float64 `json:"dedup_rate"`
+	WallSeconds float64 `json:"wall_seconds"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+}
+
+// report is the BENCH_*.json schema.
+type report struct {
+	Tag        string         `json:"tag"`
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	NumCPU     int            `json:"num_cpu"`
+	Benchmarks []entry        `json:"benchmarks"`
+	Service    []serviceEntry `json:"service_benchmarks"`
+	// Baselines carries the acceptance benchmark of every prior PR
+	// (oldest first), so improvement factors are recorded alongside the
+	// measurement.
+	Baselines       []taggedEntry      `json:"baselines"`
+	BaselineNote    string             `json:"baseline_note"`
+	SpeedupNs       map[string]float64 `json:"speedup_ns_vs"`
+	SpeedupAllocs   map[string]float64 `json:"speedup_allocs_vs"`
+	AcceptanceBench string             `json:"acceptance_benchmark"`
+}
+
+// Prior acceptance-benchmark measurements on the reference CI-class
+// machine: PR 1 is the map-based mesh/collective hot path, PR 2 the dense
+// plan-cached tree (from BENCH_pr2.json).
+var priorBaselines = []taggedEntry{
+	{Tag: "pr1", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  3,
+		NsPerOp:     247068009,
+		AllocsPerOp: 1630840,
+		BytesPerOp:  246066109,
+	}},
+	{Tag: "pr2", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  19,
+		NsPerOp:     43253024.10526316,
+		AllocsPerOp: 51357,
+		BytesPerOp:  7922048,
+	}},
 }
 
 // benchTarget is the wall-clock budget of one measured run. The iteration
@@ -111,24 +150,93 @@ func run(name string, fn func()) entry {
 	return e
 }
 
+// serviceThroughput starts an in-process watosd behind a real HTTP
+// listener, fires the jobs concurrently through the typed client and
+// reports wall time plus the observed dedup rate. distinct jobs vary the
+// seed so each is a separate fingerprint; identical jobs coalesce. The
+// shared predictor keeps cache keys stable across bursts, so the second
+// burst genuinely runs over the caches the first one warmed.
+func serviceThroughput(name string, jobs int, distinct bool, pred predictor.Predictor) serviceEntry {
+	srv := service.NewServer(service.Options{EvalWorkers: 1, JobWorkers: 2, Backlog: jobs + 1}, pred)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	c := client.New(ts.URL)
+	c.PollInterval = time.Millisecond
+	ctx := context.Background()
+
+	start := time.Now()
+	ids := make([]string, jobs)
+	var wg sync.WaitGroup
+	var submitErr error
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: 7}
+			if distinct {
+				req.Seed = int64(100 + i)
+			}
+			j, err := c.Submit(ctx, req)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				submitErr = err
+				return
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		fmt.Fprintln(os.Stderr, "bench:", submitErr)
+		os.Exit(1)
+	}
+	for _, id := range ids {
+		if _, err := c.Wait(ctx, id); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	wall := time.Since(start)
+	st, err := c.Stats(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	e := serviceEntry{
+		Name:        name,
+		Jobs:        jobs,
+		Coalesced:   st.JobsCoalesced,
+		DedupRate:   st.DedupRate(),
+		WallSeconds: wall.Seconds(),
+		JobsPerSec:  float64(jobs) / wall.Seconds(),
+	}
+	fmt.Printf("%-32s %12.2f jobs/s %9.0f%% dedup %12.3f s wall   (%d jobs)\n",
+		name, e.JobsPerSec, e.DedupRate*100, e.WallSeconds, jobs)
+	return e
+}
+
 func main() {
-	out := flag.String("out", "BENCH_pr2.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
 	flag.Parse()
 
 	pred := predictor.NewLookupTable(predictor.TileLevel{})
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr2",
+		Tag:       "pr3",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
-		Baseline:  baselinePR1,
-		BaselineNote: "baseline measured on the PR-1 tree on the reference dev machine; " +
-			"speedup_ns_vs_baseline is only meaningful on comparable hardware — " +
-			"speedup_allocs_vs_baseline is machine-independent",
+		Baselines: priorBaselines,
+		BaselineNote: "baselines measured on the respective PR trees on the reference dev machine; " +
+			"speedup_ns_vs is only meaningful on comparable hardware — " +
+			"speedup_allocs_vs is machine-independent",
 		AcceptanceBench: "search-sequential-nocache",
+		SpeedupNs:       map[string]float64{},
+		SpeedupAllocs:   map[string]float64{},
 	}
 
 	fail := func(err error) {
@@ -146,8 +254,10 @@ func main() {
 		fail(err)
 	})
 	rep.Benchmarks = append(rep.Benchmarks, seq)
-	rep.SpeedupNs = baselinePR1.NsPerOp / seq.NsPerOp
-	rep.SpeedupAllocs = float64(baselinePR1.AllocsPerOp) / float64(seq.AllocsPerOp)
+	for _, b := range priorBaselines {
+		rep.SpeedupNs[b.Tag] = b.NsPerOp / seq.NsPerOp
+		rep.SpeedupAllocs[b.Tag] = float64(b.AllocsPerOp) / float64(seq.AllocsPerOp)
+	}
 
 	search.DefaultCache().Reset()
 	sched.ResetCache()
@@ -189,6 +299,16 @@ func main() {
 		fail(err)
 	}))
 
+	// Service throughput: concurrent identical jobs coalesce onto one
+	// execution (the dedup path), concurrent distinct jobs stream through
+	// the bounded queue over warm caches (the resident-daemon path). Cold
+	// caches first so the identical burst includes one real execution;
+	// both bursts share the process predictor so their cache keys agree.
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	rep.Service = append(rep.Service, serviceThroughput("service-identical-burst", 32, false, pred))
+	rep.Service = append(rep.Service, serviceThroughput("service-distinct-burst", 32, true, pred))
+
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -199,6 +319,6 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s  (speedup vs PR1 baseline: %.2fx ns/op, %.2fx allocs/op)\n",
-		*out, rep.SpeedupNs, rep.SpeedupAllocs)
+	fmt.Printf("\nwrote %s  (speedup vs pr2 baseline: %.2fx ns/op, %.2fx allocs/op)\n",
+		*out, rep.SpeedupNs["pr2"], rep.SpeedupAllocs["pr2"])
 }

@@ -12,13 +12,14 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/cliutil"
 	"repro/internal/experiments"
 )
 
 func main() {
 	fig := flag.String("fig", "", "experiment ID to run (e.g. 1, 5a, 15, table2); empty = all")
 	list := flag.Bool("list", false, "list available experiment IDs")
-	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
 	experiments.Workers = *workers
 

@@ -6,18 +6,25 @@
 //	watos -model Llama3-70B                 # strategy+arch co-exploration over Table II
 //	watos -model GPT-175B -config config3   # strategy search on one architecture
 //	watos -model Llama2-30B -batch 128 -seq 4096 -ga
+//	watos -model Llama2-30B -remote localhost:8080   # delegate to a running watosd
+//
+// With -remote the search runs on a resident watosd daemon (shared warm
+// caches, request dedup) instead of in-process; results are byte-identical
+// either way (-canon prints the canonical exploration record to prove it).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
-	"repro/internal/hw"
-	"repro/internal/model"
 	"repro/internal/sched"
 	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/service/client"
 	"repro/internal/units"
 )
 
@@ -28,81 +35,71 @@ func main() {
 	micro := flag.Int("micro", 1, "micro-batch size per pipeline stage")
 	seq := flag.Int("seq", 0, "sequence length (0 = model default, capped at 4096)")
 	useGA := flag.Bool("ga", false, "enable the genetic-algorithm global optimizer")
-	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
-	noCache := flag.Bool("nocache", false, "disable the strategy-evaluation memoization cache")
+	canon := flag.Bool("canon", false, "print the canonical exploration record instead of the summary (byte-identity checks)")
 	listModels := flag.Bool("models", false, "list available models")
+	workers := cliutil.WorkersFlag()
+	noCache := cliutil.NoCacheFlag()
+	remote := cliutil.RemoteFlag()
 	flag.Parse()
 
 	if *listModels {
-		for _, s := range append(append(model.EvaluationModels(), model.EmergingModels()...), model.UltraLargeModels()...) {
-			fmt.Printf("%-24s %6.1fB params  %s\n", s.Name, s.EffectiveParams()/1e9, s.Arch)
-		}
+		cliutil.ListModels(os.Stdout)
 		return
 	}
 
-	spec, ok := model.ByName(*modelName)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown model %q (use -models to list)\n", *modelName)
-		os.Exit(2)
-	}
-	seqLen := *seq
-	if seqLen == 0 {
-		seqLen = spec.DefaultSeqLen
-		if seqLen > 4096 {
-			seqLen = 4096
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
 		}
 	}
-	work := model.Workload{GlobalBatch: *batch, MicroBatch: *micro, SeqLen: seqLen}
-	if err := work.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+	spec, err := cliutil.Model(*modelName)
+	fail(err)
+	req := service.Request{
+		Model:  spec.Name,
+		Config: *configName,
+		Batch:  *batch,
+		Micro:  *micro,
+		Seq:    cliutil.SeqLen(spec, *seq),
+		UseGA:  *useGA,
 	}
+	req, err = req.Normalize()
+	fail(err)
+
+	if *remote != "" {
+		// Worker-pool width and cache policy are daemon-side; results are
+		// invariant to both, but a user asking for them locally should
+		// know they do not travel with the request.
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "workers" || f.Name == "nocache" {
+				fmt.Fprintf(os.Stderr, "watos: -%s is ignored with -remote (server-side setting)\n", f.Name)
+			}
+		})
+		runRemote(*remote, req, *canon)
+		return
+	}
+
+	candidates, err := cliutil.ArchCandidates(req.Config)
+	fail(err)
+	work := req.Workload()
 
 	fw := core.New()
-	fw.Options = sched.Options{UseGA: *useGA, Workers: *workers, DisableCache: *noCache}
-
-	var candidates []hw.WaferConfig
-	switch *configName {
-	case "":
-		candidates = hw.TableII()
-	case "config1":
-		candidates = []hw.WaferConfig{hw.Config1()}
-	case "config2":
-		candidates = []hw.WaferConfig{hw.Config2()}
-	case "config3":
-		candidates = []hw.WaferConfig{hw.Config3()}
-	case "config4":
-		candidates = []hw.WaferConfig{hw.Config4()}
-	case "mesh-switch":
-		candidates = []hw.WaferConfig{hw.Config3MeshSwitch()}
-	default:
-		fmt.Fprintf(os.Stderr, "unknown config %q\n", *configName)
-		os.Exit(2)
-	}
-
+	fw.Options = sched.Options{UseGA: req.UseGA, Workers: *workers, DisableCache: *noCache}
 	res, err := fw.Explore(candidates, spec, work)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	if *canon {
+		fmt.Print(service.Canonical(res))
+		return
+	}
+
 	fmt.Printf("model:    %s (%.1fB params, %s)\n", spec.Name, spec.EffectiveParams()/1e9, spec.Arch)
 	fmt.Printf("workload: batch %d, micro-batch %d, seq %d\n", work.GlobalBatch, work.MicroBatch, work.SeqLen)
 	fmt.Printf("best architecture: %s\n", res.Best.Wafer)
-	b := res.Best.Result.Best
-	fmt.Printf("best strategy:     TP=%d PP=%d DP=%d, collective=%s\n", b.TP, b.PP, b.Report.DP, b.Collective)
-	fmt.Printf("iteration time:    %.3f s\n", b.Report.IterationTime)
-	fmt.Printf("throughput:        %.1f TFLOP/s useful (%.1f incl. recompute)\n",
-		b.Report.Throughput/units.TFLOPS, b.Report.TotalThroughput/units.TFLOPS)
-	fmt.Printf("recompute frac:    %.1f%%   bubbles: %.1f%%   compute util: %.1f%%\n",
-		b.Report.RecomputeFraction*100, b.Report.BubbleFraction*100, b.Report.ComputeUtilization*100)
-	fmt.Printf("DRAM util:         %.1f%%   D2D util: %.1f%%\n",
-		b.Report.DRAMUtilization*100, b.Report.MeanLinkUtilization*100)
-	if b.Strategy.Recompute != nil && len(b.Strategy.Recompute.Pairs) > 0 {
-		fmt.Printf("mem pairs:         %d (overflow %.1f GB balanced on-wafer)\n",
-			len(b.Strategy.Recompute.Pairs), b.Strategy.Recompute.OverflowBytes/units.GB)
-	}
-	fmt.Printf("explored:          %d strategy candidates", len(res.Best.Result.Explored))
-	fmt.Printf(" (%d pruned early)\n", res.Best.Result.PrunedCount)
+	r := service.BuildResult(res)
+	printResultBody(r)
 	if !*noCache {
 		cc := sched.CacheStats()
 		cs := search.DefaultCache().Stats()
@@ -111,14 +108,68 @@ func main() {
 		fmt.Printf("eval cache:        %d hits / %d misses (%.0f%% hit rate)\n",
 			cs.Hits, cs.Misses, cs.HitRate()*100)
 	}
-	for _, ar := range res.PerArch {
-		status := "ok"
-		if ar.Err != nil {
-			status = ar.Err.Error()
-		} else if ar.Result != nil && ar.Result.Best != nil {
-			status = fmt.Sprintf("%.1f TFLOP/s (TP=%d PP=%d)",
-				ar.Result.Best.Report.Throughput/units.TFLOPS, ar.Result.Best.TP, ar.Result.Best.PP)
-		}
-		fmt.Printf("  %-10s %s\n", ar.Wafer.Name, status)
+	printPerArch(r.PerArch)
+}
+
+// printResultBody renders the summary shared by the local and remote paths
+// from the one wire representation, so the two outputs cannot drift.
+func printResultBody(r *service.Result) {
+	fmt.Printf("best strategy:     TP=%d PP=%d DP=%d, collective=%s\n", r.TP, r.PP, r.DP, r.Collective)
+	fmt.Printf("iteration time:    %.3f s\n", r.IterationTime)
+	fmt.Printf("throughput:        %.1f TFLOP/s useful (%.1f incl. recompute)\n",
+		r.Throughput/units.TFLOPS, r.TotalThroughput/units.TFLOPS)
+	fmt.Printf("recompute frac:    %.1f%%   bubbles: %.1f%%   compute util: %.1f%%\n",
+		r.RecomputeFraction*100, r.BubbleFraction*100, r.ComputeUtilization*100)
+	fmt.Printf("DRAM util:         %.1f%%   D2D util: %.1f%%\n",
+		r.DRAMUtilization*100, r.MeanLinkUtilization*100)
+	if r.MemPairs > 0 {
+		fmt.Printf("mem pairs:         %d (overflow %.1f GB balanced on-wafer)\n",
+			r.MemPairs, r.OverflowBytes/units.GB)
 	}
+	fmt.Printf("explored:          %d strategy candidates (%d pruned early)\n", r.Explored, r.Pruned)
+}
+
+// printPerArch renders the per-architecture status lines.
+func printPerArch(perArch []service.ArchSummary) {
+	for _, ar := range perArch {
+		status := ar.Status
+		if status == "ok" {
+			status = fmt.Sprintf("%.1f TFLOP/s (TP=%d PP=%d)", ar.Throughput/units.TFLOPS, ar.TP, ar.PP)
+		}
+		fmt.Printf("  %-10s %s\n", ar.Name, status)
+	}
+}
+
+// runRemote delegates the search to a running watosd daemon.
+func runRemote(addr string, req service.Request, canon bool) {
+	ctx := context.Background()
+	c := client.New(addr)
+	if err := c.Health(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "watosd at %s unreachable: %v\n", addr, err)
+		os.Exit(1)
+	}
+	job, err := c.Run(ctx, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if job.State != service.StateDone {
+		fmt.Fprintf(os.Stderr, "remote job %s %s: %s\n", job.ID, job.State, job.Error)
+		os.Exit(1)
+	}
+	r := job.Result
+	if canon {
+		fmt.Print(r.Canonical)
+		return
+	}
+	fmt.Printf("remote:   watosd %s (job %s)\n", addr, job.ID)
+	fmt.Printf("model:    %s\n", req.Model)
+	fmt.Printf("workload: batch %d, micro-batch %d, seq %d\n", req.Batch, req.Micro, req.Seq)
+	fmt.Printf("best architecture: %s\n", r.BestArch)
+	printResultBody(r)
+	if st, err := c.Stats(ctx); err == nil {
+		fmt.Printf("daemon:            %d jobs done, %d coalesced (%.0f%% dedup), candidate cache %.0f%% hits\n",
+			st.JobsDone, st.JobsCoalesced, st.DedupRate()*100, st.CandidateCache.HitRate()*100)
+	}
+	printPerArch(r.PerArch)
 }

@@ -1,0 +1,100 @@
+// Command watosd is the resident WATOS evaluation service: a daemon that
+// accepts search jobs over an HTTP/JSON API (see internal/service), runs
+// them on a bounded job queue, coalesces identical concurrent requests, and
+// keeps the process-wide candidate and evaluation caches warm across
+// requests — persisting them to a snapshot file so a restarted daemon
+// answers previously-seen jobs without re-simulation.
+//
+//	watosd -addr :8080
+//	watosd -addr :8080 -workers 8 -jobs 2 -snapshot /var/lib/watos/cache.snapshot
+//	watos -model Llama2-30B -config config3 -remote localhost:8080
+//
+// Shutdown is graceful: on SIGINT/SIGTERM the daemon stops accepting
+// connections, drains in-flight jobs and saves a final snapshot.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "HTTP listen address")
+	workers := cliutil.WorkersFlag()
+	jobs := flag.Int("jobs", 1, "number of jobs running concurrently")
+	backlog := flag.Int("backlog", 64, "queued-job backlog bound (submissions beyond it get HTTP 503)")
+	history := flag.Int("history", 1024, "retained terminal job records (oldest evicted first)")
+	snapshot := flag.String("snapshot", "", "cache snapshot path: load at startup, save on shutdown and on POST /v1/snapshot")
+	flag.Parse()
+
+	srv := service.NewServer(service.Options{
+		EvalWorkers:  *workers,
+		JobWorkers:   *jobs,
+		Backlog:      *backlog,
+		History:      *history,
+		SnapshotPath: *snapshot,
+	}, nil)
+
+	if *snapshot != "" {
+		switch info, err := srv.LoadSnapshot(); {
+		case err == nil:
+			log.Printf("warm start: restored %d candidates / %d evaluations from %s (saved %s)",
+				info.Candidates, info.Eval, info.Path, info.SavedAt.Format(time.RFC3339))
+		case errors.Is(err, service.ErrNoSnapshot):
+			log.Printf("cold start: no snapshot at %s yet", *snapshot)
+		case errors.Is(err, service.ErrStaleSnapshot):
+			log.Printf("cold start: discarding stale snapshot at %s (%v)", *snapshot, err)
+		default:
+			log.Printf("cold start: snapshot load failed: %v", err)
+		}
+	}
+
+	// A resident daemon must not let slow or idle clients pin connections
+	// forever: bound header and body reads and idle keep-alive. Responses
+	// can be large (canonical records), so writes stay unbounded — the
+	// handler bounds request bodies instead (service.MaxRequestBytes).
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("watosd listening on %s (jobs=%d, workers=%d)", *addr, *jobs, *workers)
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down: draining jobs")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "watosd:", err)
+		os.Exit(1)
+	}
+
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("snapshot save: %v", err)
+	} else if *snapshot != "" {
+		log.Printf("snapshot saved to %s", *snapshot)
+	}
+	log.Print("watosd stopped")
+}

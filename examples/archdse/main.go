@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
@@ -16,7 +17,7 @@ import (
 )
 
 func main() {
-	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
 	spec := model.Llama3_70B()

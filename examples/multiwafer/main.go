@@ -11,6 +11,7 @@ import (
 	"log"
 
 	"repro/internal/baselines"
+	"repro/internal/cliutil"
 	"repro/internal/hw"
 	"repro/internal/model"
 	"repro/internal/predictor"
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
 	spec := model.Llama3_405B()

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"log"
 
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/hw"
 	"repro/internal/model"
@@ -15,7 +16,7 @@ import (
 )
 
 func main() {
-	workers := flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+	workers := cliutil.WorkersFlag()
 	flag.Parse()
 
 	// 1. Pick a wafer architecture and a model from the zoo.

@@ -1,0 +1,87 @@
+// Package cliutil collects the flag and lookup boilerplate shared by the
+// command-line entry points (cmd/watos, cmd/figures, cmd/watosd, the
+// examples) and the evaluation service: the evaluation-runtime flags
+// (-workers, -nocache, -remote), model-zoo lookup with a consistent error
+// message, sequence-length defaulting, and architecture-restriction
+// resolution. Keeping these in one place means a new shared flag (like
+// -remote) lands once instead of per command.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+)
+
+// WorkersFlag registers the shared -workers flag on the default flag set.
+func WorkersFlag() *int {
+	return flag.Int("workers", 0, "evaluation worker-pool width (0 = all CPUs, 1 = sequential)")
+}
+
+// NoCacheFlag registers the shared -nocache flag on the default flag set.
+func NoCacheFlag() *bool {
+	return flag.Bool("nocache", false, "disable the strategy-evaluation memoization cache")
+}
+
+// RemoteFlag registers the shared -remote flag on the default flag set.
+func RemoteFlag() *string {
+	return flag.String("remote", "", "delegate the search to a running watosd at this address (host:port)")
+}
+
+// AllModels returns the full model zoo in listing order.
+func AllModels() []model.Spec {
+	return append(append(model.EvaluationModels(), model.EmergingModels()...), model.UltraLargeModels()...)
+}
+
+// ListModels writes the -models listing.
+func ListModels(w io.Writer) {
+	for _, s := range AllModels() {
+		fmt.Fprintf(w, "%-24s %6.1fB params  %s\n", s.Name, s.EffectiveParams()/1e9, s.Arch)
+	}
+}
+
+// Model resolves a model-zoo name with the canonical error message.
+func Model(name string) (model.Spec, error) {
+	spec, ok := model.ByName(name)
+	if !ok {
+		return model.Spec{}, fmt.Errorf("unknown model %q (use -models to list)", name)
+	}
+	return spec, nil
+}
+
+// SeqLen resolves the effective sequence length: an explicit value wins, 0
+// selects the model default capped at 4096.
+func SeqLen(spec model.Spec, seq int) int {
+	if seq != 0 {
+		return seq
+	}
+	s := spec.DefaultSeqLen
+	if s > 4096 {
+		s = 4096
+	}
+	return s
+}
+
+// ArchCandidates resolves an architecture restriction: the empty string
+// explores the full Table II sweep, otherwise one named configuration.
+func ArchCandidates(config string) ([]hw.WaferConfig, error) {
+	switch config {
+	case "":
+		return hw.TableII(), nil
+	case "config1":
+		return []hw.WaferConfig{hw.Config1()}, nil
+	case "config2":
+		return []hw.WaferConfig{hw.Config2()}, nil
+	case "config3":
+		return []hw.WaferConfig{hw.Config3()}, nil
+	case "config4":
+		return []hw.WaferConfig{hw.Config4()}, nil
+	case "mesh-switch":
+		return []hw.WaferConfig{hw.Config3MeshSwitch()}, nil
+	default:
+		return nil, fmt.Errorf("unknown config %q", config)
+	}
+}

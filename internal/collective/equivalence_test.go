@@ -1,13 +1,53 @@
 package collective
 
 import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
 	"fmt"
+	"math"
 	"math/rand"
+	"os"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/hw"
 	"repro/internal/mesh"
 )
+
+// The equivalence tests pin the plan-based AllReduce/AllGather against
+// recorded vectors (testdata/equivalence_vectors.json): exact time bits,
+// step counts and a digest of the canonical per-link traffic for every
+// algorithm × group × fault pattern × payload. The vectors were captured
+// from the map-based pre-plan reference implementation, which lived in
+// reference_test.go until the plan path had accumulated enough mileage
+// (PR 1–2) and was then retired per the ROADMAP note; regenerate them with
+//
+//	go test ./internal/collective -run Equivalence -update
+//
+// only when the collective model itself deliberately changes.
+var updateVectors = flag.Bool("update", false, "rewrite testdata/equivalence_vectors.json from the current implementation")
+
+const vectorsPath = "testdata/equivalence_vectors.json"
+
+// vector is one recorded outcome: exact time, steps, loaded-link count and
+// a digest of the canonical per-link byte vector — or an expected error.
+type vector struct {
+	Time   float64 `json:"t,omitempty"`
+	Steps  int     `json:"s,omitempty"`
+	Links  int     `json:"n,omitempty"`
+	Digest string  `json:"d,omitempty"`
+	Err    bool    `json:"e,omitempty"`
+}
+
+// vectorFile is the testdata schema.
+type vectorFile struct {
+	Comment   string             `json:"comment"`
+	AllReduce map[string]vector  `json:"allreduce"`
+	AllGather map[string]vector  `json:"allgather"`
+	Util      map[string]float64 `json:"util"`
+}
 
 // equivGroups is the group grid of the equivalence sweep: rectangles of every
 // parity, rows, columns, an offset block, an irregular (non-rectangular)
@@ -30,7 +70,7 @@ func equivGroups() map[string][]mesh.DieID {
 // equivMeshes is the fault-pattern grid: healthy, one degraded link, one dead
 // link, one dead die, one partially degraded die, and a random multi-fault
 // wafer.
-func equivMeshes(t *testing.T) map[string]*mesh.Mesh {
+func equivMeshes(t testing.TB) map[string]*mesh.Mesh {
 	t.Helper()
 	healthy := mesh.New(hw.Config3())
 
@@ -64,107 +104,179 @@ var equivAlgorithms = []Algorithm{Ring, BiRing, RingBiOdd, TwoD, TACOS, Multitre
 
 var equivPayloads = []float64{1e9, 3.7e8, 1.0}
 
-// assertEquivalent compares the plan-based result with the reference result
-// for exact (bit-for-bit) equality of time, steps and per-link traffic.
-func assertEquivalent(t *testing.T, label string, got Result, gotErr error, want referenceResult, wantErr error) {
+// linkDigest renders the per-link traffic canonically (LinkLess order, exact
+// float bits) and returns a truncated SHA-256 — the recorded per-link vector.
+func linkDigest(loads map[mesh.Link]float64) (int, string) {
+	links := make([]mesh.Link, 0, len(loads))
+	for l := range loads {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool { return mesh.LinkLess(links[i], links[j]) })
+	var b strings.Builder
+	for _, l := range links {
+		fmt.Fprintf(&b, "%d,%d>%d,%d=%016x;", l.From.X, l.From.Y, l.To.X, l.To.Y, math.Float64bits(loads[l]))
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return len(links), fmt.Sprintf("%x", sum[:8])
+}
+
+// makeVector converts one call outcome into its recorded form.
+func makeVector(r Result, err error) vector {
+	if err != nil {
+		return vector{Err: true}
+	}
+	n, d := linkDigest(r.LinkBytes())
+	return vector{Time: r.Time, Steps: r.Steps, Links: n, Digest: d}
+}
+
+// sweep visits the full (mesh, group, algorithm, payload) grid in a stable
+// order.
+func sweep(t testing.TB, visit func(key string, m *mesh.Mesh, group []mesh.DieID, algo Algorithm, payload float64)) {
+	meshes := equivMeshes(t)
+	meshNames := sortedKeys(meshes)
+	groups := equivGroups()
+	groupNames := sortedKeys(groups)
+	for _, meshName := range meshNames {
+		for _, groupName := range groupNames {
+			for _, algo := range equivAlgorithms {
+				for _, payload := range equivPayloads {
+					key := fmt.Sprintf("%s/%s/%v/%g", meshName, groupName, algo, payload)
+					visit(key, meshes[meshName], groups[groupName], algo, payload)
+				}
+			}
+		}
+	}
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// loadVectors reads (or with -update, regenerates) the recorded vectors.
+func loadVectors(t *testing.T) *vectorFile {
 	t.Helper()
-	if (gotErr != nil) != (wantErr != nil) {
-		t.Fatalf("%s: error mismatch: plan err=%v, reference err=%v", label, gotErr, wantErr)
+	if *updateVectors {
+		vf := &vectorFile{
+			Comment: "Recorded collective equivalence vectors (see equivalence_test.go); " +
+				"regenerate with: go test ./internal/collective -run Equivalence -update",
+			AllReduce: map[string]vector{},
+			AllGather: map[string]vector{},
+			Util:      map[string]float64{},
+		}
+		sweep(t, func(key string, m *mesh.Mesh, group []mesh.DieID, algo Algorithm, payload float64) {
+			r, err := AllReduce(m, group, payload, algo)
+			vf.AllReduce[key] = makeVector(r, err)
+			g, err := AllGather(m, group, payload, algo)
+			vf.AllGather[key] = makeVector(g, err)
+		})
+		m := mesh.New(hw.Config3())
+		for groupName, group := range equivGroups() {
+			for _, algo := range equivAlgorithms {
+				r, err := AllReduce(m, group, 1e9, algo)
+				if err != nil {
+					continue
+				}
+				vf.Util[fmt.Sprintf("%s/%v", groupName, algo)] = r.MeanLinkUtilization(m)
+			}
+		}
+		data, err := json.MarshalIndent(vf, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(vectorsPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s: %d allreduce, %d allgather, %d util vectors",
+			vectorsPath, len(vf.AllReduce), len(vf.AllGather), len(vf.Util))
+	}
+	data, err := os.ReadFile(vectorsPath)
+	if err != nil {
+		t.Fatalf("read recorded vectors: %v (regenerate with -update)", err)
+	}
+	vf := &vectorFile{}
+	if err := json.Unmarshal(data, vf); err != nil {
+		t.Fatal(err)
+	}
+	return vf
+}
+
+// assertVector compares one outcome with its recorded vector bit-for-bit.
+func assertVector(t *testing.T, label string, got Result, gotErr error, want vector, ok bool) {
+	t.Helper()
+	if !ok {
+		t.Fatalf("%s: no recorded vector (regenerate with -update)", label)
+	}
+	if (gotErr != nil) != want.Err {
+		t.Fatalf("%s: err = %v, recorded err = %v", label, gotErr, want.Err)
 	}
 	if gotErr != nil {
 		return
 	}
 	if got.Time != want.Time {
-		t.Fatalf("%s: Time = %v (plan), want %v (reference), diff %g", label, got.Time, want.Time, got.Time-want.Time)
+		t.Fatalf("%s: Time = %v, recorded %v, diff %g", label, got.Time, want.Time, got.Time-want.Time)
 	}
 	if got.Steps != want.Steps {
-		t.Fatalf("%s: Steps = %d (plan), want %d (reference)", label, got.Steps, want.Steps)
+		t.Fatalf("%s: Steps = %d, recorded %d", label, got.Steps, want.Steps)
 	}
-	gotLinks := got.LinkBytes()
-	if len(gotLinks) != len(want.LinkBytes) {
-		t.Fatalf("%s: %d loaded links (plan), want %d (reference)", label, len(gotLinks), len(want.LinkBytes))
-	}
-	for l, wb := range want.LinkBytes {
-		if gb, ok := gotLinks[l]; !ok || gb != wb {
-			t.Fatalf("%s: link %v bytes = %v (plan), want %v (reference)", label, l, gotLinks[l], wb)
-		}
+	n, d := linkDigest(got.LinkBytes())
+	if n != want.Links || d != want.Digest {
+		t.Fatalf("%s: link vector = %d links digest %s, recorded %d links digest %s",
+			label, n, d, want.Links, want.Digest)
 	}
 }
 
 // TestAllReducePlanEquivalence sweeps every algorithm over the group and
-// fault grids and asserts the plan path reproduces the reference map-based
-// implementation exactly — including the second and third payloads served
-// from the warmed plan cache, which is where scaling bugs would hide.
+// fault grids and asserts the plan path reproduces the recorded reference
+// vectors exactly — including the second and third payloads served from the
+// warmed plan cache, which is where scaling bugs would hide.
 func TestAllReducePlanEquivalence(t *testing.T) {
-	for meshName, m := range equivMeshes(t) {
-		for groupName, group := range equivGroups() {
-			for _, algo := range equivAlgorithms {
-				for _, payload := range equivPayloads {
-					label := fmt.Sprintf("%s/%s/%v/%g", meshName, groupName, algo, payload)
-					got, gotErr := AllReduce(m, group, payload, algo)
-					want, wantErr := referenceAllReduce(m, group, payload, algo)
-					assertEquivalent(t, "allreduce/"+label, got, gotErr, want, wantErr)
-				}
-			}
-		}
-	}
+	vf := loadVectors(t)
+	sweep(t, func(key string, m *mesh.Mesh, group []mesh.DieID, algo Algorithm, payload float64) {
+		got, gotErr := AllReduce(m, group, payload, algo)
+		want, ok := vf.AllReduce[key]
+		assertVector(t, "allreduce/"+key, got, gotErr, want, ok)
+	})
 }
 
 // TestAllGatherPlanEquivalence mirrors the all-reduce sweep for AllGather.
 func TestAllGatherPlanEquivalence(t *testing.T) {
-	for meshName, m := range equivMeshes(t) {
-		for groupName, group := range equivGroups() {
-			for _, algo := range equivAlgorithms {
-				for _, payload := range equivPayloads {
-					label := fmt.Sprintf("%s/%s/%v/%g", meshName, groupName, algo, payload)
-					got, gotErr := AllGather(m, group, payload, algo)
-					want, wantErr := referenceAllGather(m, group, payload, algo)
-					assertEquivalent(t, "allgather/"+label, got, gotErr, want, wantErr)
-				}
-			}
-		}
-	}
+	vf := loadVectors(t)
+	sweep(t, func(key string, m *mesh.Mesh, group []mesh.DieID, algo Algorithm, payload float64) {
+		got, gotErr := AllGather(m, group, payload, algo)
+		want, ok := vf.AllGather[key]
+		assertVector(t, "allgather/"+key, got, gotErr, want, ok)
+	})
 }
 
 // TestMeanLinkUtilizationEquivalence checks the dense utilisation metric
-// against the reference's sorted-map accumulation.
+// against the recorded sorted-map reference values.
 func TestMeanLinkUtilizationEquivalence(t *testing.T) {
+	vf := loadVectors(t)
 	m := mesh.New(hw.Config3())
 	for groupName, group := range equivGroups() {
 		for _, algo := range equivAlgorithms {
 			got, gotErr := AllReduce(m, group, 1e9, algo)
+			key := fmt.Sprintf("%s/%v", groupName, algo)
+			want, ok := vf.Util[key]
 			if gotErr != nil {
+				if ok {
+					t.Errorf("%s: errored (%v) but a utilisation vector is recorded", key, gotErr)
+				}
 				continue
 			}
-			// Reference metric: sum in sorted link order over the map.
-			want, _ := referenceAllReduce(m, group, 1e9, algo)
-			var peak float64
-			for _, b := range want.LinkBytes {
-				if b > peak {
-					peak = b
-				}
+			if !ok {
+				t.Fatalf("%s: no recorded utilisation vector (regenerate with -update)", key)
 			}
-			var wantUtil float64
-			if peak > 0 {
-				links := make([]mesh.Link, 0, len(want.LinkBytes))
-				for l := range want.LinkBytes {
-					links = append(links, l)
-				}
-				// Canonical order, as the pre-refactor metric sorted.
-				for i := 1; i < len(links); i++ {
-					for j := i; j > 0 && mesh.LinkLess(links[j], links[j-1]); j-- {
-						links[j], links[j-1] = links[j-1], links[j]
-					}
-				}
-				var sum float64
-				for _, l := range links {
-					sum += want.LinkBytes[l] / peak
-				}
-				total := 2 * (m.Cols*(m.Rows-1) + m.Rows*(m.Cols-1))
-				wantUtil = sum / float64(total)
-			}
-			if gotUtil := got.MeanLinkUtilization(m); gotUtil != wantUtil {
-				t.Errorf("%s/%v: MeanLinkUtilization = %v, want %v", groupName, algo, gotUtil, wantUtil)
+			if gotUtil := got.MeanLinkUtilization(m); gotUtil != want {
+				t.Errorf("%s: MeanLinkUtilization = %v, recorded %v", key, gotUtil, want)
 			}
 		}
 	}

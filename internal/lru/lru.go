@@ -11,10 +11,13 @@ import (
 	"sync"
 )
 
-// Stats is a snapshot of cache effectiveness counters.
+// Stats is a snapshot of cache effectiveness counters. The JSON form is
+// part of the evaluation service's wire API (snake_case, like every other
+// /v1/stats field).
 type Stats struct {
-	Hits, Misses uint64
-	Size         int
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
 }
 
 // HitRate returns hits / (hits+misses), or 0 before any lookup.
@@ -87,6 +90,35 @@ func (c *Cache[V]) Put(key string, v V) {
 		c.order.Remove(last)
 		delete(c.entries, last.Value.(*entry[V]).key)
 	}
+}
+
+// Entry is one key/value pair of a cache dump.
+type Entry[V any] struct {
+	Key   string
+	Value V
+}
+
+// Entries returns the cache contents ordered from least- to most-recently
+// used, so replaying them through Put on an empty cache reproduces both the
+// contents and the eviction order. It backs the snapshot persistence of the
+// evaluation service; values are shared, not copied, and must be treated as
+// read-only.
+func (c *Cache[V]) Entries() []Entry[V] {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Entry[V], 0, c.order.Len())
+	for el := c.order.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*entry[V])
+		out = append(out, Entry[V]{Key: e.key, Value: e.value})
+	}
+	return out
+}
+
+// Len returns the current entry count.
+func (c *Cache[V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
 }
 
 // Stats snapshots the hit/miss counters and current size.

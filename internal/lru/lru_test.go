@@ -1,0 +1,170 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestCapacityClamp checks that non-positive capacities clamp to a working
+// single-entry cache instead of an unbounded or broken one.
+func TestCapacityClamp(t *testing.T) {
+	for _, capacity := range []int{0, -3} {
+		c := New[int](capacity)
+		c.Put("a", 1)
+		if v, ok := c.Get("a"); !ok || v != 1 {
+			t.Fatalf("cap=%d: Get(a) = %d, %v after Put", capacity, v, ok)
+		}
+		c.Put("b", 2)
+		if _, ok := c.Get("a"); ok {
+			t.Errorf("cap=%d: a survived beyond the clamped single-entry capacity", capacity)
+		}
+		if v, ok := c.Get("b"); !ok || v != 2 {
+			t.Errorf("cap=%d: Get(b) = %d, %v, want 2", capacity, v, ok)
+		}
+		if n := c.Len(); n != 1 {
+			t.Errorf("cap=%d: Len = %d, want 1", capacity, n)
+		}
+	}
+}
+
+// TestCapacityOne checks the degenerate one-entry cache keeps exactly the
+// most recent key.
+func TestCapacityOne(t *testing.T) {
+	c := New[string](1)
+	for i := 0; i < 5; i++ {
+		key := fmt.Sprintf("k%d", i)
+		c.Put(key, key)
+		if v, ok := c.Get(key); !ok || v != key {
+			t.Fatalf("Get(%s) = %q, %v immediately after Put", key, v, ok)
+		}
+		if i > 0 {
+			if _, ok := c.Get(fmt.Sprintf("k%d", i-1)); ok {
+				t.Fatalf("k%d survived in a capacity-1 cache after Put(k%d)", i-1, i)
+			}
+		}
+	}
+}
+
+// TestEvictionOrder checks LRU eviction: a Get refreshes recency, a Put of an
+// existing key updates in place, and the least recently used entry goes first.
+func TestEvictionOrder(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	// Refresh a: eviction order is now b, c, a.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put("d", 4) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Error("b should have been evicted as least recently used")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Get(k); !ok {
+			t.Errorf("%s missing after eviction of b", k)
+		}
+	}
+	// Updating an existing key must not evict anyone.
+	c.Put("c", 33)
+	if v, ok := c.Get("c"); !ok || v != 33 {
+		t.Errorf("Get(c) = %d, %v, want 33", v, ok)
+	}
+	if n := c.Len(); n != 3 {
+		t.Errorf("Len = %d after in-place update, want 3", n)
+	}
+}
+
+// TestStatsCounters checks hit/miss accounting through puts, gets, eviction
+// and reset.
+func TestStatsCounters(t *testing.T) {
+	c := New[int](2)
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Size != 0 {
+		t.Fatalf("fresh cache stats = %+v", s)
+	}
+	if s := (Stats{}); s.HitRate() != 0 {
+		t.Errorf("HitRate of zero stats = %g, want 0", s.HitRate())
+	}
+	c.Get("missing") // miss
+	c.Put("a", 1)
+	c.Get("a") // hit
+	c.Get("a") // hit
+	c.Put("b", 2)
+	c.Put("c", 3) // evicts a
+	c.Get("a")    // miss (evicted)
+	s := c.Stats()
+	if s.Hits != 2 || s.Misses != 2 || s.Size != 2 {
+		t.Errorf("stats = %+v, want 2 hits, 2 misses, size 2", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("HitRate = %g, want 0.5", got)
+	}
+	c.Reset()
+	if s := c.Stats(); s.Hits != 0 || s.Misses != 0 || s.Size != 0 {
+		t.Errorf("stats after Reset = %+v", s)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Error("b survived Reset")
+	}
+}
+
+// TestEntriesOrder checks Entries returns LRU→MRU so a replay reproduces the
+// cache, including its eviction order.
+func TestEntriesOrder(t *testing.T) {
+	c := New[int](3)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	c.Put("c", 3)
+	c.Get("a") // order is now b, c, a (LRU→MRU)
+	got := c.Entries()
+	want := []Entry[int]{{"b", 2}, {"c", 3}, {"a", 1}}
+	if len(got) != len(want) {
+		t.Fatalf("Entries len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Entries[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Replay into a fresh cache: same contents, same next eviction victim.
+	r := New[int](3)
+	for _, e := range got {
+		r.Put(e.Key, e.Value)
+	}
+	r.Put("d", 4) // must evict b, as in the original
+	if _, ok := r.Get("b"); ok {
+		t.Error("replayed cache evicted the wrong entry (b survived)")
+	}
+	for _, k := range []string{"c", "a", "d"} {
+		if _, ok := r.Get(k); !ok {
+			t.Errorf("replayed cache lost %s", k)
+		}
+	}
+}
+
+// TestConcurrentAccess exercises the lock paths under the race detector.
+func TestConcurrentAccess(t *testing.T) {
+	c := New[int](64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", (g*7+i)%100)
+				c.Put(key, i)
+				c.Get(key)
+				if i%50 == 0 {
+					c.Entries()
+					c.Stats()
+					c.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 64 {
+		t.Errorf("Len = %d exceeds capacity 64", c.Len())
+	}
+}

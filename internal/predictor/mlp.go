@@ -2,6 +2,7 @@ package predictor
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"math/rand"
 
@@ -53,6 +54,38 @@ func features(op opgraph.Op, die DieContext) []float64 {
 		lg(float64(die.Cores) * die.CorePeakFLOPS),
 		lg(die.DRAMBandwidth),
 	}
+}
+
+// PredictorSignature identifies the network by its architecture and a
+// digest of every behaviour-determining parameter (weights, biases,
+// normalisation statistics), so two MLPs sign equal exactly when they
+// predict identically.
+func (m *MLP) PredictorSignature() string {
+	h := fnv.New64a()
+	buf := make([]byte, 8)
+	w64 := func(v float64) {
+		bits := math.Float64bits(v)
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(bits >> (8 * i))
+		}
+		h.Write(buf)
+	}
+	for _, mat := range [][][]float64{m.w1, m.w2, m.w3} {
+		for _, row := range mat {
+			for _, v := range row {
+				w64(v)
+			}
+		}
+	}
+	for _, vec := range [][]float64{m.b1, m.b2, m.b3, m.featMean, m.featStd} {
+		for _, v := range vec {
+			w64(v)
+		}
+	}
+	for _, v := range [...]float64{m.tgtMean[0], m.tgtMean[1], m.tgtStd[0], m.tgtStd[1]} {
+		w64(v)
+	}
+	return fmt.Sprintf("mlp(h=%d,trained=%v,%016x)", m.hidden, m.trained, h.Sum64())
 }
 
 // NewMLP creates an untrained network with the given hidden width.

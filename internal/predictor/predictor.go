@@ -73,6 +73,23 @@ type Predictor interface {
 	Predict(op opgraph.Op, die DieContext) Estimate
 }
 
+// Signature returns a semantic identity of a predictor: two predictors with
+// equal signatures produce identical estimates for every (op, die) input.
+// Stateless predictors are identified by type; stateful ones (LookupTable
+// composition, trained MLP weights) implement PredictorSignature to fold
+// their behaviour-determining state in. Persisted cache snapshots use this
+// to decide whether cached results computed under another process's
+// predictor are still valid.
+func Signature(p Predictor) string {
+	if p == nil {
+		return "<nil>"
+	}
+	if s, ok := p.(interface{ PredictorSignature() string }); ok {
+		return s.PredictorSignature()
+	}
+	return fmt.Sprintf("%T", p)
+}
+
 // validate rejects broken contexts early.
 func (d DieContext) validate() error {
 	if d.Cores <= 0 || d.CorePeakFLOPS <= 0 || d.DRAMBandwidth <= 0 {

@@ -65,6 +65,13 @@ func (t *LookupTable) Predict(op opgraph.Op, die DieContext) Estimate {
 	return e
 }
 
+// PredictorSignature identifies the table by its base predictor: the table
+// is a pure memoisation layer, so two tables over equal bases are
+// behaviourally identical regardless of their cache contents.
+func (t *LookupTable) PredictorSignature() string {
+	return "lookup(" + Signature(t.base) + ")"
+}
+
 // Size returns the number of memoised entries.
 func (t *LookupTable) Size() int {
 	t.mu.RLock()

@@ -1,0 +1,34 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderCandidate appends the canonical rendering of one explored candidate:
+// every pointer expanded so the string is a pure function of the candidate's
+// values. It is the byte-identity contract of the repository — the golden
+// search test pins its SHA-256 against the pre-refactor implementation, and
+// the evaluation service uses it to prove a daemon-served job equals the
+// same search run in-process, byte for byte.
+func RenderCandidate(b *strings.Builder, c Candidate) {
+	fmt.Fprintf(b, "tp=%d pp=%d coll=%v pruned=%v err=%v\n", c.TP, c.PP, c.Collective, c.Pruned, c.Err)
+	fmt.Fprintf(b, "report=%+v\n", c.Report)
+	fmt.Fprintf(b, "pipelineWafers=%d\n", c.Strategy.PipelineWafers)
+	if c.Strategy.Placement != nil {
+		fmt.Fprintf(b, "placement=%v\n", c.Strategy.Placement.Regions)
+	}
+	if c.Strategy.Recompute != nil {
+		fmt.Fprintf(b, "recompute=%+v\n", *c.Strategy.Recompute)
+	}
+	fmt.Fprintf(b, "allocations=%v\n", c.Strategy.Allocations)
+}
+
+// Canonical returns the canonical rendering of the full exploration record.
+func (r *Result) Canonical() string {
+	var b strings.Builder
+	for _, c := range r.Explored {
+		RenderCandidate(&b, c)
+	}
+	return b.String()
+}

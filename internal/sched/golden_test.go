@@ -4,7 +4,6 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"runtime"
-	"strings"
 	"testing"
 
 	"repro/internal/hw"
@@ -21,21 +20,6 @@ const (
 	goldenSHA = "5c80c7261eda54f60c324983cddefee40780c291f49f21a255ee7365d1413bb5"
 	goldenLen = 129915
 )
-
-// renderCandidate is the canonical rendering: every pointer expanded so the
-// string is a pure function of the candidate's values.
-func renderCandidate(b *strings.Builder, c Candidate) {
-	fmt.Fprintf(b, "tp=%d pp=%d coll=%v pruned=%v err=%v\n", c.TP, c.PP, c.Collective, c.Pruned, c.Err)
-	fmt.Fprintf(b, "report=%+v\n", c.Report)
-	fmt.Fprintf(b, "pipelineWafers=%d\n", c.Strategy.PipelineWafers)
-	if c.Strategy.Placement != nil {
-		fmt.Fprintf(b, "placement=%v\n", c.Strategy.Placement.Regions)
-	}
-	if c.Strategy.Recompute != nil {
-		fmt.Fprintf(b, "recompute=%+v\n", *c.Strategy.Recompute)
-	}
-	fmt.Fprintf(b, "allocations=%v\n", c.Strategy.Allocations)
-}
 
 // TestSearchReportGolden asserts the full exploration record of a search is
 // byte-identical to the pre-refactor implementation's output.
@@ -59,14 +43,11 @@ func TestSearchReportGolden(t *testing.T) {
 	if res.Best.TP != 4 || res.Best.PP != 7 {
 		t.Errorf("best = (TP=%d, PP=%d, %v), want (TP=4, PP=7, bi-ring)", res.Best.TP, res.Best.PP, res.Best.Collective)
 	}
-	var all strings.Builder
-	for _, c := range res.Explored {
-		renderCandidate(&all, c)
+	all := res.Canonical()
+	if len(all) != goldenLen {
+		t.Errorf("rendered exploration record is %d bytes, want %d", len(all), goldenLen)
 	}
-	if all.Len() != goldenLen {
-		t.Errorf("rendered exploration record is %d bytes, want %d", all.Len(), goldenLen)
-	}
-	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(all.String()))); got != goldenSHA {
+	if got := fmt.Sprintf("%x", sha256.Sum256([]byte(all))); got != goldenSHA {
 		t.Errorf("exploration record sha256 = %s, want %s (reports diverged from the pre-refactor implementation)", got, goldenSHA)
 	}
 }

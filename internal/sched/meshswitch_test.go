@@ -1,0 +1,75 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/collective"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/search"
+)
+
+// TestMeshSwitchSearchEndToEnd pins the §VI-E mesh-switch topology through
+// the full cached-plan path: the ROADMAP flags plan-level mesh-switch
+// support as an open seam, so this locks in the current behaviour — an
+// end-to-end search over the 12×4 strip arrangement must succeed, choose a
+// strategy whose TP groups stay inside one strip row (InSameGroup), and
+// reproduce byte-identically when every collective plan and candidate comes
+// from the warm caches.
+func TestMeshSwitchSearchEndToEnd(t *testing.T) {
+	w := hw.Config3MeshSwitch()
+	pred := predictor.NewLookupTable(predictor.TileLevel{})
+	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
+	opts := Options{Workers: 1, Seed: 7}
+
+	// Cold run: no candidate memo, no evaluation memo, no collective plans.
+	ResetCache()
+	search.DefaultCache().Reset()
+	collective.ResetPlanCache()
+	cold, err := Search(w, model.Llama2_30B(), work, pred, opts)
+	if err != nil {
+		t.Fatalf("mesh-switch search failed end-to-end: %v", err)
+	}
+	if cold.Best == nil || cold.Best.Report.Throughput <= 0 {
+		t.Fatal("mesh-switch search found no feasible strategy")
+	}
+	plansAfterCold := collective.PlanCacheStats()
+	if plansAfterCold.Size == 0 {
+		t.Error("mesh-switch search built no cached collective plans")
+	}
+	canonCold := cold.Canonical()
+
+	// Warm run: candidate and evaluation memos cleared so every strategy
+	// rebuilds and re-simulates, but the collective plans stay cached —
+	// the warm run must serve them by mesh.Signature and scale them to
+	// each payload. Any divergence here means the mesh-switch plan path
+	// scales plans incorrectly on reuse.
+	ResetCache()
+	search.DefaultCache().Reset()
+	warm, err := Search(w, model.Llama2_30B(), work, pred, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canonWarm := warm.Canonical(); canonWarm != canonCold {
+		t.Errorf("warm mesh-switch exploration differs from cold (%d vs %d bytes)", len(canonWarm), len(canonCold))
+	}
+	if plansNow := collective.PlanCacheStats(); plansNow.Hits <= plansAfterCold.Hits {
+		t.Errorf("warm search served no collective plans from cache (hits %d -> %d)",
+			plansAfterCold.Hits, plansNow.Hits)
+	}
+
+	// Current behaviour pin: the best TP group must not straddle the
+	// switch — every TP region of the winning placement stays in one
+	// 12-die strip row, where the cached ring plans are valid.
+	if best := warm.Best; best.Strategy.Placement != nil {
+		for s, region := range best.Strategy.Placement.Regions {
+			for _, d := range region.Dies {
+				if d.Y != region.Dies[0].Y {
+					t.Fatalf("stage %d TP region straddles strip rows (%v vs %v): "+
+						"cross-switch collectives are not plan-supported", s, region.Dies[0], d)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"errors"
+
+	"repro/internal/collective"
+	"repro/internal/memalloc"
+	"repro/internal/placement"
+	"repro/internal/recompute"
+	"repro/internal/sim"
+)
+
+// SnapshotEntry is the serializable (gob-safe) form of one candidate-cache
+// entry: pointers become value copies with explicit presence flags, and the
+// error travels as text. Restored candidates render byte-identically to the
+// originals through RenderCandidate, which is all the warm-start contract
+// requires.
+type SnapshotEntry struct {
+	Key            string
+	TP, PP         int
+	Collective     collective.Algorithm
+	Report         sim.Report
+	Pruned         bool
+	HasErr         bool
+	ErrMsg         string
+	HasPlacement   bool
+	Placement      placement.Placement
+	HasRecompute   bool
+	Recompute      recompute.Plan
+	Allocations    []memalloc.Allocation
+	PipelineWafers int
+}
+
+// CacheSnapshot dumps the candidate-level memo cache from least- to
+// most-recently used, so RestoreCache on a cold process reproduces contents
+// and eviction order.
+func CacheSnapshot() []SnapshotEntry {
+	entries := candidateCache.Entries()
+	out := make([]SnapshotEntry, 0, len(entries))
+	for _, e := range entries {
+		c := e.Value
+		se := SnapshotEntry{
+			Key:            e.Key,
+			TP:             c.TP,
+			PP:             c.PP,
+			Collective:     c.Collective,
+			Report:         c.Report,
+			Pruned:         c.Pruned,
+			Allocations:    c.Strategy.Allocations,
+			PipelineWafers: c.Strategy.PipelineWafers,
+		}
+		if c.Err != nil {
+			se.HasErr = true
+			se.ErrMsg = c.Err.Error()
+		}
+		if c.Strategy.Placement != nil {
+			se.HasPlacement = true
+			se.Placement = *c.Strategy.Placement
+		}
+		if c.Strategy.Recompute != nil {
+			se.HasRecompute = true
+			se.Recompute = *c.Strategy.Recompute
+		}
+		out = append(out, se)
+	}
+	return out
+}
+
+// RestoreCache replays snapshot entries into the candidate memo cache in
+// order. It does not reset first: warming an already-used cache only adds
+// entries. Restored candidates are shared read-only values, exactly like
+// freshly computed ones.
+func RestoreCache(entries []SnapshotEntry) {
+	for _, se := range entries {
+		c := Candidate{
+			TP:         se.TP,
+			PP:         se.PP,
+			Collective: se.Collective,
+			Report:     se.Report,
+			Pruned:     se.Pruned,
+			Strategy: sim.Strategy{
+				Allocations:    se.Allocations,
+				PipelineWafers: se.PipelineWafers,
+			},
+		}
+		if se.HasErr {
+			c.Err = errors.New(se.ErrMsg)
+		}
+		if se.HasPlacement {
+			pl := se.Placement
+			c.Strategy.Placement = &pl
+		}
+		if se.HasRecompute {
+			rp := se.Recompute
+			c.Strategy.Recompute = &rp
+		}
+		candidateCache.Put(se.Key, c)
+	}
+}

@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/search"
+)
+
+// TestCandidateCacheSnapshotRoundTrip checks the warm-start contract of the
+// evaluation service: a search replayed against a cache restored from a
+// gob-serialized snapshot returns a byte-identical exploration record and is
+// answered entirely from the cache, without re-running a single candidate.
+func TestCandidateCacheSnapshotRoundTrip(t *testing.T) {
+	pred := predictor.NewLookupTable(predictor.TileLevel{})
+	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
+	opts := Options{Workers: 1, Seed: 7}
+
+	ResetCache()
+	res1, err := Search(hw.Config3(), model.Llama2_30B(), work, pred, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon1 := res1.Canonical()
+
+	// Serialize through gob exactly as the service snapshot file does.
+	snap := CacheSnapshot()
+	if len(snap) != len(res1.Explored) {
+		t.Fatalf("snapshot has %d entries, want %d (one per explored candidate)", len(snap), len(res1.Explored))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var restored []SnapshotEntry
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&restored); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+
+	// Cold process: empty candidate cache, then warm it from the snapshot.
+	ResetCache()
+	RestoreCache(restored)
+	if got := CacheStats().Size; got != len(snap) {
+		t.Fatalf("restored cache holds %d entries, want %d", got, len(snap))
+	}
+
+	evalBefore := search.DefaultCache().Stats()
+	before := CacheStats()
+	res2, err := Search(hw.Config3(), model.Llama2_30B(), work, pred, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := CacheStats()
+
+	if canon2 := res2.Canonical(); canon2 != canon1 {
+		t.Errorf("exploration record after snapshot restore differs (%d vs %d bytes)", len(canon2), len(canon1))
+	}
+	if hits := after.Hits - before.Hits; hits != uint64(len(res2.Explored)) {
+		t.Errorf("warm search took %d candidate-cache hits, want %d (every candidate)", hits, len(res2.Explored))
+	}
+	if after.Misses != before.Misses {
+		t.Errorf("warm search missed the candidate cache %d times, want 0", after.Misses-before.Misses)
+	}
+	// No candidate re-ran, so no strategy evaluation (re-simulation) either.
+	evalAfter := search.DefaultCache().Stats()
+	if evalAfter.Misses != evalBefore.Misses {
+		t.Errorf("warm search re-simulated %d strategies, want 0", evalAfter.Misses-evalBefore.Misses)
+	}
+}

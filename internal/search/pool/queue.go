@@ -1,0 +1,133 @@
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Queue is a long-lived bounded job queue: a fixed set of workers drains a
+// bounded backlog of submitted tasks. It complements Runner — Runner fans a
+// known batch of n tasks out and joins them, while Queue accepts tasks one
+// at a time over its lifetime, which is what a resident evaluation service
+// needs. Like Runner it is deliberately dependency-free.
+type Queue struct {
+	tasks   chan func()
+	done    chan struct{}
+	workers sync.WaitGroup
+	senders sync.WaitGroup
+	discard atomic.Bool
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewQueue returns a Queue with the given worker count (<=0 = GOMAXPROCS)
+// and backlog bound (<0 = 0, i.e. submissions hand off directly to an idle
+// worker or report the queue full).
+func NewQueue(workers, backlog int) *Queue {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if backlog < 0 {
+		backlog = 0
+	}
+	q := &Queue{
+		tasks: make(chan func(), backlog),
+		done:  make(chan struct{}),
+	}
+	q.workers.Add(workers)
+	for i := 0; i < workers; i++ {
+		go func() {
+			defer q.workers.Done()
+			for fn := range q.tasks {
+				if !q.discard.Load() {
+					fn()
+				}
+			}
+		}()
+	}
+	return q
+}
+
+// enter registers a sender; it reports false once the queue is closed.
+func (q *Queue) enter() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return false
+	}
+	q.senders.Add(1)
+	return true
+}
+
+// TrySubmit enqueues fn without blocking. It reports false when the queue is
+// closed or the backlog is full — the bounded-queue backpressure signal the
+// service turns into a 503. It never blocks, even while other submitters
+// are waiting or the queue is closing.
+func (q *Queue) TrySubmit(fn func()) bool {
+	if !q.enter() {
+		return false
+	}
+	defer q.senders.Done()
+	select {
+	case q.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// Submit enqueues fn, blocking while the backlog is full. It reports false
+// when the queue is closed — including when Close is called while the
+// submission is still waiting for backlog space. A true result means
+// enqueued, not executed: CloseDiscard drops accepted-but-unstarted tasks
+// by design (a submission racing CloseDiscard may land in the discarded
+// backlog), so callers needing completion guarantees must track their
+// tasks themselves, as the evaluation service does with its job records.
+func (q *Queue) Submit(fn func()) bool {
+	if !q.enter() {
+		return false
+	}
+	defer q.senders.Done()
+	select {
+	case q.tasks <- fn:
+		return true
+	case <-q.done:
+		return false
+	}
+}
+
+// Depth returns the number of tasks waiting in the backlog (excluding tasks
+// already running on workers).
+func (q *Queue) Depth() int { return len(q.tasks) }
+
+// Close stops accepting new tasks (waking any Submit blocked on a full
+// backlog), drains the already-accepted backlog and waits for running tasks
+// to finish. It is idempotent (also with respect to CloseDiscard).
+func (q *Queue) Close() { q.close(false) }
+
+// CloseDiscard stops accepting new tasks and waits only for the tasks
+// already running on workers; the queued backlog — every task accepted but
+// not yet started, including submissions racing this call — is dropped
+// unexecuted. This is the bounded-latency shutdown a daemon needs: with
+// its frontend already down, nobody can collect the backlog's results
+// anyway.
+func (q *Queue) CloseDiscard() { q.close(true) }
+
+func (q *Queue) close(discard bool) {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		return
+	}
+	q.closed = true
+	q.mu.Unlock()
+	if discard {
+		q.discard.Store(true)
+	}
+	close(q.done)    // wake blocked Submits; new enters are refused above
+	q.senders.Wait() // no sends in flight → safe to close the task channel
+	close(q.tasks)
+	q.workers.Wait()
+}

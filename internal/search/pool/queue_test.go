@@ -1,0 +1,171 @@
+package pool
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueRunsAllTasks submits tasks from many goroutines and checks every
+// one executes exactly once before Close returns.
+func TestQueueRunsAllTasks(t *testing.T) {
+	q := NewQueue(4, 16)
+	var ran atomic.Int64
+	var wg sync.WaitGroup
+	const tasks = 200
+	for i := 0; i < tasks; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !q.Submit(func() { ran.Add(1) }) {
+				t.Error("Submit returned false on an open queue")
+			}
+		}()
+	}
+	wg.Wait()
+	q.Close()
+	if got := ran.Load(); got != tasks {
+		t.Errorf("ran %d tasks, want %d", got, tasks)
+	}
+}
+
+// TestQueueBacklogBound checks TrySubmit applies backpressure: with all
+// workers blocked and the backlog full, it must refuse instead of queueing
+// unboundedly.
+func TestQueueBacklogBound(t *testing.T) {
+	q := NewQueue(1, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if !q.TrySubmit(func() { close(started); <-release }) {
+		t.Fatal("first TrySubmit refused")
+	}
+	<-started // the single worker is now blocked
+	if !q.TrySubmit(func() {}) || !q.TrySubmit(func() {}) {
+		t.Fatal("backlog submissions refused below the bound")
+	}
+	if q.TrySubmit(func() {}) {
+		t.Error("TrySubmit accepted a task beyond the backlog bound")
+	}
+	if d := q.Depth(); d != 2 {
+		t.Errorf("Depth = %d with a full backlog, want 2", d)
+	}
+	close(release)
+	q.Close()
+}
+
+// TestQueueClose checks Close drains the backlog, rejects late submissions
+// and is idempotent.
+func TestQueueClose(t *testing.T) {
+	q := NewQueue(2, 8)
+	var ran atomic.Int64
+	for i := 0; i < 8; i++ {
+		q.Submit(func() { time.Sleep(time.Millisecond); ran.Add(1) })
+	}
+	q.Close()
+	if got := ran.Load(); got != 8 {
+		t.Errorf("Close returned with %d/8 tasks run", got)
+	}
+	if q.Submit(func() { ran.Add(1) }) {
+		t.Error("Submit accepted a task after Close")
+	}
+	if q.TrySubmit(func() { ran.Add(1) }) {
+		t.Error("TrySubmit accepted a task after Close")
+	}
+	q.Close() // idempotent
+	if got := ran.Load(); got != 8 {
+		t.Errorf("late submissions ran: %d tasks total, want 8", got)
+	}
+}
+
+// TestQueueCloseWakesBlockedSubmit checks a Submit waiting on a full
+// backlog returns false when the queue closes instead of deadlocking Close,
+// and that TrySubmit stays non-blocking throughout.
+func TestQueueCloseWakesBlockedSubmit(t *testing.T) {
+	q := NewQueue(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var ran atomic.Int64
+	q.TrySubmit(func() { close(started); <-release; ran.Add(1) })
+	<-started
+	q.TrySubmit(func() { ran.Add(1) }) // fills the backlog
+
+	submitRes := make(chan bool)
+	go func() {
+		submitRes <- q.Submit(func() { ran.Add(1) }) // blocks: backlog full
+	}()
+	// TrySubmit must refuse immediately even with a Submit waiting.
+	if q.TrySubmit(func() {}) {
+		t.Error("TrySubmit accepted beyond the backlog bound while a Submit waits")
+	}
+
+	closed := make(chan struct{})
+	go func() { q.Close(); close(closed) }()
+	select {
+	case ok := <-submitRes:
+		if ok {
+			t.Error("blocked Submit reported success after Close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("blocked Submit did not wake on Close")
+	}
+	close(release) // let the worker drain the accepted backlog
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not return after the backlog drained")
+	}
+	if got := ran.Load(); got != 2 {
+		t.Errorf("ran %d accepted tasks, want 2 (blocked task must not run)", got)
+	}
+}
+
+// TestQueueCloseDiscard checks CloseDiscard finishes the running task but
+// drops the queued backlog unexecuted.
+func TestQueueCloseDiscard(t *testing.T) {
+	q := NewQueue(1, 4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	var ran atomic.Int64
+	q.TrySubmit(func() { close(started); <-release; ran.Add(1) })
+	<-started
+	for i := 0; i < 4; i++ {
+		if !q.TrySubmit(func() { ran.Add(1) }) {
+			t.Fatal("backlog submit refused")
+		}
+	}
+	closed := make(chan struct{})
+	go func() { q.CloseDiscard(); close(closed) }()
+	// The discard flag is set before q.done closes, so once done is
+	// observed the still-blocked worker cannot execute backlog tasks.
+	select {
+	case <-q.done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CloseDiscard did not signal shutdown")
+	}
+	close(release)
+	select {
+	case <-closed:
+	case <-time.After(5 * time.Second):
+		t.Fatal("CloseDiscard did not return")
+	}
+	if got := ran.Load(); got != 1 {
+		t.Errorf("ran %d tasks, want 1 (running finishes, backlog discarded)", got)
+	}
+	q.Close() // idempotent across both close flavours
+}
+
+// TestQueueDefaultWidth checks the GOMAXPROCS default accepts work.
+func TestQueueDefaultWidth(t *testing.T) {
+	q := NewQueue(0, -1)
+	done := make(chan struct{})
+	if !q.Submit(func() { close(done) }) {
+		t.Fatal("Submit refused on default-width queue")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("task did not run")
+	}
+	q.Close()
+}

@@ -1,0 +1,59 @@
+package search
+
+import (
+	"errors"
+
+	"repro/internal/sim"
+)
+
+// FingerprintSchemeVersion identifies the canonical cache-key scheme shared
+// by the evaluation cache (Fingerprint), the scheduler's candidate keys
+// (sched.candidateKey) and the mesh/plan signatures (mesh.Signature). Cache
+// snapshots persisted to disk by the evaluation service record this version;
+// a daemon refuses to warm-start from a snapshot written under a different
+// scheme, so stale keys can never alias fresh results.
+//
+// Bump this constant whenever any of those key or signature formats changes
+// — including changes to the structs rendered into them (%+v formats follow
+// field order) and to the simulator model itself (equal keys must keep
+// implying bit-identical reports).
+const FingerprintSchemeVersion = 1
+
+// SnapshotEntry is the serializable form of one evaluation-cache entry.
+// Errors travel as text: deterministic failures (OOM strategies, infeasible
+// placements) are memoized alongside reports, and their restored form only
+// needs to render identically, not to share the original error type.
+type SnapshotEntry struct {
+	Key    string
+	Report sim.Report
+	HasErr bool
+	ErrMsg string
+}
+
+// Snapshot dumps the cache contents from least- to most-recently used, so
+// Restore on an empty cache reproduces contents and eviction order.
+func (c *Cache) Snapshot() []SnapshotEntry {
+	entries := c.lru.Entries()
+	out := make([]SnapshotEntry, 0, len(entries))
+	for _, e := range entries {
+		se := SnapshotEntry{Key: e.Key, Report: e.Value.report}
+		if e.Value.err != nil {
+			se.HasErr = true
+			se.ErrMsg = e.Value.err.Error()
+		}
+		out = append(out, se)
+	}
+	return out
+}
+
+// Restore replays snapshot entries into the cache in order. It does not
+// reset first: warming an already-used cache only adds entries.
+func (c *Cache) Restore(entries []SnapshotEntry) {
+	for _, e := range entries {
+		var err error
+		if e.HasErr {
+			err = errors.New(e.ErrMsg)
+		}
+		c.Put(e.Key, e.Report, err)
+	}
+}

@@ -1,0 +1,69 @@
+package search
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"testing"
+
+	"repro/internal/mesh"
+	"repro/internal/sim"
+)
+
+// TestEvalCacheSnapshotRoundTrip checks that the evaluation cache survives a
+// gob snapshot cycle with identical hit behaviour: same outcomes (reports
+// and memoized errors, rendered byte-identically) and the same eviction
+// order.
+func TestEvalCacheSnapshotRoundTrip(t *testing.T) {
+	c := NewCache(3)
+	okReport := sim.Report{
+		IterationTime: 1.25,
+		Throughput:    3.5e15,
+		DP:            2,
+		PerDieMemory:  map[mesh.DieID]float64{{X: 0, Y: 0}: 1e9, {X: 1, Y: 0}: 2e9},
+	}
+	c.Put("k-ok", okReport, nil)
+	c.Put("k-err", sim.Report{}, fmt.Errorf("sim: die {1 1} OOM"))
+	c.Put("k-last", sim.Report{IterationTime: 9}, nil)
+	c.Get("k-ok") // refresh: eviction order is now k-err, k-last, k-ok
+
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot has %d entries, want 3", len(snap))
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		t.Fatalf("gob encode: %v", err)
+	}
+	var decoded []SnapshotEntry
+	if err := gob.NewDecoder(bytes.NewReader(buf.Bytes())).Decode(&decoded); err != nil {
+		t.Fatalf("gob decode: %v", err)
+	}
+
+	r := NewCache(3)
+	r.Restore(decoded)
+
+	got, err, ok := r.Get("k-ok")
+	if !ok || err != nil {
+		t.Fatalf("restored Get(k-ok) = ok=%v err=%v", ok, err)
+	}
+	if gotS, wantS := fmt.Sprintf("%+v", got), fmt.Sprintf("%+v", okReport); gotS != wantS {
+		t.Errorf("restored report renders differently:\n got %s\nwant %s", gotS, wantS)
+	}
+	if _, err, ok := r.Get("k-err"); !ok || err == nil || err.Error() != "sim: die {1 1} OOM" {
+		t.Errorf("restored Get(k-err) = ok=%v err=%v, want memoized OOM error", ok, err)
+	}
+
+	// Eviction order carried over: on a freshly restored cache (whose
+	// recency the Gets above have not disturbed) the next Put must evict
+	// k-err, the least recently used entry of the original.
+	r2 := NewCache(3)
+	r2.Restore(decoded)
+	r2.Put("k-new", sim.Report{}, nil)
+	if _, _, ok := r2.Get("k-err"); ok {
+		t.Error("restored cache evicted the wrong entry (k-err survived)")
+	}
+	if _, _, ok := r2.Get("k-last"); !ok {
+		t.Error("restored cache lost k-last")
+	}
+}

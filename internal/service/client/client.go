@@ -1,0 +1,162 @@
+// Package client is the typed Go client of the watosd evaluation service.
+// It speaks the HTTP/JSON API of internal/service and is what cmd/watos's
+// -remote path and the service benchmarks are built on.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/service"
+)
+
+// Client talks to one watosd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	// PollInterval paces Wait's status polling (default 50ms).
+	PollInterval time.Duration
+}
+
+// New returns a client for a daemon address ("host:port" or a full
+// "http://..." base URL).
+func New(addr string) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	// Drain to EOF before Close so the transport can reuse the
+	// connection — Wait polls on a tight interval and must not open a
+	// fresh TCP connection per poll.
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode >= 400 {
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("watosd %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("watosd %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a search job and returns its record (which may be an
+// existing in-flight job the submission coalesced onto).
+func (c *Client) Submit(ctx context.Context, req service.Request) (service.Job, error) {
+	var j service.Job
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &j)
+	return j, err
+}
+
+// Job fetches one job by ID.
+func (c *Client) Job(ctx context.Context, id string) (service.Job, error) {
+	var j service.Job
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Jobs lists job summaries in submission order.
+func (c *Client) Jobs(ctx context.Context) ([]service.Summary, error) {
+	var out []service.Summary
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// waitRetries bounds consecutive failed status polls before Wait gives up.
+// A long search keeps running server-side whatever the poll transport does,
+// so one reset connection must not cost the caller the whole result.
+const waitRetries = 5
+
+// Wait polls until the job reaches a terminal state and returns it,
+// tolerating up to waitRetries consecutive transient poll failures.
+func (c *Client) Wait(ctx context.Context, id string) (service.Job, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	failures := 0
+	for {
+		j, err := c.Job(ctx, id)
+		if err != nil {
+			failures++
+			if failures > waitRetries || ctx.Err() != nil {
+				return j, err
+			}
+		} else {
+			failures = 0
+			if j.State.Terminal() {
+				return j, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Run submits a job and waits for its terminal state — the remote
+// equivalent of one in-process search.
+func (c *Client) Run(ctx context.Context, req service.Request) (service.Job, error) {
+	j, err := c.Submit(ctx, req)
+	if err != nil {
+		return j, err
+	}
+	return c.Wait(ctx, j.ID)
+}
+
+// Stats fetches the service counters and cache statistics.
+func (c *Client) Stats(ctx context.Context) (service.Stats, error) {
+	var st service.Stats
+	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &st)
+	return st, err
+}
+
+// Snapshot asks the daemon to persist its cache snapshot now.
+func (c *Client) Snapshot(ctx context.Context) (service.SnapshotInfo, error) {
+	var info service.SnapshotInfo
+	err := c.do(ctx, http.MethodPost, "/v1/snapshot", nil, &info)
+	return info, err
+}
+
+// Health probes the daemon's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/v1/healthz", nil, nil)
+}

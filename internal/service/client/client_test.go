@@ -1,0 +1,101 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/service"
+)
+
+// startDaemon runs an in-process service behind a real HTTP listener.
+func startDaemon(t *testing.T) (*service.Server, *Client) {
+	t.Helper()
+	s := service.NewServer(service.Options{EvalWorkers: 1}, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	c := New(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	return s, c
+}
+
+// TestClientEndToEnd drives the full HTTP surface: health, submit, wait,
+// list, stats, and error paths.
+func TestClientEndToEnd(t *testing.T) {
+	_, c := startDaemon(t)
+	ctx := context.Background()
+
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+
+	req := service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: 7}
+	j, err := c.Run(ctx, req)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if j.State != service.StateDone || j.Result == nil {
+		t.Fatalf("job state %s (error %q)", j.State, j.Error)
+	}
+	if j.Result.BestArch != "config3" || j.Result.Canonical == "" {
+		t.Errorf("result = arch %q, canonical %d bytes", j.Result.BestArch, len(j.Result.Canonical))
+	}
+	// The fetched job round-trips the canonical record losslessly.
+	fetched, err := c.Job(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Job: %v", err)
+	}
+	if fetched.Result == nil || fetched.Result.Canonical != j.Result.Canonical {
+		t.Error("re-fetched job lost or altered the canonical record")
+	}
+
+	jobs, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatalf("Jobs: %v", err)
+	}
+	if len(jobs) != 1 || jobs[0].ID != j.ID || jobs[0].State != service.StateDone {
+		t.Errorf("Jobs = %+v, want the one finished job", jobs)
+	}
+
+	st, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.JobsSubmitted != 1 || st.JobsDone != 1 {
+		t.Errorf("stats = %d submitted / %d done, want 1 / 1", st.JobsSubmitted, st.JobsDone)
+	}
+	if st.CandidateCache.Size == 0 {
+		t.Error("candidate cache empty after a completed job")
+	}
+
+	// Error paths: bad request body fields and unknown jobs.
+	if _, err := c.Submit(ctx, service.Request{Model: "no-such-model"}); err == nil {
+		t.Error("Submit accepted an unknown model")
+	}
+	if _, err := c.Job(ctx, "job-404"); err == nil {
+		t.Error("Job returned an unknown job without error")
+	}
+}
+
+// TestClientSnapshotEndpoint checks the snapshot trigger over HTTP.
+func TestClientSnapshotEndpoint(t *testing.T) {
+	path := t.TempDir() + "/snap.gob"
+	s := service.NewServer(service.Options{EvalWorkers: 1, SnapshotPath: path}, nil)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { ts.Close(); s.Close() })
+	c := New(ts.URL)
+	c.PollInterval = 5 * time.Millisecond
+	ctx := context.Background()
+
+	if _, err := c.Run(ctx, service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: 7}); err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if info.Candidates == 0 {
+		t.Errorf("snapshot persisted %d candidates, want > 0", info.Candidates)
+	}
+}

@@ -1,0 +1,97 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// API surface (all JSON):
+//
+//	POST /v1/jobs       submit a Request; 202 + Job when queued, 200 + Job
+//	                    when coalesced onto an identical in-flight job,
+//	                    400 on a bad request, 503 when the backlog is full
+//	GET  /v1/jobs       list job summaries in submission order
+//	GET  /v1/jobs/{id}  one job, including its Result when done
+//	GET  /v1/stats      Stats: job counters, dedup rate, cache statistics
+//	POST /v1/snapshot   persist the cache snapshot now; 200 + SnapshotInfo
+//	GET  /v1/healthz    liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// MaxRequestBytes bounds a job-submission body; a Request is a handful of
+// short fields, so anything near the bound is garbage and a streaming
+// client cannot pin handler memory.
+const MaxRequestBytes = 1 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	// A typo'd field must fail loudly, not silently run the default job.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	j, coalesced, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrBusy):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	case coalesced:
+		writeJSON(w, http.StatusOK, j)
+	default:
+		writeJSON(w, http.StatusAccepted, j)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Jobs())
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		return
+	}
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	info, err := s.SaveSnapshot()
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

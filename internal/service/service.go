@@ -1,0 +1,576 @@
+// Package service implements the resident WATOS evaluation service behind
+// cmd/watosd: a long-running daemon that accepts search jobs (model,
+// workload, architecture restriction, scheduler options) over an HTTP/JSON
+// API, runs them on a bounded job queue layered on the search/pool runtime,
+// and exposes job status, results and cache statistics.
+//
+// Three properties make it a backend rather than a batch runner:
+//
+//   - Request canonicalization + in-flight dedup: requests normalize to the
+//     same canonical form the CLI applies, and identical concurrent jobs
+//     coalesce onto one execution (singleflight keyed by the request
+//     fingerprint), observable via the stats endpoint.
+//   - Shared warm caches: every job funnels through the process-wide
+//     candidate memo (internal/sched) and evaluation cache
+//     (internal/search), so a resident daemon amortizes strategy
+//     construction and simulation across requests instead of cold-starting
+//     per CLI run.
+//   - Cache snapshot persistence: the daemon serializes both caches to disk
+//     and restores them on restart, versioned by the fingerprint scheme so
+//     stale keys are discarded rather than aliased (see snapshot.go).
+//
+// Results carry the canonical exploration record (sched.RenderCandidate),
+// so a daemon-served job is provably byte-identical to the same search run
+// in-process.
+package service
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/search"
+	"repro/internal/search/pool"
+)
+
+// Request is one search job. The zero value of each field selects the same
+// default the watos CLI applies, so a CLI run and a service job with equal
+// effective parameters share one canonical form.
+type Request struct {
+	// Model is a model-zoo name (default Llama2-30B).
+	Model string `json:"model,omitempty"`
+	// Config restricts the architecture: config1..config4, mesh-switch;
+	// empty explores the full Table II sweep.
+	Config string `json:"config,omitempty"`
+	// Batch is the global batch size (default 64).
+	Batch int `json:"batch,omitempty"`
+	// Micro is the micro-batch size (default 1).
+	Micro int `json:"micro,omitempty"`
+	// Seq is the sequence length (0 = model default capped at 4096).
+	Seq int `json:"seq,omitempty"`
+	// UseGA enables the genetic-algorithm global optimizer.
+	UseGA bool `json:"ga,omitempty"`
+	// MaxTP caps the tensor-parallel degree (0 = number of dies).
+	MaxTP int `json:"max_tp,omitempty"`
+	// FixedTP/FixedPP pin the parallelism (baseline reproduction).
+	FixedTP int `json:"fixed_tp,omitempty"`
+	FixedPP int `json:"fixed_pp,omitempty"`
+	// PipelineWafers spreads the pipeline over a multi-wafer node.
+	PipelineWafers int `json:"pipeline_wafers,omitempty"`
+	// Seed drives the placement optimiser and GA.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Normalize applies the CLI-equivalent defaults and validates the model
+// name, architecture restriction and workload. Two requests that normalize
+// equal are guaranteed to produce byte-identical results, which is what
+// makes the normalized fingerprint a safe dedup key.
+func (r Request) Normalize() (Request, error) {
+	if r.Model == "" {
+		r.Model = "Llama2-30B"
+	}
+	spec, err := cliutil.Model(r.Model)
+	if err != nil {
+		return r, err
+	}
+	r.Model = spec.Name
+	if _, err := cliutil.ArchCandidates(r.Config); err != nil {
+		return r, err
+	}
+	if r.Batch == 0 {
+		r.Batch = 64
+	}
+	if r.Micro == 0 {
+		r.Micro = 1
+	}
+	r.Seq = cliutil.SeqLen(spec, r.Seq)
+	work := model.Workload{GlobalBatch: r.Batch, MicroBatch: r.Micro, SeqLen: r.Seq}
+	if err := work.Validate(); err != nil {
+		return r, err
+	}
+	return r, nil
+}
+
+// Workload returns the request's training workload (call after Normalize).
+func (r Request) Workload() model.Workload {
+	return model.Workload{GlobalBatch: r.Batch, MicroBatch: r.Micro, SeqLen: r.Seq}
+}
+
+// Fingerprint is the canonical identity of a normalized request — the
+// singleflight dedup key. Worker counts and cache policy are server-side
+// and never part of it (results are invariant to both, like the fingerprint
+// scheme of the evaluation cache).
+func (r Request) Fingerprint() string {
+	return fmt.Sprintf("m=%s|c=%s|b=%d|mb=%d|s=%d|ga=%v|maxtp=%d|ftp=%d|fpp=%d|pw=%d|seed=%d",
+		r.Model, r.Config, r.Batch, r.Micro, r.Seq, r.UseGA,
+		r.MaxTP, r.FixedTP, r.FixedPP, r.PipelineWafers, r.Seed)
+}
+
+// State is a job lifecycle state.
+type State string
+
+// Job lifecycle: queued → running → done | failed.
+const (
+	StateQueued  State = "queued"
+	StateRunning State = "running"
+	StateDone    State = "done"
+	StateFailed  State = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+
+// ArchSummary is one architecture candidate's outcome inside a Result.
+type ArchSummary struct {
+	Name       string  `json:"name"`
+	Status     string  `json:"status"`
+	Throughput float64 `json:"throughput,omitempty"`
+	TP         int     `json:"tp,omitempty"`
+	PP         int     `json:"pp,omitempty"`
+}
+
+// Result is a completed job's report.
+type Result struct {
+	BestArch            string        `json:"best_arch"`
+	TP                  int           `json:"tp"`
+	PP                  int           `json:"pp"`
+	DP                  int           `json:"dp"`
+	Collective          string        `json:"collective"`
+	IterationTime       float64       `json:"iteration_time"`
+	Throughput          float64       `json:"throughput"`
+	TotalThroughput     float64       `json:"total_throughput"`
+	RecomputeFraction   float64       `json:"recompute_fraction"`
+	BubbleFraction      float64       `json:"bubble_fraction"`
+	ComputeUtilization  float64       `json:"compute_utilization"`
+	DRAMUtilization     float64       `json:"dram_utilization"`
+	MeanLinkUtilization float64       `json:"mean_link_utilization"`
+	MemPairs            int           `json:"mem_pairs"`
+	OverflowBytes       float64       `json:"overflow_bytes"`
+	Explored            int           `json:"explored"`
+	Pruned              int           `json:"pruned"`
+	PerArch             []ArchSummary `json:"per_arch"`
+	// Canonical is the canonical rendering of the full exploration record
+	// (see Canonical) — the byte-identity proof against an in-process run.
+	Canonical string `json:"canonical"`
+}
+
+// Job is the externally visible job record.
+type Job struct {
+	ID          string  `json:"id"`
+	Fingerprint string  `json:"fingerprint"`
+	State       State   `json:"state"`
+	Request     Request `json:"request"`
+	// Coalesced counts the extra submissions this execution absorbed
+	// through in-flight dedup.
+	Coalesced   int       `json:"coalesced"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	StartedAt   time.Time `json:"started_at,omitempty"`
+	FinishedAt  time.Time `json:"finished_at,omitempty"`
+	Result      *Result   `json:"result,omitempty"`
+	Error       string    `json:"error,omitempty"`
+}
+
+// Summary is the listing form of a job (no result payload).
+type Summary struct {
+	ID          string    `json:"id"`
+	Fingerprint string    `json:"fingerprint"`
+	State       State     `json:"state"`
+	Model       string    `json:"model"`
+	Config      string    `json:"config,omitempty"`
+	Coalesced   int       `json:"coalesced"`
+	SubmittedAt time.Time `json:"submitted_at"`
+}
+
+// Stats is the /v1/stats payload.
+type Stats struct {
+	JobsSubmitted  uint64            `json:"jobs_submitted"`
+	JobsCoalesced  uint64            `json:"jobs_coalesced"`
+	JobsDone       uint64            `json:"jobs_done"`
+	JobsFailed     uint64            `json:"jobs_failed"`
+	JobsRejected   uint64            `json:"jobs_rejected"`
+	QueueDepth     int               `json:"queue_depth"`
+	JobWorkers     int               `json:"job_workers"`
+	EvalWorkers    int               `json:"eval_workers"`
+	SchemeVersion  int               `json:"scheme_version"`
+	SnapshotPath   string            `json:"snapshot_path,omitempty"`
+	UptimeSeconds  float64           `json:"uptime_seconds"`
+	CandidateCache search.CacheStats `json:"candidate_cache"`
+	EvalCache      search.CacheStats `json:"eval_cache"`
+}
+
+// DedupRate returns coalesced / submitted-including-coalesced, the service
+// analogue of a cache hit rate.
+func (s Stats) DedupRate() float64 {
+	total := s.JobsSubmitted + s.JobsCoalesced
+	if total == 0 {
+		return 0
+	}
+	return float64(s.JobsCoalesced) / float64(total)
+}
+
+// Options configure a Server.
+type Options struct {
+	// EvalWorkers sizes each job's candidate-evaluation pool (sched
+	// Options.Workers): 0 = all CPUs, 1 = sequential.
+	EvalWorkers int
+	// JobWorkers bounds the number of jobs running concurrently
+	// (default 1: one search already saturates the evaluation pool).
+	JobWorkers int
+	// Backlog bounds the queued-job backlog (default 64); submissions
+	// beyond it are rejected with ErrBusy.
+	Backlog int
+	// History bounds the retained terminal (done/failed) job records
+	// (default 1024). A resident daemon would otherwise grow without
+	// bound: every completed job pins its full canonical exploration
+	// record (~130 KB per single-architecture search). The oldest
+	// terminal jobs are evicted first; queued and running jobs are never
+	// evicted.
+	History int
+	// HistoryGrace exempts freshly finished jobs from history eviction
+	// (default 1 minute; negative = no grace) so a submitter polling for
+	// its result cannot lose a completed job to a burst of later
+	// completions. The History bound is therefore only enforced for
+	// records older than the grace period.
+	HistoryGrace time.Duration
+	// SnapshotPath enables cache snapshot persistence when non-empty.
+	SnapshotPath string
+}
+
+// ErrBusy reports a submission rejected because the job backlog is full.
+var ErrBusy = errors.New("service: job backlog full")
+
+// job is the internal record; all fields are guarded by Server.mu.
+type job struct {
+	Job
+	done chan struct{}
+}
+
+// Server is the evaluation service.
+type Server struct {
+	opts  Options
+	pred  predictor.Predictor
+	queue *pool.Queue
+	start time.Time
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string        // submission order, for listings
+	inflight map[string]*job // fingerprint → queued/running job
+	seq      int
+	stats    Stats
+}
+
+// NewServer returns a started (but not yet serving) evaluation service
+// sharing the process-wide caches. Callers own pred's identity: reusing one
+// predictor across restarts (the default stack) is what keeps snapshot keys
+// valid.
+func NewServer(opts Options, pred predictor.Predictor) *Server {
+	if pred == nil {
+		pred = predictor.NewLookupTable(predictor.TileLevel{})
+	}
+	if opts.JobWorkers <= 0 {
+		opts.JobWorkers = 1
+	}
+	if opts.Backlog <= 0 {
+		opts.Backlog = 64
+	}
+	if opts.History <= 0 {
+		opts.History = 1024
+	}
+	if opts.HistoryGrace == 0 {
+		opts.HistoryGrace = time.Minute
+	}
+	return &Server{
+		opts:     opts,
+		pred:     pred,
+		queue:    pool.NewQueue(opts.JobWorkers, opts.Backlog),
+		start:    time.Now(),
+		jobs:     make(map[string]*job),
+		inflight: make(map[string]*job),
+	}
+}
+
+// Submit normalizes and enqueues a request. When an identical job is
+// already queued or running, the submission coalesces onto it (singleflight)
+// and the existing job is returned with coalesced=true.
+func (s *Server) Submit(req Request) (Job, bool, error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return Job{}, false, err
+	}
+	fp := norm.Fingerprint()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.inflight[fp]; ok {
+		j.Coalesced++
+		s.stats.JobsCoalesced++
+		return j.Job, true, nil
+	}
+	s.seq++
+	j := &job{
+		Job: Job{
+			ID:          fmt.Sprintf("job-%d", s.seq),
+			Fingerprint: fp,
+			State:       StateQueued,
+			Request:     norm,
+			SubmittedAt: time.Now(),
+		},
+		done: make(chan struct{}),
+	}
+	// Reserve the queue slot before the job becomes visible: TrySubmit is
+	// non-blocking, so holding the lock here is safe, and a backlog-full
+	// rejection leaves no half-registered state behind.
+	if !s.queue.TrySubmit(func() { s.run(j) }) {
+		s.stats.JobsRejected++
+		return Job{}, false, ErrBusy
+	}
+	s.jobs[j.ID] = j
+	s.order = append(s.order, j.ID)
+	s.inflight[fp] = j
+	s.stats.JobsSubmitted++
+	return j.Job, false, nil
+}
+
+// run executes one job on a queue worker.
+func (s *Server) run(j *job) {
+	s.mu.Lock()
+	j.State = StateRunning
+	j.StartedAt = time.Now()
+	req := j.Request
+	s.mu.Unlock()
+
+	res, err := s.execute(req)
+
+	s.mu.Lock()
+	j.FinishedAt = time.Now()
+	if err != nil {
+		j.State = StateFailed
+		j.Error = err.Error()
+		s.stats.JobsFailed++
+	} else {
+		j.State = StateDone
+		j.Result = res
+		s.stats.JobsDone++
+	}
+	delete(s.inflight, j.Fingerprint)
+	close(j.done)
+	s.evictHistoryLocked()
+	s.mu.Unlock()
+}
+
+// evictHistoryLocked drops the oldest terminal job records beyond the
+// History bound, sparing jobs still inside the grace window so in-flight
+// result polls cannot 404 on a just-completed job. Callers must hold s.mu.
+func (s *Server) evictHistoryLocked() {
+	now := time.Now()
+	evictable := func(j *job) bool {
+		return j.State.Terminal() && (s.opts.HistoryGrace < 0 || now.Sub(j.FinishedAt) >= s.opts.HistoryGrace)
+	}
+	excess := -s.opts.History
+	for _, id := range s.order {
+		if evictable(s.jobs[id]) {
+			excess++
+		}
+	}
+	if excess <= 0 {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		if excess > 0 && evictable(s.jobs[id]) {
+			delete(s.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	s.order = kept
+}
+
+// execute runs the co-exploration exactly as the watos CLI does in-process.
+func (s *Server) execute(req Request) (*Result, error) {
+	spec, err := cliutil.Model(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	candidates, err := cliutil.ArchCandidates(req.Config)
+	if err != nil {
+		return nil, err
+	}
+	work := req.Workload()
+	fw := core.New()
+	fw.Predictor = s.pred
+	fw.Options = sched.Options{
+		UseGA:          req.UseGA,
+		MaxTP:          req.MaxTP,
+		FixedTP:        req.FixedTP,
+		FixedPP:        req.FixedPP,
+		PipelineWafers: req.PipelineWafers,
+		Seed:           req.Seed,
+		Workers:        s.opts.EvalWorkers,
+	}
+	res, err := fw.Explore(candidates, spec, work)
+	if err != nil {
+		return nil, err
+	}
+	return BuildResult(res), nil
+}
+
+// BuildResult flattens a co-exploration into the wire Result. The CLI uses
+// it on its local path too, so local and remote runs render one summary
+// from one representation.
+func BuildResult(res *core.ExploreResult) *Result {
+	b := res.Best.Result.Best
+	out := &Result{
+		BestArch:            res.Best.Wafer.Name,
+		TP:                  b.TP,
+		PP:                  b.PP,
+		DP:                  b.Report.DP,
+		Collective:          b.Collective.String(),
+		IterationTime:       b.Report.IterationTime,
+		Throughput:          b.Report.Throughput,
+		TotalThroughput:     b.Report.TotalThroughput,
+		RecomputeFraction:   b.Report.RecomputeFraction,
+		BubbleFraction:      b.Report.BubbleFraction,
+		ComputeUtilization:  b.Report.ComputeUtilization,
+		DRAMUtilization:     b.Report.DRAMUtilization,
+		MeanLinkUtilization: b.Report.MeanLinkUtilization,
+		Explored:            len(res.Best.Result.Explored),
+		Pruned:              res.Best.Result.PrunedCount,
+		Canonical:           Canonical(res),
+	}
+	if b.Strategy.Recompute != nil {
+		out.MemPairs = len(b.Strategy.Recompute.Pairs)
+		out.OverflowBytes = b.Strategy.Recompute.OverflowBytes
+	}
+	for _, ar := range res.PerArch {
+		as := ArchSummary{Name: ar.Wafer.Name, Status: "ok"}
+		switch {
+		case ar.Err != nil:
+			as.Status = ar.Err.Error()
+		case ar.Result != nil && ar.Result.Best != nil:
+			as.Throughput = ar.Result.Best.Report.Throughput
+			as.TP = ar.Result.Best.TP
+			as.PP = ar.Result.Best.PP
+		}
+		out.PerArch = append(out.PerArch, as)
+	}
+	return out
+}
+
+// Canonical renders a full co-exploration canonically: one header line per
+// architecture candidate followed by the candidate's canonical exploration
+// record (sched.RenderCandidate). For a single-architecture job this is
+// exactly "arch=<name> err=<nil>\n" + sched.Result.Canonical(), which is
+// how the service proves byte-identity with an in-process search.
+func Canonical(res *core.ExploreResult) string {
+	var b strings.Builder
+	for _, ar := range res.PerArch {
+		fmt.Fprintf(&b, "arch=%s err=%v\n", ar.Wafer.Name, ar.Err)
+		if ar.Result != nil {
+			b.WriteString(ar.Result.Canonical())
+		}
+	}
+	return b.String()
+}
+
+// Job returns a snapshot of one job.
+func (s *Server) Job(id string) (Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return Job{}, false
+	}
+	return j.Job, true
+}
+
+// Jobs lists all jobs in submission order.
+func (s *Server) Jobs() []Summary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Summary, 0, len(s.order))
+	for _, id := range s.order {
+		j := s.jobs[id]
+		out = append(out, Summary{
+			ID:          j.ID,
+			Fingerprint: j.Fingerprint,
+			State:       j.State,
+			Model:       j.Request.Model,
+			Config:      j.Request.Config,
+			Coalesced:   j.Coalesced,
+			SubmittedAt: j.SubmittedAt,
+		})
+	}
+	return out
+}
+
+// Wait blocks until the job reaches a terminal state and returns it.
+func (s *Server) Wait(id string) (Job, error) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Job{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	<-j.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return j.Job, nil
+}
+
+// Stats snapshots the service counters and the shared cache statistics.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	st := s.stats
+	s.mu.Unlock()
+	st.QueueDepth = s.queue.Depth()
+	st.JobWorkers = s.opts.JobWorkers
+	st.EvalWorkers = s.opts.EvalWorkers
+	st.SchemeVersion = search.FingerprintSchemeVersion
+	st.SnapshotPath = s.opts.SnapshotPath
+	st.UptimeSeconds = time.Since(s.start).Seconds()
+	st.CandidateCache = sched.CacheStats()
+	st.EvalCache = search.DefaultCache().Stats()
+	return st
+}
+
+// Close shuts the service down with bounded latency: jobs already running
+// finish, the queued backlog is dropped (with the frontend down nobody can
+// collect those results, and an unbounded drain would outlive any
+// supervisor's kill timeout and lose the snapshot), still-queued jobs are
+// marked failed, and a final cache snapshot is persisted when a snapshot
+// path is configured.
+func (s *Server) Close() error {
+	s.queue.CloseDiscard()
+	// CloseDiscard has joined the workers, so no run() is in flight: any
+	// non-terminal job left is a dropped backlog entry.
+	s.mu.Lock()
+	now := time.Now()
+	for _, id := range s.order {
+		j := s.jobs[id]
+		if j.State.Terminal() {
+			continue
+		}
+		j.State = StateFailed
+		j.Error = "service: daemon shut down before the job ran"
+		j.FinishedAt = now
+		delete(s.inflight, j.Fingerprint)
+		close(j.done)
+		s.stats.JobsFailed++
+	}
+	s.mu.Unlock()
+	if s.opts.SnapshotPath == "" {
+		return nil
+	}
+	_, err := s.SaveSnapshot()
+	return err
+}

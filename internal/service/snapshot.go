@@ -1,0 +1,159 @@
+package service
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/search"
+)
+
+// Snapshot file layout (encoding/gob): a header followed by the two shared
+// cache dumps. The header versions the file twice over — the file format
+// itself, and the cache-key scheme (search.FingerprintSchemeVersion, which
+// covers the evaluation fingerprints, the scheduler candidate keys and
+// mesh.Signature). A daemon only warm-starts from a snapshot whose scheme
+// and predictor identity match its own; anything else is reported stale and
+// ignored, so old keys can never alias fresh results.
+const (
+	snapshotMagic  = "watos-cache-snapshot"
+	snapshotFormat = 1
+)
+
+type snapshotHeader struct {
+	Magic  string
+	Format int
+	// Scheme is search.FingerprintSchemeVersion at save time.
+	Scheme int
+	// Predictor is the cache identity (search.PredictorID) of the server
+	// predictor at save time: the persisted keys embed it, so the loading
+	// process's predictor must hold the same ordinal for the entries to
+	// be reachable at all. The default daemon registers its predictor
+	// first, so the ordinal is stable across restarts.
+	Predictor uint64
+	// PredictorSig is the semantic identity (predictor.Signature) of the
+	// server predictor. The ordinal alone is a process-local counter — a
+	// different predictor that happens to register first elsewhere would
+	// collide on it — so the load also requires the signature to match
+	// before trusting the cached results.
+	PredictorSig string
+	SavedAt      int64 // unix nanoseconds
+}
+
+type snapshotBody struct {
+	Eval       []search.SnapshotEntry
+	Candidates []sched.SnapshotEntry
+}
+
+// SnapshotInfo describes a saved or loaded snapshot.
+type SnapshotInfo struct {
+	Path       string    `json:"path"`
+	Eval       int       `json:"eval_entries"`
+	Candidates int       `json:"candidate_entries"`
+	SavedAt    time.Time `json:"saved_at"`
+}
+
+// ErrNoSnapshot reports a missing snapshot file on load.
+var ErrNoSnapshot = errors.New("service: no snapshot file")
+
+// ErrStaleSnapshot reports a snapshot written under a different fingerprint
+// scheme or predictor identity; its keys cannot be trusted and it is
+// discarded.
+var ErrStaleSnapshot = errors.New("service: stale snapshot (fingerprint scheme or predictor identity changed)")
+
+// SaveSnapshot serializes the shared evaluation and candidate caches to the
+// configured snapshot path (write-to-temp + rename, so a crashed save never
+// corrupts the previous snapshot).
+func (s *Server) SaveSnapshot() (SnapshotInfo, error) {
+	path := s.opts.SnapshotPath
+	if path == "" {
+		return SnapshotInfo{}, errors.New("service: no snapshot path configured")
+	}
+	now := time.Now()
+	hdr := snapshotHeader{
+		Magic:        snapshotMagic,
+		Format:       snapshotFormat,
+		Scheme:       search.FingerprintSchemeVersion,
+		Predictor:    search.PredictorID(s.pred),
+		PredictorSig: predictor.Signature(s.pred),
+		SavedAt:      now.UnixNano(),
+	}
+	body := snapshotBody{
+		Eval:       search.DefaultCache().Snapshot(),
+		Candidates: sched.CacheSnapshot(),
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return SnapshotInfo{}, err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return SnapshotInfo{}, err
+	}
+	defer os.Remove(tmp.Name())
+	enc := gob.NewEncoder(tmp)
+	if err := enc.Encode(hdr); err == nil {
+		err = enc.Encode(body)
+	}
+	if err == nil {
+		err = tmp.Close()
+	} else {
+		tmp.Close()
+	}
+	if err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot encode: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return SnapshotInfo{}, err
+	}
+	return SnapshotInfo{Path: path, Eval: len(body.Eval), Candidates: len(body.Candidates), SavedAt: now}, nil
+}
+
+// LoadSnapshot warms the shared caches from the configured snapshot path.
+// It returns ErrNoSnapshot when the file does not exist and
+// ErrStaleSnapshot when the file was written under a different cache-key
+// scheme or predictor identity (the caches are left untouched in both
+// cases).
+func (s *Server) LoadSnapshot() (SnapshotInfo, error) {
+	path := s.opts.SnapshotPath
+	if path == "" {
+		return SnapshotInfo{}, errors.New("service: no snapshot path configured")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return SnapshotInfo{}, ErrNoSnapshot
+		}
+		return SnapshotInfo{}, err
+	}
+	defer f.Close()
+	dec := gob.NewDecoder(f)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic || hdr.Format != snapshotFormat {
+		return SnapshotInfo{}, fmt.Errorf("service: %s is not a format-%d snapshot", path, snapshotFormat)
+	}
+	if hdr.Scheme != search.FingerprintSchemeVersion ||
+		hdr.Predictor != search.PredictorID(s.pred) ||
+		hdr.PredictorSig != predictor.Signature(s.pred) {
+		return SnapshotInfo{}, ErrStaleSnapshot
+	}
+	var body snapshotBody
+	if err := dec.Decode(&body); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot body: %w", err)
+	}
+	search.DefaultCache().Restore(body.Eval)
+	sched.RestoreCache(body.Candidates)
+	return SnapshotInfo{
+		Path:       path,
+		Eval:       len(body.Eval),
+		Candidates: len(body.Candidates),
+		SavedAt:    time.Unix(0, hdr.SavedAt),
+	}, nil
+}
