@@ -1,4 +1,4 @@
-.PHONY: build test race bench figures
+.PHONY: build test race bench bench-smoke figures
 
 build:
 	go build ./...
@@ -10,11 +10,21 @@ race:
 	go test -race ./...
 
 # Tier-2 performance trajectory: runs the benchmark suite in-process with
-# -benchmem semantics and writes BENCH_pr3.json (ns/op, allocs/op, B/op per
+# -benchmem semantics and writes BENCH_pr4.json (ns/op, allocs/op, B/op per
 # benchmark, service jobs/sec + dedup rate, plus the speedups vs the
-# recorded PR-1/PR-2 baselines).
+# recorded PR-1/PR-2/PR-3 baselines and the in-run PR3-era annealer
+# full-re-evaluation baseline).
 bench:
-	go run ./cmd/bench -out BENCH_pr3.json
+	go run ./cmd/bench -out BENCH_pr4.json
+
+# Fast regression gate for the search inner loops: the zero-alloc
+# assertion of the annealer swap path (the benchmarks only report allocs,
+# they don't fail on them) plus one iteration of each annealer/placement/GA
+# benchmark, so a broken or allocating hot path fails in seconds without
+# waiting for the full bench run.
+bench-smoke:
+	go test -run 'TestScorerSwapZeroAlloc' -count=1 ./internal/placement
+	go test -run '^$$' -bench 'BenchmarkAnnealSwap|BenchmarkOptimizePlacement|BenchmarkGAGeneration' -benchtime=1x -benchmem .
 
 figures:
 	go run ./cmd/figures

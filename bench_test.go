@@ -9,9 +9,11 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/benchutil"
 	"repro/internal/collective"
 	"repro/internal/engine"
 	"repro/internal/experiments"
+	"repro/internal/ga"
 	"repro/internal/hw"
 	"repro/internal/mesh"
 	"repro/internal/model"
@@ -299,6 +301,92 @@ func BenchmarkEvaluateWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchAnnealSwap measures one annealer iteration — propose a random
+// two-anchor swap, score it, accept or revert — on the incremental Scorer
+// or the PR3-era full Eq 2 re-evaluation. The substrate comes from
+// internal/benchutil, shared with cmd/bench so the smoke gate and the
+// recorded trajectory measure the same workload.
+func benchAnnealSwap(b *testing.B, m *mesh.Mesh, tp, pp, npairs int, incremental bool) {
+	anchors, w, err := benchutil.AnnealSubstrate(m, tp, pp, npairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	var cycle func()
+	if incremental {
+		cycle = benchutil.AnnealSwapCycle(placement.NewScorer(m, anchors, w), pp, rng)
+	} else {
+		cycle = benchutil.AnnealSwapCycleFull(m, anchors, w, m.NewLinkSet(), pp, rng)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+}
+
+// BenchmarkAnnealSwap compares the incremental Scorer against the PR3-era
+// full re-evaluation per annealer iteration, at production scale (12×12
+// wafer, pp=128 single-die stages, 32 Mem_pairs) and at the Config3 scale
+// (pp=32, 8 pairs). The incremental variants stay allocation-free.
+func BenchmarkAnnealSwap(b *testing.B) {
+	b.Run("incremental", func(b *testing.B) { benchAnnealSwap(b, benchutil.ScaleWafer(), 1, 128, 32, true) })
+	b.Run("full-reeval", func(b *testing.B) { benchAnnealSwap(b, benchutil.ScaleWafer(), 1, 128, 32, false) })
+	b.Run("pp32-incremental", func(b *testing.B) { benchAnnealSwap(b, mesh.New(hw.Config3()), 1, 32, 8, true) })
+	b.Run("pp32-full-reeval", func(b *testing.B) { benchAnnealSwap(b, mesh.New(hw.Config3()), 1, 32, 8, false) })
+}
+
+// BenchmarkOptimizePlacement measures the full §IV-C-1 annealing search
+// (200·pp iterations) end to end at small and large stage counts.
+func BenchmarkOptimizePlacement(b *testing.B) {
+	for _, cfg := range []struct {
+		name   string
+		tp, pp int
+		pairs  int
+	}{
+		{"pp8", 7, 8, 2},
+		{"pp32", 1, 32, 8},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := mesh.New(hw.Config3())
+			_, w, err := benchutil.AnnealSubstrate(m, cfg.tp, cfg.pp, cfg.pairs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := placement.Optimize(m, cfg.tp, cfg.pp, w, rand.New(rand.NewSource(int64(i)))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGAGeneration measures the §IV-D GA inner loop — one generation
+// of mutation, component-cached fitness scoring and selection — via a
+// fixed-generation Optimize run divided by the generation count.
+func BenchmarkGAGeneration(b *testing.B) {
+	const gens = 16
+	prob, seed, err := benchutil.GAProblem()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ga.Optimize(prob, seed, ga.Options{
+			Population: 24, Generations: gens, Omega: 0.5, Seed: int64(i), Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	// Report per-generation cost alongside the raw per-run numbers.
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*gens), "ns/generation")
 }
 
 // BenchmarkPredictor measures lookup-table hit latency (§IV-F "negligible

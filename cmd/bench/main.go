@@ -10,9 +10,14 @@
 // through its HTTP API with concurrent identical and distinct jobs,
 // reporting the dedup hit rate and sustained jobs/sec.
 //
+// The annealer-iteration benchmarks compare the incremental Eq 2 Scorer
+// against the PR3-era full re-evaluation measured in the same run (tagged
+// pr3-full-reeval in the baselines list), and a testing.AllocsPerRun guard
+// fails the run outright if the incremental inner loop ever allocates.
+//
 // Usage:
 //
-//	go run ./cmd/bench                # writes BENCH_pr3.json
+//	go run ./cmd/bench                # writes BENCH_pr4.json
 //	go run ./cmd/bench -out perf.json # custom output path
 package main
 
@@ -21,17 +26,22 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net/http/httptest"
 	"os"
 	"runtime"
 	"sync"
+	"testing"
 	"time"
 
+	"repro/internal/benchutil"
 	"repro/internal/collective"
 	"repro/internal/engine"
+	"repro/internal/ga"
 	"repro/internal/hw"
 	"repro/internal/mesh"
 	"repro/internal/model"
+	"repro/internal/placement"
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/search"
@@ -87,7 +97,10 @@ type report struct {
 
 // Prior acceptance-benchmark measurements on the reference CI-class
 // machine: PR 1 is the map-based mesh/collective hot path, PR 2 the dense
-// plan-cached tree (from BENCH_pr2.json).
+// plan-cached tree (from BENCH_pr2.json), PR 3 the service-era tree (from
+// BENCH_pr3.json). The pr3-full-reeval annealer baseline is measured live
+// in this run (the full-evaluation path still exists as
+// placement.EvalAnchors), so its speedup factor is machine-exact.
 var priorBaselines = []taggedEntry{
 	{Tag: "pr1", entry: entry{
 		Name:        "search-sequential-nocache",
@@ -102,6 +115,13 @@ var priorBaselines = []taggedEntry{
 		NsPerOp:     43253024.10526316,
 		AllocsPerOp: 51357,
 		BytesPerOp:  7922048,
+	}},
+	{Tag: "pr3", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  21,
+		NsPerOp:     45128743.333333336,
+		AllocsPerOp: 51364,
+		BytesPerOp:  7922227,
 	}},
 }
 
@@ -217,15 +237,35 @@ func serviceThroughput(name string, jobs int, distinct bool, pred predictor.Pred
 	return e
 }
 
+// gaGenerationBench runs a fixed-generation GA optimize and reports
+// per-generation cost (total metrics divided by the generation count).
+func gaGenerationBench(fail func(error)) entry {
+	const gens = 16
+	prob, seed, err := benchutil.GAProblem()
+	fail(err)
+	var iter int64
+	e := run("ga-generation", func() {
+		iter++
+		_, err := ga.Optimize(prob, seed, ga.Options{
+			Population: 24, Generations: gens, Omega: 0.5, Seed: iter, Workers: 1,
+		})
+		fail(err)
+	})
+	e.NsPerOp /= gens
+	e.AllocsPerOp /= gens
+	e.BytesPerOp /= gens
+	return e
+}
+
 func main() {
-	out := flag.String("out", "BENCH_pr3.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
 	flag.Parse()
 
 	pred := predictor.NewLookupTable(predictor.TileLevel{})
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr3",
+		Tag:       "pr4",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -298,6 +338,66 @@ func main() {
 		_, err := collective.AllReduce(m, group, 1e9, collective.BiRing)
 		fail(err)
 	}))
+
+	// Annealer iteration: incremental Scorer vs the PR3-era full Eq 2
+	// re-evaluation, measured in the same run on the scale wafer (12×12
+	// dies, pp=128 single-die stages, 32 Mem_pairs) and at Config3 scale
+	// (pp=32, 8 pairs). The full-re-evaluation numbers are recorded as
+	// pr3-full-reeval baselines so the speedup travels with the file.
+	for _, cfg := range []struct {
+		name   string
+		mesh   *mesh.Mesh
+		pp, np int
+	}{
+		{"anneal-swap", benchutil.ScaleWafer(), 128, 32},
+		{"anneal-swap-pp32", mesh.New(hw.Config3()), 32, 8},
+	} {
+		anchors, wl, err := benchutil.AnnealSubstrate(cfg.mesh, 1, cfg.pp, cfg.np)
+		fail(err)
+		sc := placement.NewScorer(cfg.mesh, anchors, wl)
+		swap := benchutil.AnnealSwapCycle(sc, cfg.pp, rand.New(rand.NewSource(1)))
+		// Warm the inverted link index to steady-state capacities, then
+		// enforce the zero-allocation contract of the inner loop.
+		for i := 0; i < 20000; i++ {
+			swap()
+		}
+		if allocs := testing.AllocsPerRun(5000, swap); allocs != 0 {
+			fail(fmt.Errorf("%s: annealer inner loop allocates %.2f objects/op, want 0", cfg.name, allocs))
+		}
+		inc := run(cfg.name, swap)
+		rep.Benchmarks = append(rep.Benchmarks, inc)
+
+		refAnchors, refWL, err := benchutil.AnnealSubstrate(cfg.mesh, 1, cfg.pp, cfg.np)
+		fail(err)
+		full := run(cfg.name+"-full-reeval",
+			benchutil.AnnealSwapCycleFull(cfg.mesh, refAnchors, refWL, cfg.mesh.NewLinkSet(), cfg.pp, rand.New(rand.NewSource(1))))
+		full.Name = cfg.name
+		rep.Baselines = append(rep.Baselines, taggedEntry{Tag: "pr3-full-reeval", entry: full})
+		rep.SpeedupNs["pr3-full-reeval("+cfg.name+")"] = full.NsPerOp / inc.NsPerOp
+	}
+
+	// End-to-end §IV-C-1 annealing searches (200·pp iterations each).
+	for _, cfg := range []struct {
+		name       string
+		tp, pp, np int
+	}{
+		{"optimize-placement-pp8", 7, 8, 2},
+		{"optimize-placement-pp32", 1, 32, 8},
+	} {
+		om := mesh.New(hw.Config3())
+		// The substrate's pairs and volumes are stage-indexed, so the same
+		// workload drives any (tp, pp) partition of the mesh.
+		_, wl, err := benchutil.AnnealSubstrate(om, 1, cfg.pp, cfg.np)
+		fail(err)
+		var seed int64
+		rep.Benchmarks = append(rep.Benchmarks, run(cfg.name, func() {
+			seed++
+			_, err := placement.Optimize(om, cfg.tp, cfg.pp, wl, rand.New(rand.NewSource(seed)))
+			fail(err)
+		}))
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks, gaGenerationBench(fail))
 
 	// Service throughput: concurrent identical jobs coalesce onto one
 	// execution (the dedup path), concurrent distinct jobs stream through

@@ -8,10 +8,12 @@
 package ga
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/mesh"
 	"repro/internal/placement"
@@ -47,25 +49,165 @@ type Problem struct {
 	BaseRegions []placement.Region
 	// PipelineBytes weights Eq 2's pipeline term.
 	PipelineBytes []float64
+
+	// baseAnchors lazily caches each base region's routing anchor so the
+	// fitness hot path never re-derives centroids; Anchor is deterministic,
+	// so the cached table is exact.
+	anchorsOnce sync.Once
+	baseAnchors []mesh.DieID
 }
 
 func (p *Problem) stages() int { return len(p.Profiles) }
 
+// anchorTable returns the per-base-region anchors, computed once.
+func (p *Problem) anchorTable() []mesh.DieID {
+	p.anchorsOnce.Do(func() {
+		p.baseAnchors = make([]mesh.DieID, len(p.BaseRegions))
+		for i, r := range p.BaseRegions {
+			p.baseAnchors[i] = r.Anchor()
+		}
+	})
+	return p.baseAnchors
+}
+
+// validPerm reports whether the genome's permutation indexes BaseRegions
+// in range. Out-of-range entries used to alias regions via a silent modulo
+// wraparound; they are now rejected as infeasible.
+func (p *Problem) validPerm(perm []int) bool {
+	if len(perm) != p.stages() {
+		return false
+	}
+	for _, r := range perm {
+		if r < 0 || r >= len(p.BaseRegions) {
+			return false
+		}
+	}
+	return true
+}
+
 // Fitness evaluates t_max × GlobalCost (§IV-D); lower is better. Infeasible
-// genomes (memory overflow beyond helpers' capacity) return +Inf.
+// genomes (memory overflow beyond helpers' capacity, or a permutation that
+// indexes outside the base regions) return +Inf.
 func (p *Problem) Fitness(g Genome) float64 {
-	tmax, feasible := p.maxStageTime(g)
+	return p.fitness(g, nil)
+}
+
+// fitness is Fitness with an optional per-worker scratch: component-level
+// caches (t_max keyed by the (RecompChoice, Pairs) fingerprint, placement
+// cost keyed by (Perm, Pairs)) over a reusable incremental Scorer, so the
+// GA inner loop re-derives only the component a mutation touched. Cached
+// and uncached paths return bit-identical values: the caches memoize exact
+// results of pure functions, and the Scorer's full evaluation follows the
+// accumulation order of GlobalCost.
+func (p *Problem) fitness(g Genome, s *evalScratch) float64 {
+	if !p.validPerm(g.Perm) {
+		return math.Inf(1)
+	}
+	var tmax float64
+	var feasible bool
+	if s != nil {
+		s.recompKey(g)
+		if e, ok := s.tmax[string(s.key)]; ok {
+			tmax, feasible = e.t, e.ok
+		} else {
+			tmax, feasible = p.maxStageTime(g)
+			s.tmax[string(s.key)] = tmaxEntry{t: tmax, ok: feasible}
+		}
+	} else {
+		tmax, feasible = p.maxStageTime(g)
+	}
 	if !feasible {
 		return math.Inf(1)
 	}
-	pl := p.buildPlacement(g)
-	cost := placement.GlobalCost(p.Mesh, pl, placement.Workload{
-		PipelineBytes: p.PipelineBytes,
-		Pairs:         g.Pairs,
-	})
+	var cost float64
+	if s != nil {
+		s.permKey(g)
+		if c, ok := s.cost[string(s.key)]; ok {
+			cost = c
+		} else {
+			anchors := p.anchorTable()
+			s.anchors = s.anchors[:0]
+			for _, r := range g.Perm {
+				s.anchors = append(s.anchors, anchors[r])
+			}
+			s.sc.Reset(s.anchors, placement.Workload{
+				PipelineBytes: p.PipelineBytes,
+				Pairs:         g.Pairs,
+			})
+			cost = s.sc.Cost()
+			s.cost[string(s.key)] = cost
+		}
+	} else {
+		pl := p.buildPlacement(g)
+		if pl == nil {
+			return math.Inf(1)
+		}
+		cost = placement.GlobalCost(p.Mesh, pl, placement.Workload{
+			PipelineBytes: p.PipelineBytes,
+			Pairs:         g.Pairs,
+		})
+	}
 	// GlobalCost can be zero for trivial single-stage problems; keep the
 	// fitness ordered by time in that case.
 	return tmax * (1 + cost)
+}
+
+// tmaxEntry caches one maxStageTime evaluation, including infeasibility.
+type tmaxEntry struct {
+	t  float64
+	ok bool
+}
+
+// evalScratch is the per-worker fitness state: an incremental Scorer plus
+// the component memo tables. Each pool worker owns one, so fitness
+// evaluation takes no locks and — on cache hits and interned meshes — does
+// not allocate.
+type evalScratch struct {
+	sc      *placement.Scorer
+	anchors []mesh.DieID
+	key     []byte
+	tmax    map[string]tmaxEntry
+	cost    map[string]float64
+}
+
+func (p *Problem) newScratch() *evalScratch {
+	return &evalScratch{
+		sc:      placement.NewScorer(p.Mesh, nil, placement.Workload{}),
+		anchors: make([]mesh.DieID, 0, p.stages()),
+		key:     make([]byte, 0, 64),
+		tmax:    map[string]tmaxEntry{},
+		cost:    map[string]float64{},
+	}
+}
+
+// appendPairs folds the exact Mem_pair set into the key (indices and float
+// bit patterns, no rounding) — both component fingerprints include it.
+func (s *evalScratch) appendPairs(pairs []recompute.MemPair) {
+	for _, pr := range pairs {
+		s.key = binary.LittleEndian.AppendUint64(s.key, uint64(int64(pr.Sender)))
+		s.key = binary.LittleEndian.AppendUint64(s.key, uint64(int64(pr.Helper)))
+		s.key = binary.LittleEndian.AppendUint64(s.key, math.Float64bits(pr.Bytes))
+	}
+}
+
+// recompKey fills s.key with the (RecompChoice, Pairs) fingerprint.
+func (s *evalScratch) recompKey(g Genome) {
+	s.key = s.key[:0]
+	for _, c := range g.RecompChoice {
+		s.key = binary.LittleEndian.AppendUint64(s.key, uint64(int64(c)))
+	}
+	s.key = append(s.key, '|')
+	s.appendPairs(g.Pairs)
+}
+
+// permKey fills s.key with the (Perm, Pairs) fingerprint.
+func (s *evalScratch) permKey(g Genome) {
+	s.key = s.key[:0]
+	for _, r := range g.Perm {
+		s.key = binary.LittleEndian.AppendUint64(s.key, uint64(int64(r)))
+	}
+	s.key = append(s.key, '|')
+	s.appendPairs(g.Pairs)
 }
 
 // maxStageTime returns the bottleneck stage time and overall feasibility:
@@ -109,10 +251,16 @@ func (p *Problem) maxStageTime(g Genome) (float64, bool) {
 	return tmax, true
 }
 
+// buildPlacement materialises the genome's stage→region assignment, or nil
+// when the permutation indexes outside BaseRegions (callers treat that as
+// infeasible; the old code silently aliased regions via a modulo).
 func (p *Problem) buildPlacement(g Genome) *placement.Placement {
 	regions := make([]placement.Region, len(g.Perm))
 	for s, r := range g.Perm {
-		regions[s] = p.BaseRegions[r%len(p.BaseRegions)]
+		if r < 0 || r >= len(p.BaseRegions) {
+			return nil
+		}
+		regions[s] = p.BaseRegions[r]
 	}
 	return &placement.Placement{Regions: regions}
 }
@@ -170,11 +318,21 @@ func Optimize(p *Problem, seed Genome, opts Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opts.Seed + 7))
 	// Genome generation stays sequential (it consumes the RNG stream), but
 	// fitness — the expensive, pure part — is scored on the worker pool.
-	// Fitness depends only on the genome, so parallel scoring is exact.
+	// Each worker owns an evalScratch (incremental Scorer + component memo
+	// tables), so a mutation that touched only the permutation re-derives
+	// only the placement cost and vice versa. Fitness depends only on the
+	// genome and the caches memoize exact values, so the result is
+	// identical for every worker count.
 	runner := pool.New(opts.Workers)
+	scratches := make([]*evalScratch, runner.Width(pop))
 	score := func(genomes []Genome) []scored {
-		return pool.Map(runner, len(genomes), func(i int) scored {
-			return scored{genomes[i], p.Fitness(genomes[i])}
+		return pool.MapWorker(runner, len(genomes), func(w, i int) scored {
+			s := scratches[w]
+			if s == nil {
+				s = p.newScratch()
+				scratches[w] = s
+			}
+			return scored{genomes[i], p.fitness(genomes[i], s)}
 		})
 	}
 
@@ -268,25 +426,38 @@ func (p *Problem) mutate(g *Genome, rng *rand.Rand) {
 			a, b := rng.Intn(n), rng.Intn(n)
 			g.Perm[a], g.Perm[b] = g.Perm[b], g.Perm[a]
 		}
-	case 3: // Op4 — A variation: grow or shrink a Mem_pair.
-		if len(g.Pairs) > 0 && rng.Float64() < 0.5 {
-			i := rng.Intn(len(g.Pairs))
-			g.Pairs[i].Bytes *= 0.5 + rng.Float64()
-			if rng.Float64() < 0.3 && len(g.Pairs) > 0 {
-				g.Pairs = append(g.Pairs[:i], g.Pairs[i+1:]...)
-			}
-		} else if n > 1 {
-			s, h := rng.Intn(n), rng.Intn(n)
-			if s != h {
-				prof := p.Profiles[s]
-				vol := prof.Options[clampChoice(g.RecompChoice[s], len(prof.Options))].CkptBytesPerMB * float64(prof.Retained) * 0.1
-				g.Pairs = append(g.Pairs, recompute.MemPair{Sender: s, Helper: h, Bytes: vol})
-			}
-		}
+	case 3: // Op4 — A variation: remove, resize or add a Mem_pair.
+		p.op4(g, rng)
 	case 4: // Op5 — A crossover: exchange two senders' pair assignments.
 		if len(g.Pairs) > 1 {
 			a, b := rng.Intn(len(g.Pairs)), rng.Intn(len(g.Pairs))
 			g.Pairs[a].Helper, g.Pairs[b].Helper = g.Pairs[b].Helper, g.Pairs[a].Helper
+		}
+	}
+}
+
+// op4 is the Mem_pair variation operator. With pairs present it mutates an
+// existing pair half the time, deciding remove-vs-resize first — the old
+// ordering resized the pair and then rolled a (tautologically guarded)
+// removal, wasting the resize on pairs it immediately deleted. A selected
+// pair is removed with p=0.3 and resized otherwise; the other half of the
+// time (or with no pairs) a new pair is proposed between two distinct
+// stages.
+func (p *Problem) op4(g *Genome, rng *rand.Rand) {
+	n := p.stages()
+	if len(g.Pairs) > 0 && rng.Float64() < 0.5 {
+		i := rng.Intn(len(g.Pairs))
+		if rng.Float64() < 0.3 {
+			g.Pairs = append(g.Pairs[:i], g.Pairs[i+1:]...)
+		} else {
+			g.Pairs[i].Bytes *= 0.5 + rng.Float64()
+		}
+	} else if n > 1 {
+		s, h := rng.Intn(n), rng.Intn(n)
+		if s != h {
+			prof := p.Profiles[s]
+			vol := prof.Options[clampChoice(g.RecompChoice[s], len(prof.Options))].CkptBytesPerMB * float64(prof.Retained) * 0.1
+			g.Pairs = append(g.Pairs, recompute.MemPair{Sender: s, Helper: h, Bytes: vol})
 		}
 	}
 }

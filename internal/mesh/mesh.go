@@ -65,11 +65,16 @@ const maxInternedDies = 160
 // Keeping this order is what makes LinkIndex ascend in LinkLess order.
 var dirDelta = [4][2]int{{0, -1}, {-1, 0}, {1, 0}, {0, 1}}
 
-// pathEntry interns the routes of one ordered die pair.
+// pathEntry interns the routes of one ordered die pair, both as Link
+// sequences and as dense link-ID sequences (the representation the Eq 2
+// inner loops consume — no per-link coordinate math on the hot path).
 type pathEntry struct {
 	xy, yx []Link
 	sp     [2][]Link
 	spLen  int
+
+	xyID, yxID []int32
+	spID       [2][]int32
 }
 
 // Mesh is a wafer's interconnect state: topology, per-link bandwidth and
@@ -170,14 +175,31 @@ func (m *Mesh) internPaths() {
 			e := &m.paths[ai*m.nDies+bi]
 			e.xy = m.buildXYPath(a, b)
 			e.yx = m.buildYXPath(a, b)
+			e.xyID = m.buildPathIDs(e.xy)
+			e.yxID = m.buildPathIDs(e.yx)
 			e.sp[0] = e.xy
+			e.spID[0] = e.xyID
 			e.spLen = 1
 			if a.X != b.X && a.Y != b.Y {
 				e.sp[1] = e.yx
+				e.spID[1] = e.yxID
 				e.spLen = 2
 			}
 		}
 	}
+}
+
+// buildPathIDs maps a route to its dense link IDs. Every link of an
+// on-mesh route has an ID, so the slice length equals the hop count.
+func (m *Mesh) buildPathIDs(path []Link) []int32 {
+	if len(path) == 0 {
+		return nil
+	}
+	ids := make([]int32, len(path))
+	for i, l := range path {
+		ids[i] = int32(m.LinkIndex(l))
+	}
+	return ids
 }
 
 // refreshFaultState rebuilds the dense fault-derived tables and the mesh
@@ -356,6 +378,30 @@ func (m *Mesh) ShortestPaths(a, b DieID) [][]Link {
 	return [][]Link{xy, m.buildYXPath(a, b)}
 }
 
+// XYPathIDs returns the dimension-ordered route as dense link IDs — the
+// zero-coordinate-math representation of XYPath, in the same hop order.
+// The returned slice is shared — do not modify it.
+func (m *Mesh) XYPathIDs(a, b DieID) []int32 {
+	if e := m.pathAt(a, b); e != nil {
+		return e.xyID
+	}
+	return m.buildPathIDs(m.buildXYPath(a, b))
+}
+
+// ShortestPathIDs is ShortestPaths in dense link-ID form: the k-th returned
+// slice is the ID sequence of the k-th ShortestPaths route. The returned
+// slices are shared — do not modify them.
+func (m *Mesh) ShortestPathIDs(a, b DieID) [][]int32 {
+	if e := m.pathAt(a, b); e != nil {
+		return e.spID[:e.spLen]
+	}
+	xy := m.buildPathIDs(m.buildXYPath(a, b))
+	if a.X == b.X || a.Y == b.Y {
+		return [][]int32{xy}
+	}
+	return [][]int32{xy, m.buildPathIDs(m.buildYXPath(a, b))}
+}
+
 // EffectiveLinkBandwidth returns the link's bandwidth after fault
 // degradation; zero for dead links or links touching dead dies.
 func (m *Mesh) EffectiveLinkBandwidth(l Link) float64 {
@@ -486,8 +532,14 @@ func Conflicts(path []Link, occupied map[Link]bool) int {
 // LinkSet is a dense bitset over the mesh's link IDs — the allocation-free
 // replacement for map[Link]bool occupied-link bookkeeping on the Eq 2 hot
 // path (placement search, memory allocation).
+//
+// A set can optionally record membership flips into a second set via
+// TrackDirty; the incremental placement scorer uses this to know which
+// links' occupancy changed across a swap so it only re-scores the Mem_pairs
+// whose candidate paths cross a flipped link.
 type LinkSet struct {
-	bits []uint64
+	bits  []uint64
+	dirty *LinkSet
 }
 
 // NewLinkSet returns an empty set sized for the mesh's links.
@@ -495,11 +547,34 @@ func (m *Mesh) NewLinkSet() *LinkSet {
 	return &LinkSet{bits: make([]uint64, (len(m.links)+63)/64)}
 }
 
+// TrackDirty directs the set to record every membership flip — an Add of an
+// absent ID or a Remove of a present ID — into d, which must be sized for
+// the same mesh. Pass nil to stop tracking. Clear bypasses tracking (it is
+// a scratch reset, not a flip).
+func (s *LinkSet) TrackDirty(d *LinkSet) { s.dirty = d }
+
 // Add inserts a link ID; negative IDs (off-mesh links) are ignored.
 func (s *LinkSet) Add(i int) {
-	if i >= 0 {
-		s.bits[i>>6] |= 1 << (uint(i) & 63)
+	if i < 0 {
+		return
 	}
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if s.dirty != nil && s.bits[w]&b == 0 {
+		s.dirty.bits[w] |= b
+	}
+	s.bits[w] |= b
+}
+
+// Remove deletes a link ID; negative IDs are ignored.
+func (s *LinkSet) Remove(i int) {
+	if i < 0 {
+		return
+	}
+	w, b := i>>6, uint64(1)<<(uint(i)&63)
+	if s.dirty != nil && s.bits[w]&b != 0 {
+		s.dirty.bits[w] |= b
+	}
+	s.bits[w] &^= b
 }
 
 // Has reports membership of a link ID.
@@ -507,7 +582,35 @@ func (s *LinkSet) Has(i int) bool {
 	return i >= 0 && s.bits[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
-// Clear empties the set in place (scratch reuse).
+// Any reports whether the set holds at least one ID.
+func (s *LinkSet) Any() bool {
+	for _, w := range s.bits {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Words exposes the underlying bit words (shared, read-only) so callers can
+// intersect link masks without per-bit Has calls.
+func (s *LinkSet) Words() []uint64 { return s.bits }
+
+// CountIn returns how many of the given link IDs are members — the γ
+// conflict count of a dense ID path against an occupied set (the ID
+// counterpart of Mesh.PathConflicts).
+func (s *LinkSet) CountIn(ids []int32) int {
+	n := 0
+	for _, id := range ids {
+		if s.bits[id>>6]&(1<<(uint32(id)&63)) != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Clear empties the set in place (scratch reuse). Flips are not recorded
+// into a TrackDirty target.
 func (s *LinkSet) Clear() {
 	for i := range s.bits {
 		s.bits[i] = 0

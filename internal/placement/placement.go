@@ -42,6 +42,9 @@ func (r Region) Center() (float64, float64) {
 // Anchor returns the die nearest the region centroid, used as the routing
 // endpoint for inter-stage paths.
 func (r Region) Anchor() mesh.DieID {
+	if len(r.Dies) == 0 {
+		return mesh.DieID{}
+	}
 	cx, cy := r.Center()
 	best := r.Dies[0]
 	bd := math.Inf(1)
@@ -174,8 +177,12 @@ func anchorCost(m *mesh.Mesh, anchors []mesh.DieID, w Workload, occupied *mesh.L
 //
 // The annealing loop never materialises a Placement: region anchors are
 // fixed by the partition geometry, so each candidate permutation is scored
-// directly on the anchor table with a reused occupied-link scratch set, and
-// only the final best permutation is built into a Placement.
+// on an incremental Scorer — a swap re-scores only the pipeline edges and
+// Mem_pairs it actually touches, O(local) instead of O(pp + pairs·paths) —
+// and only the final best permutation is built into a Placement. Scorer
+// costs are bit-identical to the full evaluation at every step, so the
+// search trajectory (and the sched golden SHA) is unchanged from the
+// full-re-evaluation implementation.
 func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement, error) {
 	base, err := Partition(m, tp, pp)
 	if err != nil {
@@ -186,12 +193,9 @@ func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement,
 		baseAnchors[i] = base[i].Anchor()
 	}
 	perm := make([]int, pp)
-	anchors := make([]mesh.DieID, pp)
 	for i := range perm {
 		perm[i] = i
-		anchors[i] = baseAnchors[i]
 	}
-	occupied := m.NewLinkSet()
 	build := func(perm []int) *Placement {
 		regions := make([]Region, pp)
 		for s, r := range perm {
@@ -199,7 +203,8 @@ func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement,
 		}
 		return &Placement{Regions: regions}
 	}
-	curCost := anchorCost(m, anchors, w, occupied)
+	sc := NewScorer(m, baseAnchors, w)
+	curCost := sc.Cost()
 	bestPerm := append([]int(nil), perm...)
 	bestCost := curCost
 	if pp <= 1 {
@@ -217,9 +222,9 @@ func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement,
 			continue
 		}
 		perm[a], perm[b] = perm[b], perm[a]
-		anchors[a], anchors[b] = anchors[b], anchors[a]
-		c := anchorCost(m, anchors, w, occupied)
+		c, _ := sc.SwapDelta(a, b)
 		if c <= curCost || rng.Float64() < math.Exp((curCost-c)/math.Max(temp, 1e-12)) {
+			sc.Apply()
 			curCost = c
 			if c < bestCost {
 				bestCost = c
@@ -227,7 +232,7 @@ func Optimize(m *mesh.Mesh, tp, pp int, w Workload, rng *rand.Rand) (*Placement,
 			}
 		} else {
 			perm[a], perm[b] = perm[b], perm[a] // revert
-			anchors[a], anchors[b] = anchors[b], anchors[a]
+			sc.Revert()
 		}
 		temp *= 0.995
 	}

@@ -389,9 +389,12 @@ func explore(w hw.WaferConfig, m *mesh.Mesh, spec model.Spec, work model.Workloa
 				if refined != nil {
 					plan = refined
 					strat.Recompute = plan
+					// A finite-fitness genome always carries an in-range
+					// permutation (ga.Fitness rejects anything else), so
+					// the old defensive modulo aliasing is gone.
 					regions := make([]placement.Region, pp)
 					for s, r := range gaRes.Best.Perm {
-						regions[s] = base[r%len(base)]
+						regions[s] = base[r]
 					}
 					pl = &placement.Placement{Regions: regions}
 					strat.Placement = pl

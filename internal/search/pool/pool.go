@@ -43,17 +43,32 @@ func (r *Runner) width(n int) int {
 	return w
 }
 
+// Width resolves the worker count Run/RunWorker would use for n tasks —
+// the upper bound on the worker IDs RunWorker passes to fn. Callers sizing
+// per-worker scratch tables should size them with the largest n they will
+// dispatch.
+func (r *Runner) Width(n int) int { return r.width(n) }
+
 // Run executes fn(i) for every i in [0, n). With one worker it runs inline
 // on the calling goroutine in index order; otherwise tasks are distributed
 // over the pool and Run returns once all complete.
 func (r *Runner) Run(n int, fn func(i int)) {
+	r.RunWorker(n, func(_, i int) { fn(i) })
+}
+
+// RunWorker is Run with worker identity: fn(w, i) is called with the ID
+// w ∈ [0, Width(n)) of the executing worker, which is stable for the
+// goroutine across all its tasks in this call. Callers use it to keep
+// per-worker scratch state (caches, scorers) without locking; task results
+// must still depend only on i for the determinism contract to hold.
+func (r *Runner) RunWorker(n int, fn func(worker, i int)) {
 	if n <= 0 {
 		return
 	}
 	w := r.width(n)
 	if w == 1 {
 		for i := 0; i < n; i++ {
-			fn(i)
+			fn(0, i)
 		}
 		return
 	}
@@ -62,7 +77,7 @@ func (r *Runner) Run(n int, fn func(i int)) {
 	var wg sync.WaitGroup
 	wg.Add(w)
 	for k := 0; k < w; k++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				mu.Lock()
@@ -72,9 +87,9 @@ func (r *Runner) Run(n int, fn func(i int)) {
 				if i >= n {
 					return
 				}
-				fn(i)
+				fn(worker, i)
 			}
-		}()
+		}(k)
 	}
 	wg.Wait()
 }
@@ -84,5 +99,12 @@ func (r *Runner) Run(n int, fn func(i int)) {
 func Map[T any](r *Runner, n int, fn func(i int) T) []T {
 	out := make([]T, n)
 	r.Run(n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// MapWorker is Map with worker identity (see RunWorker).
+func MapWorker[T any](r *Runner, n int, fn func(worker, i int) T) []T {
+	out := make([]T, n)
+	r.RunWorker(n, func(w, i int) { out[i] = fn(w, i) })
 	return out
 }

@@ -2,6 +2,7 @@ package pool
 
 import (
 	"reflect"
+	"sync"
 	"sync/atomic"
 	"testing"
 )
@@ -70,4 +71,55 @@ func TestWidthClamping(t *testing.T) {
 	if w := nilRunner.width(5); w < 1 {
 		t.Errorf("nil runner width must be >= 1, got %d", w)
 	}
+}
+
+func TestMapWorkerResultsInIndexOrder(t *testing.T) {
+	r := New(4)
+	got := MapWorker(r, 100, func(w, i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("MapWorker[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestRunWorkerIdentity(t *testing.T) {
+	// Worker IDs must stay within [0, Width(n)) and belong to exactly one
+	// live goroutine at a time — the property that makes per-worker
+	// scratch indexed by the ID race-free.
+	r := New(4)
+	n := 200
+	width := r.Width(n)
+	if width != 4 {
+		t.Fatalf("Width(200) with 4 workers = %d, want 4", width)
+	}
+	inUse := make([]int32, width)
+	var mu sync.Mutex
+	perWorker := map[int]int{}
+	r.RunWorker(n, func(w, i int) {
+		if w < 0 || w >= width {
+			t.Errorf("worker ID %d outside [0,%d)", w, width)
+			return
+		}
+		if atomic.AddInt32(&inUse[w], 1) != 1 {
+			t.Errorf("worker ID %d used by two goroutines concurrently", w)
+		}
+		mu.Lock()
+		perWorker[w]++
+		mu.Unlock()
+		atomic.AddInt32(&inUse[w], -1)
+	})
+	total := 0
+	for _, c := range perWorker {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("tasks executed %d times, want %d", total, n)
+	}
+	// Sequential mode: every task on worker 0.
+	New(1).RunWorker(5, func(w, i int) {
+		if w != 0 {
+			t.Errorf("sequential RunWorker used worker %d", w)
+		}
+	})
 }
