@@ -1,4 +1,4 @@
-.PHONY: build test race bench bench-smoke figures
+.PHONY: build test race bench bench-smoke router-smoke figures
 
 build:
 	go build ./...
@@ -10,12 +10,12 @@ race:
 	go test -race ./...
 
 # Tier-2 performance trajectory: runs the benchmark suite in-process with
-# -benchmem semantics and writes BENCH_pr4.json (ns/op, allocs/op, B/op per
-# benchmark, service jobs/sec + dedup rate, plus the speedups vs the
-# recorded PR-1/PR-2/PR-3 baselines and the in-run PR3-era annealer
-# full-re-evaluation baseline).
+# -benchmem semantics and writes BENCH_pr5.json (ns/op, allocs/op, B/op per
+# benchmark, service + routed-shard jobs/sec and dedup rates, plus the
+# speedups vs the recorded PR-1..PR-4 baselines and the in-run PR3-era
+# annealer full-re-evaluation baseline).
 bench:
-	go run ./cmd/bench -out BENCH_pr4.json
+	go run ./cmd/bench -out BENCH_pr5.json
 
 # Fast regression gate for the search inner loops: the zero-alloc
 # assertion of the annealer swap path (the benchmarks only report allocs,
@@ -25,6 +25,13 @@ bench:
 bench-smoke:
 	go test -run 'TestScorerSwapZeroAlloc' -count=1 ./internal/placement
 	go test -run '^$$' -bench 'BenchmarkAnnealSwap|BenchmarkOptimizePlacement|BenchmarkGAGeneration' -benchtime=1x -benchmem .
+
+# Sharded-tier smoke: 2 watosd shards + watos-router as real processes; a
+# routed job and a scatter-gathered sweep must diff clean against in-process
+# searches, and a third shard joining with -seed-from must serve a
+# previously-routed job without a single cache miss.
+router-smoke:
+	bash scripts/router_smoke.sh
 
 figures:
 	go run ./cmd/figures

@@ -8,7 +8,12 @@
 //
 // The service benchmarks drive an in-process watosd (internal/service)
 // through its HTTP API with concurrent identical and distinct jobs,
-// reporting the dedup hit rate and sustained jobs/sec.
+// reporting the dedup hit rate and sustained jobs/sec. The router
+// benchmarks put the sharded tier (internal/shard) in front: the same
+// bursts routed by fingerprint across 1 vs 2 watosd shards (scaling), an
+// identical burst through the router (routed-dedup hit rate — stable
+// hashing keeps shard-side singleflight firing), and scatter-gathered
+// Table II sweeps.
 //
 // The annealer-iteration benchmarks compare the incremental Eq 2 Scorer
 // against the PR3-era full re-evaluation measured in the same run (tagged
@@ -17,7 +22,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                # writes BENCH_pr4.json
+//	go run ./cmd/bench                # writes BENCH_pr5.json
 //	go run ./cmd/bench -out perf.json # custom output path
 package main
 
@@ -30,6 +35,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -47,6 +53,7 @@ import (
 	"repro/internal/search"
 	"repro/internal/service"
 	"repro/internal/service/client"
+	"repro/internal/shard"
 	"repro/internal/sim"
 )
 
@@ -66,9 +73,11 @@ type taggedEntry struct {
 	entry
 }
 
-// serviceEntry is one service-throughput measurement.
+// serviceEntry is one service- or router-throughput measurement.
 type serviceEntry struct {
-	Name        string  `json:"name"`
+	Name string `json:"name"`
+	// Shards is the watosd fleet size behind the router (0 = direct daemon).
+	Shards      int     `json:"shards,omitempty"`
 	Jobs        int     `json:"jobs"`
 	Coalesced   uint64  `json:"coalesced"`
 	DedupRate   float64 `json:"dedup_rate"`
@@ -98,7 +107,8 @@ type report struct {
 // Prior acceptance-benchmark measurements on the reference CI-class
 // machine: PR 1 is the map-based mesh/collective hot path, PR 2 the dense
 // plan-cached tree (from BENCH_pr2.json), PR 3 the service-era tree (from
-// BENCH_pr3.json). The pr3-full-reeval annealer baseline is measured live
+// BENCH_pr3.json), PR 4 the incremental-scorer tree (from BENCH_pr4.json).
+// The pr3-full-reeval annealer baseline is measured live
 // in this run (the full-evaluation path still exists as
 // placement.EvalAnchors), so its speedup factor is machine-exact.
 var priorBaselines = []taggedEntry{
@@ -122,6 +132,13 @@ var priorBaselines = []taggedEntry{
 		NsPerOp:     45128743.333333336,
 		AllocsPerOp: 51364,
 		BytesPerOp:  7922227,
+	}},
+	{Tag: "pr4", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  16,
+		NsPerOp:     45791043.125,
+		AllocsPerOp: 58052,
+		BytesPerOp:  8406789,
 	}},
 }
 
@@ -170,20 +187,13 @@ func run(name string, fn func()) entry {
 	return e
 }
 
-// serviceThroughput starts an in-process watosd behind a real HTTP
-// listener, fires the jobs concurrently through the typed client and
-// reports wall time plus the observed dedup rate. distinct jobs vary the
-// seed so each is a separate fingerprint; identical jobs coalesce. The
-// shared predictor keeps cache keys stable across bursts, so the second
-// burst genuinely runs over the caches the first one warmed.
-func serviceThroughput(name string, jobs int, distinct bool, pred predictor.Predictor) serviceEntry {
-	srv := service.NewServer(service.Options{EvalWorkers: 1, JobWorkers: 2, Backlog: jobs + 1}, pred)
-	ts := httptest.NewServer(srv.Handler())
-	defer func() { ts.Close(); srv.Close() }()
-	c := client.New(ts.URL)
-	c.PollInterval = time.Millisecond
+// burst fires jobs concurrently through the typed client, waits for every
+// terminal state, and reports the wall time plus the dedup observed in the
+// endpoint's stats — one driver for the direct-daemon and routed benchmarks,
+// so both burst families measure identically. distinct jobs vary the seed so
+// each is a separate fingerprint; identical jobs coalesce.
+func burst(name string, c *client.Client, shards, jobs int, distinct bool) serviceEntry {
 	ctx := context.Background()
-
 	start := time.Now()
 	ids := make([]string, jobs)
 	var wg sync.WaitGroup
@@ -219,6 +229,8 @@ func serviceThroughput(name string, jobs int, distinct bool, pred predictor.Pred
 		}
 	}
 	wall := time.Since(start)
+	// Against a router this reads the flattened fleet aggregate, so the
+	// plain client reads fleet-wide dedup the same way it reads one daemon's.
 	st, err := c.Stats(ctx)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bench:", err)
@@ -226,14 +238,94 @@ func serviceThroughput(name string, jobs int, distinct bool, pred predictor.Pred
 	}
 	e := serviceEntry{
 		Name:        name,
+		Shards:      shards,
 		Jobs:        jobs,
 		Coalesced:   st.JobsCoalesced,
 		DedupRate:   st.DedupRate(),
 		WallSeconds: wall.Seconds(),
 		JobsPerSec:  float64(jobs) / wall.Seconds(),
 	}
-	fmt.Printf("%-32s %12.2f jobs/s %9.0f%% dedup %12.3f s wall   (%d jobs)\n",
-		name, e.JobsPerSec, e.DedupRate*100, e.WallSeconds, jobs)
+	suffix := fmt.Sprintf("(%d jobs)", jobs)
+	if shards > 0 {
+		suffix = fmt.Sprintf("(%d jobs, %d shards)", jobs, shards)
+	}
+	fmt.Printf("%-32s %12.2f jobs/s %9.0f%% dedup %12.3f s wall   %s\n",
+		name, e.JobsPerSec, e.DedupRate*100, e.WallSeconds, suffix)
+	return e
+}
+
+// serviceThroughput bursts against one in-process watosd behind a real HTTP
+// listener. The shared predictor keeps cache keys stable across bursts, so
+// the second burst genuinely runs over the caches the first one warmed.
+func serviceThroughput(name string, jobs int, distinct bool, pred predictor.Predictor) serviceEntry {
+	srv := service.NewServer(service.Options{EvalWorkers: 1, JobWorkers: 2, Backlog: jobs + 1}, pred)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	c := client.New(ts.URL)
+	c.PollInterval = time.Millisecond
+	return burst(name, c, 0, jobs, distinct)
+}
+
+// routedFleet stands up n in-process watosd shards behind a probed shard
+// map and a router listener, returning a client bound to the router.
+func routedFleet(n int, pred predictor.Predictor) (*client.Client, func()) {
+	var shards []*service.Server
+	var servers []*httptest.Server
+	var addrs []string
+	for i := 0; i < n; i++ {
+		s := service.NewServer(service.Options{EvalWorkers: 1, JobWorkers: 2, Backlog: 64}, pred)
+		ts := httptest.NewServer(s.Handler())
+		shards = append(shards, s)
+		servers = append(servers, ts)
+		addrs = append(addrs, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	m := shard.NewMap(addrs, shard.Options{})
+	m.Probe(context.Background())
+	router := httptest.NewServer(shard.NewRouter(m).Handler())
+	c := client.New(router.URL)
+	c.PollInterval = time.Millisecond
+	cleanup := func() {
+		router.Close()
+		m.Close()
+		for i := range shards {
+			servers[i].Close()
+			shards[i].Close()
+		}
+	}
+	return c, cleanup
+}
+
+// routerThroughput fires a burst of jobs through the routing front-end over
+// an n-shard fleet and reports sustained jobs/sec plus the fleet-wide dedup
+// rate (the routed-dedup hit rate: identical jobs only coalesce because
+// stable hashing sends them to one shard's singleflight).
+func routerThroughput(name string, shards, jobs int, distinct bool, pred predictor.Predictor) serviceEntry {
+	c, cleanup := routedFleet(shards, pred)
+	defer cleanup()
+	return burst(name, c, shards, jobs, distinct)
+}
+
+// routerSweep scatter-gathers one Table II sweep through the router over an
+// n-shard fleet (4 per-architecture parts fanned out by fingerprint).
+func routerSweep(name string, shards int, pred predictor.Predictor) serviceEntry {
+	c, cleanup := routedFleet(shards, pred)
+	defer cleanup()
+	start := time.Now()
+	sw, err := c.Sweep(context.Background(), service.Request{Model: "Llama2-30B", Seq: 2048, Seed: 7})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	e := serviceEntry{
+		Name:        name,
+		Shards:      shards,
+		Jobs:        len(sw.Jobs),
+		WallSeconds: wall.Seconds(),
+		JobsPerSec:  float64(len(sw.Jobs)) / wall.Seconds(),
+	}
+	fmt.Printf("%-32s %12.2f parts/s %9s %12.3f s wall   (%d parts, %d shards)\n",
+		name, e.JobsPerSec, "", e.WallSeconds, e.Jobs, shards)
 	return e
 }
 
@@ -258,14 +350,14 @@ func gaGenerationBench(fail func(error)) entry {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr4.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
 	flag.Parse()
 
 	pred := predictor.NewLookupTable(predictor.TileLevel{})
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr4",
+		Tag:       "pr5",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -408,6 +500,31 @@ func main() {
 	sched.ResetCache()
 	rep.Service = append(rep.Service, serviceThroughput("service-identical-burst", 32, false, pred))
 	rep.Service = append(rep.Service, serviceThroughput("service-distinct-burst", 32, true, pred))
+
+	// Sharded tier: the distinct burst through the routing front-end over 1
+	// vs 2 shards (scaling: two daemons drain two bounded queues), the
+	// identical burst through the router (routed-dedup: stable hashing keeps
+	// every duplicate on one shard's singleflight), and scatter-gathered
+	// Table II sweeps. Caches reset before each run so every burst pays its
+	// own cold start.
+	for _, cfg := range []struct {
+		name     string
+		shards   int
+		distinct bool
+	}{
+		{"router-1shard-distinct-burst", 1, true},
+		{"router-2shard-distinct-burst", 2, true},
+		{"router-2shard-identical-burst", 2, false},
+	} {
+		search.DefaultCache().Reset()
+		sched.ResetCache()
+		rep.Service = append(rep.Service, routerThroughput(cfg.name, cfg.shards, 32, cfg.distinct, pred))
+	}
+	for _, shards := range []int{1, 2} {
+		search.DefaultCache().Reset()
+		sched.ResetCache()
+		rep.Service = append(rep.Service, routerSweep(fmt.Sprintf("router-%dshard-sweep", shards), shards, pred))
+	}
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -1,0 +1,95 @@
+// Command watos-router is the sharded evaluation tier's front-end: it
+// maintains a live shard map over a fleet of watosd daemons (health-checked,
+// with automatic exclusion and readmission), routes jobs by stable hashing
+// of the canonical request fingerprint so identical jobs always land on the
+// same shard's warm caches, and scatter-gathers Table II-style sweeps
+// per-architecture across the fleet.
+//
+//	watos-router -addr :8090 -shards host1:8080,host2:8080
+//	watos -model Llama2-30B -config config3 -remote localhost:8090
+//	watos -model Llama2-30B -remote localhost:8090      # scattered sweep
+//
+// It serves the watosd API surface (plus GET/POST /v1/shards), so the typed
+// client and `watos -remote` work against a router unchanged; results are
+// byte-identical to a single daemon and to an in-process search.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+)
+
+func main() {
+	addr := flag.String("addr", ":8090", "HTTP listen address")
+	shards := flag.String("shards", "", "comma-separated watosd shard addresses (host:port,...)")
+	interval := flag.Duration("health-interval", 2*time.Second, "shard health-probe interval")
+	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
+	failAfter := flag.Int("fail-after", 2, "consecutive failed probes before a shard is excluded from routing")
+	flag.Parse()
+
+	var addrs []string
+	for _, a := range strings.Split(*shards, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			addrs = append(addrs, a)
+		}
+	}
+	if len(addrs) == 0 {
+		fmt.Fprintln(os.Stderr, "watos-router: -shards must list at least one watosd address")
+		os.Exit(2)
+	}
+
+	m := shard.NewMap(addrs, shard.Options{
+		HealthInterval: *interval,
+		ProbeTimeout:   *probeTimeout,
+		FailAfter:      *failAfter,
+	})
+	m.Probe(context.Background())
+	for _, st := range m.Statuses() {
+		state := "healthy"
+		if !st.Healthy {
+			state = "unreachable (" + st.LastError + ")"
+		}
+		log.Printf("shard %s at %s: %s", st.Name, st.Addr, state)
+	}
+	m.Start()
+	defer m.Close()
+
+	router := shard.NewRouter(m)
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           router.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("watos-router listening on %s over %d shards", *addr, len(addrs))
+
+	select {
+	case <-ctx.Done():
+		log.Print("shutting down")
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "watos-router:", err)
+		os.Exit(1)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	log.Print("watos-router stopped")
+}

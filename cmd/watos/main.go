@@ -140,13 +140,21 @@ func printPerArch(perArch []service.ArchSummary) {
 	}
 }
 
-// runRemote delegates the search to a running watosd daemon.
+// runRemote delegates the search to a running watosd daemon or watos-router.
+// Architecture sweeps (no -config) go through the scatter-gather sweep
+// endpoint, so a router fans them out per-architecture across its shards;
+// the merged record set is byte-identical to a single-daemon or in-process
+// sweep either way.
 func runRemote(addr string, req service.Request, canon bool) {
 	ctx := context.Background()
 	c := client.New(addr)
 	if err := c.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "watosd at %s unreachable: %v\n", addr, err)
 		os.Exit(1)
+	}
+	if req.Config == "" {
+		runRemoteSweep(ctx, c, addr, req, canon)
+		return
 	}
 	job, err := c.Run(ctx, req)
 	if err != nil {
@@ -171,5 +179,33 @@ func runRemote(addr string, req service.Request, canon bool) {
 		fmt.Printf("daemon:            %d jobs done, %d coalesced (%.0f%% dedup), candidate cache %.0f%% hits\n",
 			st.JobsDone, st.JobsCoalesced, st.DedupRate()*100, st.CandidateCache.HitRate()*100)
 	}
+	printPerArch(r.PerArch)
+}
+
+// runRemoteSweep scatter-gathers an architecture sweep through the sweep
+// endpoint (per-architecture jobs, fanned across shards behind a router).
+func runRemoteSweep(ctx context.Context, c *client.Client, addr string, req service.Request, canon bool) {
+	sw, err := c.Sweep(ctx, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	r := sw.Result
+	if canon {
+		fmt.Print(r.Canonical)
+		return
+	}
+	fmt.Printf("remote:   %s (scattered sweep, %d architectures)\n", addr, len(sw.Jobs))
+	for _, part := range sw.Jobs {
+		where := part.JobID
+		if part.Shard != "" {
+			where = part.Shard + " (" + part.JobID + ")"
+		}
+		fmt.Printf("  part %-12s -> %s\n", part.Config, where)
+	}
+	fmt.Printf("model:    %s\n", req.Model)
+	fmt.Printf("workload: batch %d, micro-batch %d, seq %d\n", req.Batch, req.Micro, req.Seq)
+	fmt.Printf("best architecture: %s\n", r.BestArch)
+	printResultBody(r)
 	printPerArch(r.PerArch)
 }

@@ -7,6 +7,7 @@
 //
 //	watosd -addr :8080
 //	watosd -addr :8080 -workers 8 -jobs 2 -snapshot /var/lib/watos/cache.snapshot
+//	watosd -addr :8081 -seed-from localhost:8080   # join a fleet warm
 //	watos -model Llama2-30B -config config3 -remote localhost:8080
 //
 // Shutdown is graceful: on SIGINT/SIGTERM the daemon stops accepting
@@ -27,6 +28,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/service"
+	"repro/internal/service/client"
 )
 
 func main() {
@@ -36,6 +38,7 @@ func main() {
 	backlog := flag.Int("backlog", 64, "queued-job backlog bound (submissions beyond it get HTTP 503)")
 	history := flag.Int("history", 1024, "retained terminal job records (oldest evicted first)")
 	snapshot := flag.String("snapshot", "", "cache snapshot path: load at startup, save on shutdown and on POST /v1/snapshot")
+	seedFrom := flag.String("seed-from", "", "peer watosd address to pull a cache snapshot from at startup (shard warm join; mismatched snapshot versions are discarded)")
 	flag.Parse()
 
 	srv := service.NewServer(service.Options{
@@ -58,6 +61,33 @@ func main() {
 		default:
 			log.Printf("cold start: snapshot load failed: %v", err)
 		}
+	}
+
+	// A shard joining a fleet mid-run seeds its caches from a warm peer: one
+	// GET /v1/snapshot pull, validated against this daemon's fingerprint
+	// scheme and predictor identity (a mismatched peer snapshot is discarded,
+	// never aliased). Seeding failures are cold starts, not fatal — the shard
+	// still serves correctly, just without the warm-up.
+	if *seedFrom != "" {
+		func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			rc, err := client.New(*seedFrom).PullSnapshot(ctx)
+			if err != nil {
+				log.Printf("cold join: snapshot pull from %s failed: %v", *seedFrom, err)
+				return
+			}
+			defer rc.Close()
+			switch info, err := srv.RestoreSnapshotFrom(rc); {
+			case err == nil:
+				log.Printf("warm join: seeded %d candidates / %d evaluations from peer %s",
+					info.Candidates, info.Eval, *seedFrom)
+			case errors.Is(err, service.ErrStaleSnapshot):
+				log.Printf("cold join: discarding peer snapshot from %s (%v)", *seedFrom, err)
+			default:
+				log.Printf("cold join: peer snapshot from %s unreadable: %v", *seedFrom, err)
+			}
+		}()
 	}
 
 	// A resident daemon must not let slow or idle clients pin connections

@@ -85,3 +85,25 @@ func ArchCandidates(config string) ([]hw.WaferConfig, error) {
 		return nil, fmt.Errorf("unknown config %q", config)
 	}
 }
+
+// SweepConfigs resolves an architecture restriction to the list of
+// restriction names it sweeps over, in sweep order: the empty string expands
+// to the Table II configurations (derived from hw.TableII so the scattered
+// and unscattered sweeps can never cover different architecture sets), a
+// named configuration to itself. Each name round-trips through
+// ArchCandidates to exactly one candidate, which is what lets a sweep
+// scatter into per-architecture requests whose concatenated results are
+// identical to the unscattered sweep.
+func SweepConfigs(config string) ([]string, error) {
+	if config == "" {
+		var names []string
+		for _, w := range hw.TableII() {
+			names = append(names, w.Name)
+		}
+		return names, nil
+	}
+	if _, err := ArchCandidates(config); err != nil {
+		return nil, err
+	}
+	return []string{config}, nil
+}

@@ -12,11 +12,12 @@ import (
 // at a time over its lifetime, which is what a resident evaluation service
 // needs. Like Runner it is deliberately dependency-free.
 type Queue struct {
-	tasks   chan func()
-	done    chan struct{}
-	workers sync.WaitGroup
-	senders sync.WaitGroup
-	discard atomic.Bool
+	tasks    chan func()
+	done     chan struct{}
+	workers  sync.WaitGroup
+	senders  sync.WaitGroup
+	discard  atomic.Bool
+	inflight atomic.Int64
 
 	mu     sync.Mutex
 	closed bool
@@ -42,7 +43,9 @@ func NewQueue(workers, backlog int) *Queue {
 			defer q.workers.Done()
 			for fn := range q.tasks {
 				if !q.discard.Load() {
+					q.inflight.Add(1)
 					fn()
+					q.inflight.Add(-1)
 				}
 			}
 		}()
@@ -101,6 +104,11 @@ func (q *Queue) Submit(fn func()) bool {
 // Depth returns the number of tasks waiting in the backlog (excluding tasks
 // already running on workers).
 func (q *Queue) Depth() int { return len(q.tasks) }
+
+// InFlight returns the number of tasks currently executing on workers. With
+// Depth it is the queue's occupancy — the load signal a routing front-end
+// reads per shard.
+func (q *Queue) InFlight() int { return int(q.inflight.Load()) }
 
 // Close stops accepting new tasks (waking any Submit blocked on a full
 // backlog), drains the already-accepted backlog and waits for running tasks

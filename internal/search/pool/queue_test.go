@@ -155,6 +155,38 @@ func TestQueueCloseDiscard(t *testing.T) {
 	q.Close() // idempotent across both close flavours
 }
 
+// TestQueueInFlight checks the occupancy gauges: InFlight counts executing
+// tasks, Depth counts the waiting backlog, and both settle back to zero.
+func TestQueueInFlight(t *testing.T) {
+	q := NewQueue(2, 4)
+	if q.InFlight() != 0 || q.Depth() != 0 {
+		t.Fatalf("idle queue occupancy = %d in flight / %d queued, want 0 / 0", q.InFlight(), q.Depth())
+	}
+	release := make(chan struct{})
+	started := make(chan struct{}, 2)
+	for i := 0; i < 2; i++ {
+		if !q.TrySubmit(func() { started <- struct{}{}; <-release }) {
+			t.Fatal("TrySubmit refused with idle workers")
+		}
+	}
+	<-started
+	<-started // both workers are now executing
+	if got := q.InFlight(); got != 2 {
+		t.Errorf("InFlight = %d with both workers busy, want 2", got)
+	}
+	if !q.TrySubmit(func() {}) {
+		t.Fatal("backlog submit refused")
+	}
+	if got := q.Depth(); got != 1 {
+		t.Errorf("Depth = %d with one queued task, want 1", got)
+	}
+	close(release)
+	q.Close()
+	if got := q.InFlight(); got != 0 {
+		t.Errorf("InFlight = %d after Close, want 0", got)
+	}
+}
+
 // TestQueueDefaultWidth checks the GOMAXPROCS default accepts work.
 func TestQueueDefaultWidth(t *testing.T) {
 	q := NewQueue(0, -1)

@@ -1,0 +1,60 @@
+package search
+
+// The sharded evaluation tier (internal/shard) routes jobs across watosd
+// backends by the same canonical request fingerprints this package defines
+// for memoization, so one key scheme drives both cache identity and shard
+// placement: identical jobs land on the same shard, where the singleflight
+// dedup and the warm candidate/evaluation caches for their slice of the
+// request space already live. The hash must therefore be stable across
+// processes, platforms and restarts — FNV-1a over the fingerprint bytes, not
+// a seeded map hash.
+
+// fnv-1a 64-bit parameters (FNV is dependency-free and byte-order
+// independent; hash/fnv would allocate a hasher per call).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// ShardKey hashes a canonical fingerprint (Fingerprint, service request
+// fingerprints, or any other key of the FingerprintSchemeVersion scheme) to
+// a stable 64-bit routing key.
+func ShardKey(fingerprint string) uint64 {
+	h := uint64(fnvOffset64)
+	for i := 0; i < len(fingerprint); i++ {
+		h ^= uint64(fingerprint[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ShardScore combines a fingerprint with one shard's stable identity for
+// rendezvous (highest-random-weight) placement: the owner of a fingerprint
+// is the shard with the highest score. Scoring each (fingerprint, shard)
+// pair independently is what makes the assignment minimally disruptive —
+// when a shard leaves, only the fingerprints it owned move, and when it
+// comes back they return, so every other shard's cache slice stays hot.
+func ShardScore(fingerprint, shard string) uint64 {
+	h := ShardKey(fingerprint)
+	h ^= '|'
+	h *= fnvPrime64
+	for i := 0; i < len(shard); i++ {
+		h ^= uint64(shard[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// ShardOwner returns the index of the rendezvous owner of a fingerprint
+// among the given shard identities (-1 when the set is empty). Ties break
+// toward the lower index, so the choice is total and deterministic.
+func ShardOwner(fingerprint string, shards []string) int {
+	best := -1
+	var bestScore uint64
+	for i, s := range shards {
+		if score := ShardScore(fingerprint, s); best < 0 || score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}

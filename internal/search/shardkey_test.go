@@ -1,0 +1,70 @@
+package search
+
+import (
+	"fmt"
+	"hash/fnv"
+	"testing"
+)
+
+// TestShardKeyMatchesFNV pins ShardKey to the standard FNV-1a definition:
+// the routing key scheme is part of the sharded tier's stable identity
+// (routing tables across router restarts), so it must never drift.
+func TestShardKeyMatchesFNV(t *testing.T) {
+	for _, s := range []string{"", "a", "m=Llama2-30B|c=config3|b=64", "m=GPT-175B|seed=42"} {
+		h := fnv.New64a()
+		h.Write([]byte(s))
+		if got, want := ShardKey(s), h.Sum64(); got != want {
+			t.Errorf("ShardKey(%q) = %#x, want FNV-1a %#x", s, got, want)
+		}
+	}
+}
+
+// TestShardOwnerStable checks the rendezvous assignment is deterministic,
+// total, and minimally disruptive: removing one shard moves only the
+// fingerprints it owned.
+func TestShardOwnerStable(t *testing.T) {
+	shards := []string{"127.0.0.1:8791", "127.0.0.1:8792", "127.0.0.1:8793"}
+	fps := make([]string, 200)
+	for i := range fps {
+		fps[i] = fmt.Sprintf("m=Llama2-30B|c=config3|seed=%d", i)
+	}
+
+	owners := make([]int, len(fps))
+	counts := make([]int, len(shards))
+	for i, fp := range fps {
+		owners[i] = ShardOwner(fp, shards)
+		if owners[i] < 0 || owners[i] >= len(shards) {
+			t.Fatalf("ShardOwner(%q) = %d, out of range", fp, owners[i])
+		}
+		counts[owners[i]]++
+		// Stability: the same fingerprint owns the same shard on every call.
+		if again := ShardOwner(fp, shards); again != owners[i] {
+			t.Fatalf("ShardOwner(%q) unstable: %d then %d", fp, owners[i], again)
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d owns none of %d fingerprints (distribution collapsed: %v)", i, len(fps), counts)
+		}
+	}
+
+	// Drop shard 1: its fingerprints redistribute, everyone else's stay put.
+	reduced := []string{shards[0], shards[2]}
+	for i, fp := range fps {
+		got := ShardOwner(fp, reduced)
+		switch owners[i] {
+		case 0:
+			if got != 0 {
+				t.Errorf("fp %d moved off surviving shard 0 when shard 1 left", i)
+			}
+		case 2:
+			if got != 1 { // shards[2] is now index 1
+				t.Errorf("fp %d moved off surviving shard 2 when shard 1 left", i)
+			}
+		}
+	}
+
+	if ShardOwner("anything", nil) != -1 {
+		t.Error("ShardOwner over an empty shard set != -1")
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -16,72 +17,203 @@ import (
 	"repro/internal/service"
 )
 
-// Client talks to one watosd instance.
+// Client talks to one watosd instance — or to a watos-router front-end,
+// which serves the same API surface with shard-namespaced job IDs (the IDs
+// round-trip opaquely through Job/Wait, so the client is router-agnostic).
 type Client struct {
 	base string
 	hc   *http.Client
 	// PollInterval paces Wait's status polling (default 50ms).
 	PollInterval time.Duration
+	// Timeout bounds each request attempt end to end, including reading the
+	// response body (0 = no per-attempt bound beyond the caller's context).
+	// Wait's polls and submissions are quick round-trips, but synchronous
+	// sweeps block until the whole scatter completes and snapshot pulls
+	// stream megabytes, so the bound is per-attempt and opt-in.
+	Timeout time.Duration
+	// Retries bounds additional attempts after a connection-level failure
+	// (dial refused, reset mid-flight); HTTP error statuses are never
+	// retried. Negative disables retries. Retrying a job submission is safe:
+	// a duplicate that reaches the daemon coalesces onto the in-flight
+	// original or replays from warm caches, byte-identically either way.
+	Retries int
+	// RetryDelay is the initial backoff between attempts, doubling each
+	// retry (default 50ms when Retries > 0).
+	RetryDelay time.Duration
 }
 
-// New returns a client for a daemon address ("host:port" or a full
-// "http://..." base URL).
+// DefaultRetries is the connection-error retry budget of a fresh Client.
+const DefaultRetries = 2
+
+// New returns a client for a daemon or router address ("host:port" or a
+// full "http://..." base URL).
 func New(addr string) *Client {
 	base := addr
 	if !strings.Contains(base, "://") {
 		base = "http://" + base
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+	return &Client{
+		base:    strings.TrimRight(base, "/"),
+		hc:      &http.Client{},
+		Retries: DefaultRetries,
+	}
 }
 
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+// StatusError is a non-2xx response from the daemon or router, carrying the
+// HTTP status so proxies (the router) and callers can distinguish a missing
+// job (404) from backpressure (503) from a failed execution (500).
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string { return e.Message }
+
+// cancelBody releases a per-attempt timeout context when the response body
+// is closed. The context must outlive request() on the success path — the
+// caller still has the body to read — so the cancel travels with the body
+// instead of a defer.
+type cancelBody struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (b *cancelBody) Close() error {
+	err := b.ReadCloser.Close()
+	b.cancel()
+	return err
+}
+
+// request issues one attempt and hands the open response body to the
+// caller on success (2xx).
+func (c *Client) request(ctx context.Context, method, path string, in []byte) (*http.Response, error) {
+	cancel := context.CancelFunc(func() {})
+	if c.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+	}
 	var body io.Reader
 	if in != nil {
-		data, err := json.Marshal(in)
-		if err != nil {
-			return err
-		}
-		body = bytes.NewReader(data)
+		body = bytes.NewReader(in)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
 	if err != nil {
-		return err
+		cancel()
+		return nil, err
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		cancel()
+		return nil, err
 	}
-	// Drain to EOF before Close so the transport can reuse the
-	// connection — Wait polls on a tight interval and must not open a
-	// fresh TCP connection per poll.
+	if resp.StatusCode >= 400 {
+		// Drain to EOF before Close so the transport can reuse the
+		// connection — Wait polls on a tight interval and must not open a
+		// fresh TCP connection per poll.
+		defer func() {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			cancel()
+		}()
+		var eb struct {
+			Error string `json:"error"`
+		}
+		msg := fmt.Sprintf("watosd %s %s: HTTP %d", method, path, resp.StatusCode)
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			msg = fmt.Sprintf("watosd %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
+		}
+		return nil, &StatusError{Code: resp.StatusCode, Message: msg}
+	}
+	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// open runs the request with the bounded connection-error retry loop. HTTP
+// statuses (StatusError) and context cancellation are terminal; only
+// transport-level failures burn retry budget.
+func (c *Client) open(ctx context.Context, method, path string, in any) (*http.Response, error) {
+	var data []byte
+	if in != nil {
+		var err error
+		if data, err = json.Marshal(in); err != nil {
+			return nil, err
+		}
+	}
+	delay := c.RetryDelay
+	if delay <= 0 {
+		delay = 50 * time.Millisecond
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		resp, err := c.request(ctx, method, path, data)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		var se *StatusError
+		if errors.As(err, &se) || ctx.Err() != nil || attempt >= c.Retries {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, lastErr
+		case <-time.After(delay):
+		}
+		delay *= 2
+	}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	_, err := c.doStatus(ctx, method, path, in, out)
+	return err
+}
+
+// doStatus is do, additionally reporting the HTTP status code of a 2xx
+// response (the submit path distinguishes 202 queued from 200 coalesced).
+func (c *Client) doStatus(ctx context.Context, method, path string, in, out any) (int, error) {
+	resp, err := c.open(ctx, method, path, in)
+	if err != nil {
+		var se *StatusError
+		if errors.As(err, &se) {
+			return se.Code, err
+		}
+		return 0, err
+	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
-	if resp.StatusCode >= 400 {
-		var eb struct {
-			Error string `json:"error"`
-		}
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			return fmt.Errorf("watosd %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
-		}
-		return fmt.Errorf("watosd %s %s: HTTP %d", method, path, resp.StatusCode)
-	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, nil
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return resp.StatusCode, json.NewDecoder(resp.Body).Decode(out)
 }
 
 // Submit enqueues a search job and returns its record (which may be an
 // existing in-flight job the submission coalesced onto).
 func (c *Client) Submit(ctx context.Context, req service.Request) (service.Job, error) {
-	var j service.Job
-	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &j)
+	j, _, err := c.SubmitJob(ctx, req)
 	return j, err
+}
+
+// SubmitJob is Submit, additionally reporting whether the submission
+// coalesced onto an identical in-flight job (HTTP 200) instead of enqueueing
+// a fresh one (HTTP 202). The router proxies this distinction through.
+func (c *Client) SubmitJob(ctx context.Context, req service.Request) (service.Job, bool, error) {
+	var j service.Job
+	status, err := c.doStatus(ctx, http.MethodPost, "/v1/jobs", req, &j)
+	return j, status == http.StatusOK, err
+}
+
+// Sweep scatters a sweep request into per-architecture jobs (across shards
+// when addressed at a router) and returns the gathered merged record set.
+// The call is synchronous: it returns when every part has finished.
+func (c *Client) Sweep(ctx context.Context, req service.Request) (service.SweepResult, error) {
+	var res service.SweepResult
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &res)
+	return res, err
 }
 
 // Job fetches one job by ID.
@@ -154,6 +286,18 @@ func (c *Client) Snapshot(ctx context.Context) (service.SnapshotInfo, error) {
 	var info service.SnapshotInfo
 	err := c.do(ctx, http.MethodPost, "/v1/snapshot", nil, &info)
 	return info, err
+}
+
+// PullSnapshot streams the daemon's versioned cache snapshot (the seed a
+// joining shard feeds to service.Server.RestoreSnapshotFrom, which validates
+// the fingerprint scheme and predictor identity before trusting any entry).
+// The caller owns closing the returned stream.
+func (c *Client) PullSnapshot(ctx context.Context) (io.ReadCloser, error) {
+	resp, err := c.open(ctx, http.MethodGet, "/v1/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	return resp.Body, nil
 }
 
 // Health probes the daemon's liveness endpoint.

@@ -2,10 +2,15 @@ package client
 
 import (
 	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"repro/internal/sched"
+	"repro/internal/search"
 	"repro/internal/service"
 )
 
@@ -75,6 +80,206 @@ func TestClientEndToEnd(t *testing.T) {
 	}
 	if _, err := c.Job(ctx, "job-404"); err == nil {
 		t.Error("Job returned an unknown job without error")
+	}
+}
+
+// flakyTransport fails the first failures round-trips at the connection
+// level, then delegates to the real transport.
+type flakyTransport struct {
+	attempts atomic.Int32
+	failures int32
+	inner    http.RoundTripper
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if n := f.attempts.Add(1); n <= f.failures {
+		return nil, errors.New("connection reset by peer (simulated)")
+	}
+	return f.inner.RoundTrip(req)
+}
+
+// TestClientRetriesConnectionErrors pins the bounded-retry contract against
+// a failing server: connection-level failures are retried up to Retries
+// times and then surface; a transient failure within budget succeeds.
+func TestClientRetriesConnectionErrors(t *testing.T) {
+	_, c := startDaemon(t)
+	ctx := context.Background()
+
+	// Transient: two connection failures, then the live server — within the
+	// default budget, the call succeeds and all attempts were made.
+	flaky := &flakyTransport{failures: 2, inner: http.DefaultTransport}
+	c.hc.Transport = flaky
+	c.RetryDelay = time.Millisecond
+	if err := c.Health(ctx); err != nil {
+		t.Fatalf("Health with %d transient failures and %d retries: %v", flaky.failures, c.Retries, err)
+	}
+	if got := flaky.attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3 (1 + 2 retries)", got)
+	}
+
+	// Hard-down server: the budget bounds the attempts, then the error
+	// surfaces to the caller.
+	dead := &flakyTransport{failures: 1 << 30, inner: http.DefaultTransport}
+	c.hc.Transport = dead
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("Health against a dead transport succeeded")
+	}
+	if got := dead.attempts.Load(); got != int32(1+c.Retries) {
+		t.Errorf("made %d attempts against a dead server, want %d", got, 1+c.Retries)
+	}
+
+	// Retries disabled: exactly one attempt.
+	dead.attempts.Store(0)
+	c.Retries = -1
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("Health against a dead transport succeeded with retries off")
+	}
+	if got := dead.attempts.Load(); got != 1 {
+		t.Errorf("made %d attempts with retries disabled, want 1", got)
+	}
+}
+
+// TestClientNoRetryOnHTTPStatus checks HTTP error statuses are terminal:
+// only connection-level failures burn retry budget.
+func TestClientNoRetryOnHTTPStatus(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"boom"}`, http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.RetryDelay = time.Millisecond
+	err := c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want StatusError 500", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hit %d times for an HTTP 500, want 1 (no retries)", got)
+	}
+}
+
+// TestClientTimeout checks the per-attempt request timeout fires against a
+// hung server instead of blocking forever.
+func TestClientTimeout(t *testing.T) {
+	hung := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-hung
+	}))
+	t.Cleanup(func() { close(hung); ts.Close() })
+	c := New(ts.URL)
+	c.Timeout = 20 * time.Millisecond
+	c.Retries = -1
+	start := time.Now()
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("Health against a hung server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("timeout took %v, want ~20ms", elapsed)
+	}
+}
+
+// TestClientTimeoutAllowsBodyRead pins the per-attempt timeout against the
+// success path: a 2xx body that arrives (well inside the bound) after the
+// headers must still be readable — the attempt context lives until the body
+// is consumed, not until the headers land.
+func TestClientTimeoutAllowsBodyRead(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		time.Sleep(50 * time.Millisecond)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	t.Cleanup(ts.Close)
+	c := New(ts.URL)
+	c.Timeout = 5 * time.Second
+	var out map[string]string
+	if err := c.do(context.Background(), http.MethodGet, "/v1/healthz", nil, &out); err != nil {
+		t.Fatalf("slow body inside the timeout failed: %v", err)
+	}
+	if out["status"] != "ok" {
+		t.Errorf("body = %v, want status ok", out)
+	}
+}
+
+// TestClientSweep drives the daemon's scatter-gather sweep endpoint and
+// checks the merged record equals the same request run as one sweep job.
+func TestClientSweep(t *testing.T) {
+	_, c := startDaemon(t)
+	ctx := context.Background()
+	req := service.Request{Model: "Llama2-30B", Seq: 2048}
+
+	sw, err := c.Sweep(ctx, req)
+	if err != nil {
+		t.Fatalf("Sweep: %v", err)
+	}
+	if len(sw.Jobs) != 4 || sw.Result == nil {
+		t.Fatalf("sweep = %d parts, result %v", len(sw.Jobs), sw.Result != nil)
+	}
+	j, err := c.Run(ctx, req)
+	if err != nil || j.State != service.StateDone {
+		t.Fatalf("single sweep job: %v / %s", err, j.State)
+	}
+	if sw.Result.Canonical != j.Result.Canonical {
+		t.Errorf("sweep over HTTP differs from single job (%d vs %d bytes)",
+			len(sw.Result.Canonical), len(j.Result.Canonical))
+	}
+	// Unknown configs are a 400, not a hung scatter.
+	_, err = c.Sweep(ctx, service.Request{Config: "config9"})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Errorf("bad sweep config: err = %v, want StatusError 400", err)
+	}
+}
+
+// TestClientPullSnapshotSeedsColdShard pins the warm-join pull path over
+// real HTTP: a cold server seeded from GET /v1/snapshot of a warm peer
+// serves the peer's jobs without a single candidate miss.
+func TestClientPullSnapshotSeedsColdShard(t *testing.T) {
+	warmSrv, c := startDaemon(t)
+	ctx := context.Background()
+	req := service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: 7}
+	j1, err := c.Run(ctx, req)
+	if err != nil || j1.State != service.StateDone {
+		t.Fatalf("warm peer job: %v / %s", err, j1.State)
+	}
+
+	rc, err := c.PullSnapshot(ctx)
+	if err != nil {
+		t.Fatalf("PullSnapshot: %v", err)
+	}
+	defer rc.Close()
+
+	// Cold-process join: reset the process-global caches, seed from the
+	// pulled stream. The warm peer's server object stays up (its HTTP side
+	// is stateless), but the caches now hold only what the stream carried.
+	sched.ResetCache()
+	search.DefaultCache().Reset()
+	cold := service.NewServer(service.Options{EvalWorkers: 1}, warmSrv.Predictor())
+	t.Cleanup(func() { cold.Close() })
+	info, err := cold.RestoreSnapshotFrom(rc)
+	if err != nil {
+		t.Fatalf("RestoreSnapshotFrom: %v", err)
+	}
+	if info.Candidates == 0 || info.Eval == 0 {
+		t.Fatalf("pulled %d candidates / %d evals, want both > 0", info.Candidates, info.Eval)
+	}
+
+	before := sched.CacheStats()
+	j2, _, err := cold.Submit(service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2w, err := cold.Wait(j2.ID)
+	if err != nil || j2w.State != service.StateDone {
+		t.Fatalf("seeded job: %v / %s", err, j2w.State)
+	}
+	if j2w.Result.Canonical != j1.Result.Canonical {
+		t.Error("seeded shard's result differs from the warm peer's")
+	}
+	if misses := sched.CacheStats().Misses - before.Misses; misses != 0 {
+		t.Errorf("seeded shard missed the candidate cache %d times, want 0", misses)
 	}
 }
 

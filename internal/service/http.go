@@ -13,16 +13,23 @@ import (
 //	                    400 on a bad request, 503 when the backlog is full
 //	GET  /v1/jobs       list job summaries in submission order
 //	GET  /v1/jobs/{id}  one job, including its Result when done
-//	GET  /v1/stats      Stats: job counters, dedup rate, cache statistics
+//	POST /v1/sweeps     scatter a sweep Request into per-architecture jobs
+//	                    and gather the merged record set; 200 + SweepResult
+//	GET  /v1/stats      Stats: job counters, dedup rate, queue occupancy
+//	                    gauges, cache statistics
 //	POST /v1/snapshot   persist the cache snapshot now; 200 + SnapshotInfo
+//	GET  /v1/snapshot   stream the versioned cache snapshot (gob) — the pull
+//	                    a cold shard seeds its caches from on join
 //	GET  /v1/healthz    liveness probe
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
+	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotPull)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	return mux
 }
@@ -79,6 +86,32 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j)
 }
 
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	// Validation failures are the client's fault (400); failures past
+	// validation are execution-side (503 for backpressure, 500 otherwise).
+	norm, parts, err := ExpandSweep(req)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	res, err := s.sweepParts(norm, parts)
+	switch {
+	case errors.Is(err, ErrBusy):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
 }
@@ -90,6 +123,19 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+// handleSnapshotPull streams the live cache snapshot (header+body gob, the
+// snapshot-file layout) so a joining shard can seed its caches from a warm
+// peer. The receiver validates the versioned header and discards mismatched
+// schemes, so serving the stream is always safe.
+func (s *Server) handleSnapshotPull(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if _, err := s.WriteSnapshotTo(w); err != nil {
+		// Headers are already out; the truncated gob stream fails the
+		// receiver's decode, which is the correct failure signal mid-stream.
+		return
+	}
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -22,6 +22,12 @@
 // Results carry the canonical exploration record (sched.RenderCandidate),
 // so a daemon-served job is provably byte-identical to the same search run
 // in-process.
+//
+// The daemon is also the unit of the sharded tier (internal/shard): sweeps
+// scatter into per-architecture jobs and gather byte-identically (sweep.go),
+// snapshots stream over HTTP so a joining shard seeds from a warm peer, and
+// the stats payload carries the queue occupancy gauges a routing front-end
+// reads as its per-shard load signal.
 package service
 
 import (
@@ -190,12 +196,20 @@ type Summary struct {
 
 // Stats is the /v1/stats payload.
 type Stats struct {
-	JobsSubmitted  uint64            `json:"jobs_submitted"`
-	JobsCoalesced  uint64            `json:"jobs_coalesced"`
-	JobsDone       uint64            `json:"jobs_done"`
-	JobsFailed     uint64            `json:"jobs_failed"`
-	JobsRejected   uint64            `json:"jobs_rejected"`
-	QueueDepth     int               `json:"queue_depth"`
+	JobsSubmitted uint64 `json:"jobs_submitted"`
+	JobsCoalesced uint64 `json:"jobs_coalesced"`
+	JobsDone      uint64 `json:"jobs_done"`
+	JobsFailed    uint64 `json:"jobs_failed"`
+	JobsRejected  uint64 `json:"jobs_rejected"`
+	// SweepsRun counts completed POST /v1/sweeps scatters.
+	SweepsRun uint64 `json:"sweeps_run"`
+	// QueueDepth and JobsInFlight are the queue occupancy gauges: jobs
+	// waiting in the backlog and jobs executing on workers. A routing
+	// front-end reads them per shard as its load signal.
+	QueueDepth   int `json:"queue_depth"`
+	JobsInFlight int `json:"jobs_in_flight"`
+	// Backlog is the configured backlog capacity QueueDepth saturates at.
+	Backlog        int               `json:"backlog"`
 	JobWorkers     int               `json:"job_workers"`
 	EvalWorkers    int               `json:"eval_workers"`
 	SchemeVersion  int               `json:"scheme_version"`
@@ -296,6 +310,11 @@ func NewServer(opts Options, pred predictor.Predictor) *Server {
 		inflight: make(map[string]*job),
 	}
 }
+
+// Predictor returns the server's predictor — the cache-identity anchor a
+// snapshot is versioned by. A peer seeding from this server must hold an
+// identical predictor stack for the seed to validate.
+func (s *Server) Predictor() predictor.Predictor { return s.pred }
 
 // Submit normalizes and enqueues a request. When an identical job is
 // already queued or running, the submission coalesces onto it (singleflight)
@@ -533,6 +552,8 @@ func (s *Server) Stats() Stats {
 	st := s.stats
 	s.mu.Unlock()
 	st.QueueDepth = s.queue.Depth()
+	st.JobsInFlight = s.queue.InFlight()
+	st.Backlog = s.opts.Backlog
 	st.JobWorkers = s.opts.JobWorkers
 	st.EvalWorkers = s.opts.EvalWorkers
 	st.SchemeVersion = search.FingerprintSchemeVersion

@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -66,14 +67,11 @@ var ErrNoSnapshot = errors.New("service: no snapshot file")
 // discarded.
 var ErrStaleSnapshot = errors.New("service: stale snapshot (fingerprint scheme or predictor identity changed)")
 
-// SaveSnapshot serializes the shared evaluation and candidate caches to the
-// configured snapshot path (write-to-temp + rename, so a crashed save never
-// corrupts the previous snapshot).
-func (s *Server) SaveSnapshot() (SnapshotInfo, error) {
-	path := s.opts.SnapshotPath
-	if path == "" {
-		return SnapshotInfo{}, errors.New("service: no snapshot path configured")
-	}
+// WriteSnapshotTo streams a versioned snapshot of the shared caches to w —
+// the same header+body layout the snapshot file uses, so the stream a peer
+// shard pulls over GET /v1/snapshot and the file a restart loads are one
+// format with one validation path.
+func (s *Server) WriteSnapshotTo(w io.Writer) (SnapshotInfo, error) {
 	now := time.Now()
 	hdr := snapshotHeader{
 		Magic:        snapshotMagic,
@@ -87,6 +85,56 @@ func (s *Server) SaveSnapshot() (SnapshotInfo, error) {
 		Eval:       search.DefaultCache().Snapshot(),
 		Candidates: sched.CacheSnapshot(),
 	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(hdr); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot encode: %w", err)
+	}
+	if err := enc.Encode(body); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot encode: %w", err)
+	}
+	return SnapshotInfo{Eval: len(body.Eval), Candidates: len(body.Candidates), SavedAt: now}, nil
+}
+
+// RestoreSnapshotFrom decodes a snapshot stream, validates its versioned
+// header, and warms the shared caches from it. A stream written under a
+// different fingerprint scheme or predictor identity returns
+// ErrStaleSnapshot with the caches untouched — a joining shard discards a
+// mismatched peer snapshot rather than aliasing its keys.
+func (s *Server) RestoreSnapshotFrom(r io.Reader) (SnapshotInfo, error) {
+	dec := gob.NewDecoder(r)
+	var hdr snapshotHeader
+	if err := dec.Decode(&hdr); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic || hdr.Format != snapshotFormat {
+		return SnapshotInfo{}, fmt.Errorf("service: not a format-%d snapshot", snapshotFormat)
+	}
+	if hdr.Scheme != search.FingerprintSchemeVersion ||
+		hdr.Predictor != search.PredictorID(s.pred) ||
+		hdr.PredictorSig != predictor.Signature(s.pred) {
+		return SnapshotInfo{}, ErrStaleSnapshot
+	}
+	var body snapshotBody
+	if err := dec.Decode(&body); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot body: %w", err)
+	}
+	search.DefaultCache().Restore(body.Eval)
+	sched.RestoreCache(body.Candidates)
+	return SnapshotInfo{
+		Eval:       len(body.Eval),
+		Candidates: len(body.Candidates),
+		SavedAt:    time.Unix(0, hdr.SavedAt),
+	}, nil
+}
+
+// SaveSnapshot serializes the shared evaluation and candidate caches to the
+// configured snapshot path (write-to-temp + rename, so a crashed save never
+// corrupts the previous snapshot).
+func (s *Server) SaveSnapshot() (SnapshotInfo, error) {
+	path := s.opts.SnapshotPath
+	if path == "" {
+		return SnapshotInfo{}, errors.New("service: no snapshot path configured")
+	}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return SnapshotInfo{}, err
 	}
@@ -95,22 +143,20 @@ func (s *Server) SaveSnapshot() (SnapshotInfo, error) {
 		return SnapshotInfo{}, err
 	}
 	defer os.Remove(tmp.Name())
-	enc := gob.NewEncoder(tmp)
-	if err := enc.Encode(hdr); err == nil {
-		err = enc.Encode(body)
-	}
+	info, err := s.WriteSnapshotTo(tmp)
 	if err == nil {
 		err = tmp.Close()
 	} else {
 		tmp.Close()
 	}
 	if err != nil {
-		return SnapshotInfo{}, fmt.Errorf("service: snapshot encode: %w", err)
+		return SnapshotInfo{}, err
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
 		return SnapshotInfo{}, err
 	}
-	return SnapshotInfo{Path: path, Eval: len(body.Eval), Candidates: len(body.Candidates), SavedAt: now}, nil
+	info.Path = path
+	return info, nil
 }
 
 // LoadSnapshot warms the shared caches from the configured snapshot path.
@@ -131,29 +177,10 @@ func (s *Server) LoadSnapshot() (SnapshotInfo, error) {
 		return SnapshotInfo{}, err
 	}
 	defer f.Close()
-	dec := gob.NewDecoder(f)
-	var hdr snapshotHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return SnapshotInfo{}, fmt.Errorf("service: snapshot header: %w", err)
+	info, err := s.RestoreSnapshotFrom(f)
+	if err != nil {
+		return SnapshotInfo{}, err
 	}
-	if hdr.Magic != snapshotMagic || hdr.Format != snapshotFormat {
-		return SnapshotInfo{}, fmt.Errorf("service: %s is not a format-%d snapshot", path, snapshotFormat)
-	}
-	if hdr.Scheme != search.FingerprintSchemeVersion ||
-		hdr.Predictor != search.PredictorID(s.pred) ||
-		hdr.PredictorSig != predictor.Signature(s.pred) {
-		return SnapshotInfo{}, ErrStaleSnapshot
-	}
-	var body snapshotBody
-	if err := dec.Decode(&body); err != nil {
-		return SnapshotInfo{}, fmt.Errorf("service: snapshot body: %w", err)
-	}
-	search.DefaultCache().Restore(body.Eval)
-	sched.RestoreCache(body.Candidates)
-	return SnapshotInfo{
-		Path:       path,
-		Eval:       len(body.Eval),
-		Candidates: len(body.Candidates),
-		SavedAt:    time.Unix(0, hdr.SavedAt),
-	}, nil
+	info.Path = path
+	return info, nil
 }

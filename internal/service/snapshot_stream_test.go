@@ -1,0 +1,139 @@
+package service
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+
+	"repro/internal/predictor"
+	"repro/internal/sched"
+	"repro/internal/search"
+)
+
+// doctorStream encodes a snapshot stream with an arbitrary header and an
+// empty body — the forgery RestoreSnapshotFrom must refuse.
+func doctorStream(t *testing.T, hdr snapshotHeader) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	enc := gob.NewEncoder(&buf)
+	if err := enc.Encode(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(snapshotBody{
+		Eval: []search.SnapshotEntry{{Key: "poisoned-key"}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+// TestSnapshotStreamSeedsColdPeer pins the shard warm-join contract: a cold
+// server seeded from a warm peer's snapshot stream answers the peer's jobs
+// with zero candidate-cache misses and zero re-simulations, byte-identically.
+func TestSnapshotStreamSeedsColdPeer(t *testing.T) {
+	pred := predictor.NewLookupTable(predictor.TileLevel{})
+
+	warm := NewServer(Options{EvalWorkers: 1}, pred)
+	j1, _, err := warm.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err = warm.Wait(j1.ID)
+	if err != nil || j1.State != StateDone {
+		t.Fatalf("warm peer job: %v / %s", err, j1.State)
+	}
+	var stream bytes.Buffer
+	info, err := warm.WriteSnapshotTo(&stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Candidates == 0 || info.Eval == 0 {
+		t.Fatalf("warm peer streamed %d candidates / %d evals, want both > 0", info.Candidates, info.Eval)
+	}
+	warm.Close()
+
+	// "Cold process" join: drop the (process-global) caches, then seed the
+	// joining shard from the captured peer stream.
+	sched.ResetCache()
+	search.DefaultCache().Reset()
+	cold := NewServer(Options{EvalWorkers: 1}, pred)
+	defer cold.Close()
+	if _, err := cold.RestoreSnapshotFrom(&stream); err != nil {
+		t.Fatalf("RestoreSnapshotFrom: %v", err)
+	}
+
+	candBefore := sched.CacheStats()
+	evalBefore := search.DefaultCache().Stats()
+	j2, _, err := cold.Submit(testRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err = cold.Wait(j2.ID)
+	if err != nil || j2.State != StateDone {
+		t.Fatalf("seeded job: %v / %s", err, j2.State)
+	}
+	if j2.Result.Canonical != j1.Result.Canonical {
+		t.Errorf("seeded shard's result differs from the peer's (%d vs %d bytes)",
+			len(j2.Result.Canonical), len(j1.Result.Canonical))
+	}
+	candAfter := sched.CacheStats()
+	if misses := candAfter.Misses - candBefore.Misses; misses != 0 {
+		t.Errorf("seeded shard missed the candidate cache %d times, want 0", misses)
+	}
+	if misses := search.DefaultCache().Stats().Misses - evalBefore.Misses; misses != 0 {
+		t.Errorf("seeded shard re-simulated %d strategies, want 0", misses)
+	}
+}
+
+// TestSnapshotStreamMismatchDiscarded pins the discard paths of a peer
+// seed: a stream written under a different FingerprintSchemeVersion and one
+// written under a different predictor signature are both rejected with
+// ErrStaleSnapshot — and the caches stay untouched, so stale keys are never
+// aliased into a fresh shard.
+func TestSnapshotStreamMismatchDiscarded(t *testing.T) {
+	pred := predictor.NewLookupTable(predictor.TileLevel{})
+	s := NewServer(Options{EvalWorkers: 1}, pred)
+	defer s.Close()
+	sched.ResetCache()
+	search.DefaultCache().Reset()
+
+	goodHeader := snapshotHeader{
+		Magic:        snapshotMagic,
+		Format:       snapshotFormat,
+		Scheme:       search.FingerprintSchemeVersion,
+		Predictor:    search.PredictorID(pred),
+		PredictorSig: predictor.Signature(pred),
+	}
+
+	wrongScheme := goodHeader
+	wrongScheme.Scheme = search.FingerprintSchemeVersion + 1
+	if _, err := s.RestoreSnapshotFrom(doctorStream(t, wrongScheme)); !errors.Is(err, ErrStaleSnapshot) {
+		t.Errorf("wrong FingerprintSchemeVersion accepted: err = %v, want ErrStaleSnapshot", err)
+	}
+
+	wrongSig := goodHeader
+	wrongSig.PredictorSig = "lookup(predictor.Analytical)"
+	if _, err := s.RestoreSnapshotFrom(doctorStream(t, wrongSig)); !errors.Is(err, ErrStaleSnapshot) {
+		t.Errorf("wrong predictor signature accepted: err = %v, want ErrStaleSnapshot", err)
+	}
+
+	wrongMagic := goodHeader
+	wrongMagic.Magic = "not-a-snapshot"
+	if _, err := s.RestoreSnapshotFrom(doctorStream(t, wrongMagic)); err == nil || errors.Is(err, ErrStaleSnapshot) {
+		t.Errorf("wrong magic: err = %v, want a format error", err)
+	}
+
+	if st := search.DefaultCache().Stats(); st.Size != 0 {
+		t.Errorf("eval cache holds %d entries after discarded seeds, want 0", st.Size)
+	}
+	if st := sched.CacheStats(); st.Size != 0 {
+		t.Errorf("candidate cache holds %d entries after discarded seeds, want 0", st.Size)
+	}
+
+	// The matching header restores cleanly — the gate is the version check,
+	// not the transport.
+	if _, err := s.RestoreSnapshotFrom(doctorStream(t, goodHeader)); err != nil {
+		t.Errorf("matching header rejected: %v", err)
+	}
+}

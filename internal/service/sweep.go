@@ -1,0 +1,161 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/cliutil"
+)
+
+// Sweep support: a Table II-style architecture sweep decomposes into one
+// single-architecture request per candidate, because core.Explore evaluates
+// candidates independently and the canonical exploration record is the
+// concatenation of the per-architecture records in sweep order. That makes a
+// sweep the unit of scatter-gather for the sharded tier — each architecture
+// routes to its fingerprint's shard — while MergeSweep reconstitutes a
+// Result byte-identical to the one sweep job run on a single daemon.
+//
+// Contract on infeasible architectures: a scattered sweep requires every
+// part to succeed — one infeasible architecture fails the whole sweep with
+// that part's error. This deliberately differs from an in-process
+// core.Explore, which tolerates per-architecture failures and reports the
+// best feasible candidate: a failed part has no Result, so its per-arch
+// error line cannot be reconstructed byte-identically, and a loud error
+// beats a silently divergent record. In practice the distinction is latent —
+// every zoo model at CLI-reachable workloads is either feasible on all
+// Table II configurations or on none (where both paths fail alike).
+
+// SweepJobRef locates one architecture's job inside a scattered sweep.
+type SweepJobRef struct {
+	// Config is the architecture restriction of this part.
+	Config string `json:"config"`
+	// JobID is the job the part ran as (shard-namespaced when routed).
+	JobID string `json:"job_id"`
+	// Fingerprint is the part's canonical request fingerprint — its routing
+	// and dedup key.
+	Fingerprint string `json:"fingerprint"`
+	// Shard names the backend the part ran on (router-filled; empty on a
+	// single daemon).
+	Shard string `json:"shard,omitempty"`
+	// Coalesced reports whether the part piggybacked on an identical
+	// in-flight job instead of starting a fresh execution.
+	Coalesced bool `json:"coalesced,omitempty"`
+}
+
+// SweepResult is the POST /v1/sweeps payload: the merged sweep outcome plus
+// the per-architecture jobs it was gathered from.
+type SweepResult struct {
+	// Fingerprint identifies the normalized sweep request.
+	Fingerprint string        `json:"fingerprint"`
+	Jobs        []SweepJobRef `json:"jobs"`
+	// Result is the merged record set, byte-identical (Canonical) to the
+	// same sweep run as one job.
+	Result *Result `json:"result"`
+}
+
+// ExpandSweep normalizes a sweep request and splits it into one
+// single-architecture request per swept candidate, in sweep order. Every
+// part is already normalized (Normalize is idempotent and Config-pointwise),
+// so part fingerprints are valid routing keys.
+func ExpandSweep(req Request) (norm Request, parts []Request, err error) {
+	norm, err = req.Normalize()
+	if err != nil {
+		return norm, nil, err
+	}
+	configs, err := cliutil.SweepConfigs(norm.Config)
+	if err != nil {
+		return norm, nil, err
+	}
+	parts = make([]Request, len(configs))
+	for i, cfg := range configs {
+		p := norm
+		p.Config = cfg
+		parts[i] = p
+	}
+	return norm, parts, nil
+}
+
+// MergeSweep recombines per-architecture Results (in sweep order) into the
+// Result of the equivalent single-job sweep: the canonical records
+// concatenate, the per-architecture summaries concatenate, and the summary
+// fields come from the winning part under core.Explore's rule (first
+// strictly-highest throughput). Every part must be a completed
+// single-architecture Result; an infeasible architecture fails its part's
+// job before merging, exactly as a single-architecture CLI run would fail.
+func MergeSweep(parts []*Result) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("service: empty sweep")
+	}
+	var best *Result
+	for _, p := range parts {
+		if p == nil {
+			return nil, errors.New("service: sweep part missing its result")
+		}
+		if best == nil || p.Throughput > best.Throughput {
+			best = p
+		}
+	}
+	out := *best
+	out.PerArch = nil
+	out.Canonical = ""
+	for _, p := range parts {
+		out.PerArch = append(out.PerArch, p.PerArch...)
+		out.Canonical += p.Canonical
+	}
+	return &out, nil
+}
+
+// Sweep scatters a sweep request into per-architecture jobs on this daemon
+// and gathers them into one merged record set. Parts submit through the
+// normal job path, so identical in-flight architectures coalesce and every
+// part lands in the shared caches; the merged Canonical is byte-identical to
+// the same request run as a single sweep job. A part that fails (or a
+// backlog rejection) fails the whole sweep.
+func (s *Server) Sweep(req Request) (SweepResult, error) {
+	norm, parts, err := ExpandSweep(req)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	return s.sweepParts(norm, parts)
+}
+
+// sweepParts runs an already-expanded sweep — the handler calls it directly
+// so validation (ExpandSweep) happens exactly once per request and its
+// errors are cleanly separable as the client's fault.
+func (s *Server) sweepParts(norm Request, parts []Request) (SweepResult, error) {
+	out := SweepResult{Fingerprint: norm.Fingerprint()}
+	jobs := make([]Job, len(parts))
+	for i, part := range parts {
+		j, coalesced, err := s.Submit(part)
+		if err != nil {
+			return SweepResult{}, fmt.Errorf("service: sweep part %s: %w", part.Config, err)
+		}
+		jobs[i] = j
+		out.Jobs = append(out.Jobs, SweepJobRef{
+			Config:      part.Config,
+			JobID:       j.ID,
+			Fingerprint: j.Fingerprint,
+			Coalesced:   coalesced,
+		})
+	}
+	results := make([]*Result, len(parts))
+	for i := range jobs {
+		j, err := s.Wait(jobs[i].ID)
+		if err != nil {
+			return SweepResult{}, err
+		}
+		if j.State != StateDone {
+			return SweepResult{}, fmt.Errorf("service: sweep part %s failed: %s", parts[i].Config, j.Error)
+		}
+		results[i] = j.Result
+	}
+	merged, err := MergeSweep(results)
+	if err != nil {
+		return SweepResult{}, err
+	}
+	out.Result = merged
+	s.mu.Lock()
+	s.stats.SweepsRun++
+	s.mu.Unlock()
+	return out, nil
+}

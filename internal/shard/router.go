@@ -1,0 +1,427 @@
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// Router is the scatter-gather front-end over a shard Map. It serves the
+// watosd API surface, so the typed client and `watos -remote` work against
+// it unchanged:
+//
+//   - POST /v1/jobs routes one job to the fingerprint's shard and namespaces
+//     the returned job ID as "<shard-addr>/<id>" so later fetches are
+//     stateless and resolve to the same daemon even across a router restart
+//     with a reordered -shards list;
+//   - GET /v1/jobs/{shard-addr}/{id} proxies to the owning shard;
+//   - POST /v1/sweeps scatters per-architecture parts across shards by each
+//     part's own fingerprint and gathers the merged record set
+//     (service.MergeSweep), byte-identical to a single-node sweep;
+//   - GET /v1/stats aggregates the fleet (the flattened service.Stats sums,
+//     decodable by the unmodified client) plus router counters and per-shard
+//     statuses with queue occupancy gauges;
+//   - POST /v1/shards admits a new shard to the map mid-run.
+type Router struct {
+	Map *Map
+
+	start time.Time
+	mu    sync.Mutex
+	stats RouterCounters
+}
+
+// RouterCounters are the router's own counters (shard-side counters live in
+// each shard's stats).
+type RouterCounters struct {
+	// JobsRouted counts jobs forwarded to a shard (sweep parts included).
+	JobsRouted uint64 `json:"jobs_routed"`
+	// JobsCoalesced counts forwarded submissions the owning shard coalesced
+	// onto an in-flight identical job — the routed-dedup signal: stable
+	// hashing is what makes shard-side singleflight keep firing.
+	JobsCoalesced uint64 `json:"jobs_coalesced"`
+	// SweepsRouted counts scatter-gathered sweep requests.
+	SweepsRouted uint64 `json:"sweeps_routed"`
+	// RouteErrors counts forwarding failures (shard down mid-request).
+	RouteErrors uint64 `json:"route_errors"`
+}
+
+// RouterStats is the router's /v1/stats payload. The embedded service.Stats
+// carries the fleet aggregate (counter sums, summed queue occupancy, summed
+// cache stats), so a plain service client pointed at the router reads fleet
+// totals where it expects daemon stats.
+type RouterStats struct {
+	service.Stats
+	Router        RouterCounters `json:"router"`
+	HealthyShards int            `json:"healthy_shards"`
+	TotalShards   int            `json:"total_shards"`
+	Shards        []Status       `json:"shards"`
+}
+
+// NewRouter returns a router over the shard map.
+func NewRouter(m *Map) *Router {
+	return &Router{Map: m, start: time.Now()}
+}
+
+func (r *Router) count(fn func(*RouterCounters)) {
+	r.mu.Lock()
+	fn(&r.stats)
+	r.mu.Unlock()
+}
+
+// connectionError reports whether a forwarding error is transport-level
+// (shard unreachable) rather than an HTTP status from a live shard.
+func connectionError(err error) bool {
+	var se *client.StatusError
+	return err != nil && !errors.As(err, &se)
+}
+
+// forwardStatus maps a forwarding error onto the router's response: shard
+// HTTP statuses pass through, transport failures surface as 502.
+func forwardStatus(err error) int {
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		return se.Code
+	}
+	return http.StatusBadGateway
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+// Handler returns the router's HTTP API.
+func (r *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", r.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", r.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id...}", r.handleJob)
+	mux.HandleFunc("POST /v1/sweeps", r.handleSweep)
+	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /v1/shards", r.handleShards)
+	mux.HandleFunc("POST /v1/shards", r.handleAddShard)
+	mux.HandleFunc("GET /v1/healthz", r.handleHealth)
+	return mux
+}
+
+// submitRouted normalizes a request, routes it by fingerprint and submits it
+// to the owning shard, returning the shard-namespaced job record. A
+// connection-level failure excludes the shard and retries the pick once, so
+// one dead shard costs a submission only the failover hop.
+func (r *Router) submitRouted(ctx context.Context, req service.Request) (service.Job, *Backend, bool, error) {
+	norm, err := req.Normalize()
+	if err != nil {
+		return service.Job{}, nil, false, err
+	}
+	fp := norm.Fingerprint()
+	for attempt := 0; ; attempt++ {
+		b, err := r.Map.Pick(fp)
+		if err != nil {
+			return service.Job{}, nil, false, err
+		}
+		j, coalesced, err := b.Client.SubmitJob(ctx, norm)
+		if err == nil {
+			j.ID = b.Addr + "/" + j.ID
+			r.count(func(c *RouterCounters) {
+				c.JobsRouted++
+				if coalesced {
+					c.JobsCoalesced++
+				}
+			})
+			return j, b, coalesced, nil
+		}
+		if connectionError(err) && attempt == 0 {
+			b.MarkFailed(err)
+			r.count(func(c *RouterCounters) { c.RouteErrors++ })
+			continue
+		}
+		r.count(func(c *RouterCounters) { c.RouteErrors++ })
+		return service.Job{}, b, false, err
+	}
+}
+
+func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
+	var jr service.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, service.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if _, err := jr.Normalize(); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	j, _, coalesced, err := r.submitRouted(req.Context(), jr)
+	switch {
+	case errors.Is(err, ErrNoShards):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, forwardStatus(err), errorBody{Error: err.Error()})
+	case coalesced:
+		writeJSON(w, http.StatusOK, j)
+	default:
+		writeJSON(w, http.StatusAccepted, j)
+	}
+}
+
+func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	shardAddr, rest, ok := strings.Cut(id, "/")
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{
+			Error: fmt.Sprintf("router job IDs are <shard-addr>/<job>, got %q", id)})
+		return
+	}
+	b, ok := r.Map.BackendByAddr(shardAddr)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown shard " + shardAddr})
+		return
+	}
+	j, err := b.Client.Job(req.Context(), rest)
+	if err != nil {
+		if connectionError(err) {
+			b.MarkFailed(err)
+		}
+		writeJSON(w, forwardStatus(err), errorBody{Error: err.Error()})
+		return
+	}
+	j.ID = b.Addr + "/" + j.ID
+	writeJSON(w, http.StatusOK, j)
+}
+
+func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
+	out := []service.Summary{}
+	for _, b := range r.Map.Healthy() {
+		sums, err := b.Client.Jobs(req.Context())
+		if err != nil {
+			if connectionError(err) {
+				b.MarkFailed(err)
+			}
+			continue
+		}
+		for _, s := range sums {
+			s.ID = b.Addr + "/" + s.ID
+			out = append(out, s)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Sweep scatters a sweep request across the shard fleet — each architecture
+// part routes by its own fingerprint — and gathers the per-architecture
+// results into the merged record set, byte-identical to the same sweep on a
+// single daemon (service.MergeSweep). Parts run concurrently, so a sweep's
+// latency is its slowest architecture, not the sum.
+func (r *Router) Sweep(ctx context.Context, req service.Request) (service.SweepResult, error) {
+	norm, parts, err := service.ExpandSweep(req)
+	if err != nil {
+		return service.SweepResult{}, err
+	}
+	return r.sweepParts(ctx, norm, parts)
+}
+
+// sweepParts scatters an already-expanded sweep (see Server.sweepParts for
+// why expansion happens once, in the caller).
+func (r *Router) sweepParts(ctx context.Context, norm service.Request, parts []service.Request) (service.SweepResult, error) {
+	out := service.SweepResult{
+		Fingerprint: norm.Fingerprint(),
+		Jobs:        make([]service.SweepJobRef, len(parts)),
+	}
+	results := make([]*service.Result, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part service.Request) {
+			defer wg.Done()
+			j, b, coalesced, err := r.submitRouted(ctx, part)
+			if err != nil {
+				errs[i] = fmt.Errorf("sweep part %s: %w", part.Config, err)
+				return
+			}
+			out.Jobs[i] = service.SweepJobRef{
+				Config:      part.Config,
+				JobID:       j.ID,
+				Fingerprint: j.Fingerprint,
+				Shard:       b.Name,
+				Coalesced:   coalesced,
+			}
+			done, err := b.Client.Wait(ctx, strings.TrimPrefix(j.ID, b.Addr+"/"))
+			if err != nil {
+				if connectionError(err) {
+					b.MarkFailed(err)
+				}
+				errs[i] = fmt.Errorf("sweep part %s: %w", part.Config, err)
+				return
+			}
+			if done.State != service.StateDone {
+				errs[i] = fmt.Errorf("sweep part %s failed: %s", part.Config, done.Error)
+				return
+			}
+			results[i] = done.Result
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return service.SweepResult{}, err
+		}
+	}
+	merged, err := service.MergeSweep(results)
+	if err != nil {
+		return service.SweepResult{}, err
+	}
+	out.Result = merged
+	r.count(func(c *RouterCounters) { c.SweepsRouted++ })
+	return out, nil
+}
+
+func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
+	var jr service.Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, service.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&jr); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
+		return
+	}
+	norm, parts, err := service.ExpandSweep(jr)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	res, err := r.sweepParts(req.Context(), norm, parts)
+	switch {
+	case errors.Is(err, ErrNoShards):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, forwardStatus(err), errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// Stats aggregates the fleet view: per-shard stats (with queue occupancy
+// gauges) under the router's counters, plus the flattened fleet sums.
+func (r *Router) Stats(ctx context.Context) RouterStats {
+	statuses := r.Map.Statuses()
+	out := RouterStats{TotalShards: len(statuses)}
+	r.mu.Lock()
+	out.Router = r.stats
+	r.mu.Unlock()
+	agg := &out.Stats
+	agg.SchemeVersion = search.FingerprintSchemeVersion
+	agg.UptimeSeconds = time.Since(r.start).Seconds()
+	for i := range statuses {
+		st := &statuses[i]
+		if !st.Healthy {
+			continue
+		}
+		b, ok := r.Map.Backend(st.Name)
+		if !ok {
+			continue
+		}
+		ss, err := b.Client.Stats(ctx)
+		if err != nil {
+			// A shard that stopped answering mid-pass is not healthy in
+			// this snapshot: flip its status line so the Healthy flags,
+			// HealthyShards (derived from them below) and the aggregate
+			// sums (which skip it) stay consistent.
+			if connectionError(err) {
+				b.MarkFailed(err)
+				st.Healthy = false
+			}
+			st.LastError = err.Error()
+			continue
+		}
+		st.Stats = &ss
+		agg.JobsSubmitted += ss.JobsSubmitted
+		agg.JobsCoalesced += ss.JobsCoalesced
+		agg.JobsDone += ss.JobsDone
+		agg.JobsFailed += ss.JobsFailed
+		agg.JobsRejected += ss.JobsRejected
+		agg.SweepsRun += ss.SweepsRun
+		agg.QueueDepth += ss.QueueDepth
+		agg.JobsInFlight += ss.JobsInFlight
+		agg.Backlog += ss.Backlog
+		agg.JobWorkers += ss.JobWorkers
+		agg.EvalWorkers += ss.EvalWorkers
+		agg.CandidateCache.Hits += ss.CandidateCache.Hits
+		agg.CandidateCache.Misses += ss.CandidateCache.Misses
+		agg.CandidateCache.Size += ss.CandidateCache.Size
+		agg.EvalCache.Hits += ss.EvalCache.Hits
+		agg.EvalCache.Misses += ss.EvalCache.Misses
+		agg.EvalCache.Size += ss.EvalCache.Size
+	}
+	for _, st := range statuses {
+		if st.Healthy {
+			out.HealthyShards++
+		}
+	}
+	out.Shards = statuses
+	return out
+}
+
+func (r *Router) handleStats(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Stats(req.Context()))
+}
+
+func (r *Router) handleShards(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, r.Map.Statuses())
+}
+
+// addShardRequest is the POST /v1/shards payload.
+type addShardRequest struct {
+	Addr string `json:"addr"`
+}
+
+func (r *Router) handleAddShard(w http.ResponseWriter, req *http.Request) {
+	var ar addShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, service.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ar); err != nil || ar.Addr == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be {\"addr\": \"host:port\"}"})
+		return
+	}
+	// Probe before admitting: an unreachable address (typo, daemon not up
+	// yet) must be rejected here, with the definitive probe result in hand,
+	// rather than admitted as a healthy routing target that every ~1/Nth
+	// submission then has to fail over from.
+	if err := r.Map.ProbeAddr(req.Context(), ar.Addr); err != nil {
+		writeJSON(w, http.StatusBadGateway, errorBody{
+			Error: fmt.Sprintf("shard %s failed its join probe: %v", ar.Addr, err)})
+		return
+	}
+	if _, err := r.Map.Add(ar.Addr); err != nil {
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, r.Map.Statuses())
+}
+
+// handleHealth reports the router healthy while at least one shard is
+// admitted to routing — the same liveness contract a daemon serves, so
+// health checks compose through the tier.
+func (r *Router) handleHealth(w http.ResponseWriter, req *http.Request) {
+	if len(r.Map.Healthy()) == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "no healthy shards"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
