@@ -1,4 +1,4 @@
-.PHONY: build test race bench bench-smoke router-smoke figures
+.PHONY: build test race bench bench-smoke bench-compare router-smoke figures
 
 build:
 	go build ./...
@@ -10,21 +10,32 @@ race:
 	go test -race ./...
 
 # Tier-2 performance trajectory: runs the benchmark suite in-process with
-# -benchmem semantics and writes BENCH_pr5.json (ns/op, allocs/op, B/op per
-# benchmark, service + routed-shard jobs/sec and dedup rates, plus the
-# speedups vs the recorded PR-1..PR-4 baselines and the in-run PR3-era
-# annealer full-re-evaluation baseline).
+# -benchmem semantics (best of 3 timed loops per benchmark) and writes
+# BENCH_pr6.json (ns/op, allocs/op, B/op per benchmark, service +
+# routed-shard jobs/sec and dedup rates, plus the speedups vs the recorded
+# PR-1..PR-5 baselines, the in-run PR3-era annealer full-re-evaluation
+# baseline, and the in-run scalar references of the batched annealer and GA
+# paths).
 bench:
-	go run ./cmd/bench -out BENCH_pr5.json
+	go run ./cmd/bench -out BENCH_pr6.json
 
 # Fast regression gate for the search inner loops: the zero-alloc
-# assertion of the annealer swap path (the benchmarks only report allocs,
-# they don't fail on them) plus one iteration of each annealer/placement/GA
-# benchmark, so a broken or allocating hot path fails in seconds without
-# waiting for the full bench run.
+# assertions of the scalar annealer swap path and the batched ScorerBatch
+# pass (the benchmarks only report allocs, they don't fail on them) plus
+# one iteration of each annealer/batch/placement/GA benchmark, so a broken
+# or allocating hot path fails in seconds without waiting for the full
+# bench run.
 bench-smoke:
-	go test -run 'TestScorerSwapZeroAlloc' -count=1 ./internal/placement
-	go test -run '^$$' -bench 'BenchmarkAnnealSwap|BenchmarkOptimizePlacement|BenchmarkGAGeneration' -benchtime=1x -benchmem .
+	go test -run 'TestScorerSwapZeroAlloc|TestScorerBatchZeroAlloc' -count=1 ./internal/placement
+	go test -run '^$$' -bench 'BenchmarkAnnealSwap$$|BenchmarkAnnealSwapBatch|BenchmarkOptimizePlacement|BenchmarkGAGeneration' -benchtime=1x -benchmem .
+
+# Compare two recorded perf trajectories (ns/op + allocs/op ratios, with a
+# regression threshold). Usage:
+#   make bench-compare OLD=BENCH_pr5.json NEW=BENCH_pr6.json
+OLD ?= BENCH_pr5.json
+NEW ?= BENCH_pr6.json
+bench-compare:
+	bash scripts/bench_compare.sh $(OLD) $(NEW)
 
 # Sharded-tier smoke: 2 watosd shards + watos-router as real processes; a
 # routed job and a scatter-gathered sweep must diff clean against in-process

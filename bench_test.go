@@ -338,19 +338,61 @@ func BenchmarkAnnealSwap(b *testing.B) {
 	b.Run("pp32-full-reeval", func(b *testing.B) { benchAnnealSwap(b, mesh.New(hw.Config3()), 1, 32, 8, false) })
 }
 
+// benchAnnealSwapBatch measures one K-wide speculative batch pass on a
+// ScorerBatch sharing the Scorer's committed state, reporting per-candidate
+// cost alongside the per-pass numbers. The cycle comes from
+// internal/benchutil, shared with cmd/bench.
+func benchAnnealSwapBatch(b *testing.B, m *mesh.Mesh, tp, pp, npairs, k int) {
+	anchors, w, err := benchutil.AnnealSubstrate(m, tp, pp, npairs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := placement.NewScorer(m, anchors, w)
+	batch := placement.NewScorerBatch(sc, k)
+	rng := rand.New(rand.NewSource(1))
+	cycle := benchutil.AnnealBatchCycle(batch, pp, k, rng)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*k), "ns/candidate")
+}
+
+// BenchmarkAnnealSwapBatch measures the batched candidate evaluator against
+// the scalar BenchmarkAnnealSwap per-candidate numbers, at the production
+// scale (12×12 wafer, pp=128, 32 pairs) and the Config3 scale (pp=32,
+// 8 pairs), for window widths 8 and 32.
+func BenchmarkAnnealSwapBatch(b *testing.B) {
+	b.Run("batch8", func(b *testing.B) { benchAnnealSwapBatch(b, benchutil.ScaleWafer(), 1, 128, 32, 8) })
+	b.Run("batch32", func(b *testing.B) { benchAnnealSwapBatch(b, benchutil.ScaleWafer(), 1, 128, 32, 32) })
+	b.Run("pp32-batch8", func(b *testing.B) { benchAnnealSwapBatch(b, mesh.New(hw.Config3()), 1, 32, 8, 8) })
+	b.Run("pp32-batch32", func(b *testing.B) { benchAnnealSwapBatch(b, mesh.New(hw.Config3()), 1, 32, 8, 32) })
+}
+
 // BenchmarkOptimizePlacement measures the full §IV-C-1 annealing search
-// (200·pp iterations) end to end at small and large stage counts.
+// (200·pp iterations) end to end, from the Config3 scale up to the
+// 12×12-wafer pp=128 case, with the speculative batched evaluator (the
+// Optimize default) against the scalar reference loop.
 func BenchmarkOptimizePlacement(b *testing.B) {
 	for _, cfg := range []struct {
 		name   string
+		scale  bool
 		tp, pp int
 		pairs  int
+		window int
 	}{
-		{"pp8", 7, 8, 2},
-		{"pp32", 1, 32, 8},
+		{"pp8", false, 7, 8, 2, placement.DefaultSpecWindow},
+		{"pp32", false, 1, 32, 8, placement.DefaultSpecWindow},
+		{"pp32-scalar", false, 1, 32, 8, 1},
+		{"pp128", true, 1, 128, 32, placement.DefaultSpecWindow},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			m := mesh.New(hw.Config3())
+			if cfg.scale {
+				m = benchutil.ScaleWafer()
+			}
 			_, w, err := benchutil.AnnealSubstrate(m, cfg.tp, cfg.pp, cfg.pairs)
 			if err != nil {
 				b.Fatal(err)
@@ -358,7 +400,7 @@ func BenchmarkOptimizePlacement(b *testing.B) {
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := placement.Optimize(m, cfg.tp, cfg.pp, w, rand.New(rand.NewSource(int64(i)))); err != nil {
+				if _, err := placement.OptimizeWindow(m, cfg.tp, cfg.pp, w, rand.New(rand.NewSource(int64(i))), cfg.window); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -366,10 +408,10 @@ func BenchmarkOptimizePlacement(b *testing.B) {
 	}
 }
 
-// BenchmarkGAGeneration measures the §IV-D GA inner loop — one generation
-// of mutation, component-cached fitness scoring and selection — via a
+// benchGAGeneration is the §IV-D GA inner loop — one generation of
+// mutation, component-cached fitness scoring and selection — via a
 // fixed-generation Optimize run divided by the generation count.
-func BenchmarkGAGeneration(b *testing.B) {
+func benchGAGeneration(b *testing.B, placementBatch int) {
 	const gens = 16
 	prob, seed, err := benchutil.GAProblem()
 	if err != nil {
@@ -380,6 +422,7 @@ func BenchmarkGAGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := ga.Optimize(prob, seed, ga.Options{
 			Population: 24, Generations: gens, Omega: 0.5, Seed: int64(i), Workers: 1,
+			PlacementBatch: placementBatch,
 		}); err != nil {
 			b.Fatal(err)
 		}
@@ -387,6 +430,14 @@ func BenchmarkGAGeneration(b *testing.B) {
 	b.StopTimer()
 	// Report per-generation cost alongside the raw per-run numbers.
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*gens), "ns/generation")
+}
+
+// BenchmarkGAGeneration compares the batched placement-cost leg (the
+// default: one ScorerBatch pass per chunk of one-transposition genomes)
+// against the scalar per-leg evaluation.
+func BenchmarkGAGeneration(b *testing.B) {
+	b.Run("batched", func(b *testing.B) { benchGAGeneration(b, 0) })
+	b.Run("scalar", func(b *testing.B) { benchGAGeneration(b, 1) })
 }
 
 // BenchmarkPredictor measures lookup-table hit latency (§IV-F "negligible

@@ -18,11 +18,22 @@
 // The annealer-iteration benchmarks compare the incremental Eq 2 Scorer
 // against the PR3-era full re-evaluation measured in the same run (tagged
 // pr3-full-reeval in the baselines list), and a testing.AllocsPerRun guard
-// fails the run outright if the incremental inner loop ever allocates.
+// fails the run outright if the incremental inner loop ever allocates. The
+// batched evaluator (placement.ScorerBatch) is measured per candidate as
+// anneal-swap-batch8/-batch32 next to the scalar per-iteration numbers,
+// under the same zero-allocation guard, and the end-to-end annealing
+// searches record the speculative default against an in-run scalar
+// reference (optimize-placement-pp32-scalar, window 1) so the batching
+// speedup is measured on the same machine in the same process.
+//
+// Each timed loop is repeated -reps times and the best repetition is
+// recorded: the CI-class container is single-CPU and run-to-run noise
+// reaches ±15%, so min-of-N is the stable estimator of the code's cost
+// (allocation counts are deterministic and taken from the first rep).
 //
 // Usage:
 //
-//	go run ./cmd/bench                # writes BENCH_pr5.json
+//	go run ./cmd/bench                # writes BENCH_pr6.json
 //	go run ./cmd/bench -out perf.json # custom output path
 package main
 
@@ -107,7 +118,8 @@ type report struct {
 // Prior acceptance-benchmark measurements on the reference CI-class
 // machine: PR 1 is the map-based mesh/collective hot path, PR 2 the dense
 // plan-cached tree (from BENCH_pr2.json), PR 3 the service-era tree (from
-// BENCH_pr3.json), PR 4 the incremental-scorer tree (from BENCH_pr4.json).
+// BENCH_pr3.json), PR 4 the incremental-scorer tree (from BENCH_pr4.json),
+// PR 5 the sharded-tier tree (from BENCH_pr5.json).
 // The pr3-full-reeval annealer baseline is measured live
 // in this run (the full-evaluation path still exists as
 // placement.EvalAnchors), so its speedup factor is machine-exact.
@@ -140,6 +152,25 @@ var priorBaselines = []taggedEntry{
 		AllocsPerOp: 58052,
 		BytesPerOp:  8406789,
 	}},
+	{Tag: "pr5", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  22,
+		NsPerOp:     42581610.77272727,
+		AllocsPerOp: 58052,
+		BytesPerOp:  8406810,
+	}},
+}
+
+// pr5Placement carries the PR 5 tree's search inner-loop measurements
+// (from BENCH_pr5.json, same reference machine) forward: the batched
+// evaluator of this PR is judged against them, benchmark by benchmark, via
+// the pr5(<name>) speedup keys.
+var pr5Placement = []taggedEntry{
+	{Tag: "pr5", entry: entry{Name: "anneal-swap", Iterations: 162972, NsPerOp: 1533.7013351986845, AllocsPerOp: 0, BytesPerOp: 0}},
+	{Tag: "pr5", entry: entry{Name: "anneal-swap-pp32", Iterations: 262329, NsPerOp: 1033.058480000305, AllocsPerOp: 0, BytesPerOp: 0}},
+	{Tag: "pr5", entry: entry{Name: "optimize-placement-pp8", Iterations: 1224, NsPerOp: 820168.9232026144, AllocsPerOp: 72, BytesPerOp: 16446}},
+	{Tag: "pr5", entry: entry{Name: "optimize-placement-pp32", Iterations: 178, NsPerOp: 5729976.926966292, AllocsPerOp: 349, BytesPerOp: 24666}},
+	{Tag: "pr5", entry: entry{Name: "ga-generation", Iterations: 4077, NsPerOp: 17063.80866752514, AllocsPerOp: 81, BytesPerOp: 10123}},
 }
 
 // benchTarget is the wall-clock budget of one measured run. The iteration
@@ -150,10 +181,18 @@ const (
 	maxIters    = 1 << 20
 )
 
-// run measures fn with -benchmem semantics: forced GC, warmup, then a timed
-// loop with Mallocs/HeapAlloc deltas. (The in-process testing.Benchmark
-// harness inflates wall time on cgroup-limited machines, so the measurement
-// loop is explicit — the numbers agree with `go test -bench`.)
+// benchReps is the repetition count of every timed loop (the -reps flag):
+// each benchmark runs benchReps full measurement loops and records the
+// fastest one. Min-of-N is the standard noise estimator on shared machines —
+// interference only ever adds time — while the allocation counters are
+// deterministic and come from the first repetition.
+var benchReps = 3
+
+// run measures fn with -benchmem semantics: forced GC, warmup, then
+// benchReps timed loops with Mallocs/HeapAlloc deltas, keeping the fastest.
+// (The in-process testing.Benchmark harness inflates wall time on
+// cgroup-limited machines, so the measurement loop is explicit — the
+// numbers agree with `go test -bench`.)
 func run(name string, fn func()) entry {
 	runtime.GC()
 	warm := time.Now()
@@ -165,25 +204,33 @@ func run(name string, fn func()) entry {
 	if iters > maxIters {
 		iters = maxIters
 	}
+	var e entry
 	var ms runtime.MemStats
-	runtime.GC()
-	runtime.ReadMemStats(&ms)
-	mallocs0, bytes0 := ms.Mallocs, ms.TotalAlloc
-	start := time.Now()
-	for i := 0; i < iters; i++ {
-		fn()
+	for rep := 0; rep < benchReps; rep++ {
+		runtime.GC()
+		runtime.ReadMemStats(&ms)
+		mallocs0, bytes0 := ms.Mallocs, ms.TotalAlloc
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&ms)
+		ns := float64(elapsed.Nanoseconds()) / float64(iters)
+		if rep == 0 {
+			e = entry{
+				Name:        name,
+				Iterations:  iters,
+				NsPerOp:     ns,
+				AllocsPerOp: int64((ms.Mallocs - mallocs0) / uint64(iters)),
+				BytesPerOp:  int64((ms.TotalAlloc - bytes0) / uint64(iters)),
+			}
+		} else if ns < e.NsPerOp {
+			e.NsPerOp = ns
+		}
 	}
-	elapsed := time.Since(start)
-	runtime.ReadMemStats(&ms)
-	e := entry{
-		Name:        name,
-		Iterations:  iters,
-		NsPerOp:     float64(elapsed.Nanoseconds()) / float64(iters),
-		AllocsPerOp: int64((ms.Mallocs - mallocs0) / uint64(iters)),
-		BytesPerOp:  int64((ms.TotalAlloc - bytes0) / uint64(iters)),
-	}
-	fmt.Printf("%-32s %12.0f ns/op %10d allocs/op %12d B/op   (%d iters)\n",
-		name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, iters)
+	fmt.Printf("%-32s %12.0f ns/op %10d allocs/op %12d B/op   (%d iters, best of %d)\n",
+		name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp, iters, benchReps)
 	return e
 }
 
@@ -331,15 +378,18 @@ func routerSweep(name string, shards int, pred predictor.Predictor) serviceEntry
 
 // gaGenerationBench runs a fixed-generation GA optimize and reports
 // per-generation cost (total metrics divided by the generation count).
-func gaGenerationBench(fail func(error)) entry {
+// placementBatch 0 is the batched default (one ScorerBatch pass per chunk
+// of one-transposition genomes); 1 forces the scalar per-leg evaluation.
+func gaGenerationBench(name string, placementBatch int, fail func(error)) entry {
 	const gens = 16
 	prob, seed, err := benchutil.GAProblem()
 	fail(err)
 	var iter int64
-	e := run("ga-generation", func() {
+	e := run(name, func() {
 		iter++
 		_, err := ga.Optimize(prob, seed, ga.Options{
 			Population: 24, Generations: gens, Omega: 0.5, Seed: iter, Workers: 1,
+			PlacementBatch: placementBatch,
 		})
 		fail(err)
 	})
@@ -350,19 +400,24 @@ func gaGenerationBench(fail func(error)) entry {
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr5.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	reps := flag.Int("reps", benchReps, "timed-loop repetitions per benchmark (best is recorded)")
 	flag.Parse()
+	benchReps = *reps
+	if benchReps < 1 {
+		benchReps = 1
+	}
 
 	pred := predictor.NewLookupTable(predictor.TileLevel{})
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr5",
+		Tag:       "pr6",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
-		Baselines: priorBaselines,
+		Baselines: append(append([]taggedEntry{}, priorBaselines...), pr5Placement...),
 		BaselineNote: "baselines measured on the respective PR trees on the reference dev machine; " +
 			"speedup_ns_vs is only meaningful on comparable hardware — " +
 			"speedup_allocs_vs is machine-independent",
@@ -466,30 +521,89 @@ func main() {
 		full.Name = cfg.name
 		rep.Baselines = append(rep.Baselines, taggedEntry{Tag: "pr3-full-reeval", entry: full})
 		rep.SpeedupNs["pr3-full-reeval("+cfg.name+")"] = full.NsPerOp / inc.NsPerOp
+
+		// Batched candidate evaluation on the same substrate and Scorer:
+		// one speculative K-wide pass per cycle, recorded per candidate so
+		// the numbers sit next to the scalar per-iteration cost. The batch
+		// inner loop carries the same zero-allocation contract.
+		for _, k := range []int{8, 32} {
+			batch := placement.NewScorerBatch(sc, k)
+			bcycle := benchutil.AnnealBatchCycle(batch, cfg.pp, k, rand.New(rand.NewSource(1)))
+			for i := 0; i < 2000; i++ {
+				bcycle()
+			}
+			if allocs := testing.AllocsPerRun(2000, bcycle); allocs != 0 {
+				fail(fmt.Errorf("%s-batch%d: batch inner loop allocates %.2f objects/op, want 0", cfg.name, k, allocs))
+			}
+			be := run(fmt.Sprintf("%s-batch%d", cfg.name, k), bcycle)
+			be.NsPerOp /= float64(k)
+			be.BytesPerOp /= int64(k)
+			rep.Benchmarks = append(rep.Benchmarks, be)
+			rep.SpeedupNs[fmt.Sprintf("scalar(%s)/batch%d", cfg.name, k)] = inc.NsPerOp / be.NsPerOp
+		}
 	}
 
-	// End-to-end §IV-C-1 annealing searches (200·pp iterations each).
+	// End-to-end §IV-C-1 annealing searches (200·pp iterations each), with
+	// the speculative batched evaluator (the Optimize default). The
+	// pp32-scalar entry forces window 1 — the scalar reference loop over the
+	// identical trajectory — so the batching speedup is also measured
+	// in-run, on the same machine, next to the recorded pr5 baseline.
 	for _, cfg := range []struct {
 		name       string
+		scale      bool
 		tp, pp, np int
+		window     int
 	}{
-		{"optimize-placement-pp8", 7, 8, 2},
-		{"optimize-placement-pp32", 1, 32, 8},
+		{"optimize-placement-pp8", false, 7, 8, 2, placement.DefaultSpecWindow},
+		{"optimize-placement-pp32", false, 1, 32, 8, placement.DefaultSpecWindow},
+		{"optimize-placement-pp32-scalar", false, 1, 32, 8, 1},
+		{"optimize-placement-pp128", true, 1, 128, 32, placement.DefaultSpecWindow},
 	} {
 		om := mesh.New(hw.Config3())
+		if cfg.scale {
+			om = benchutil.ScaleWafer()
+		}
 		// The substrate's pairs and volumes are stage-indexed, so the same
 		// workload drives any (tp, pp) partition of the mesh.
 		_, wl, err := benchutil.AnnealSubstrate(om, 1, cfg.pp, cfg.np)
 		fail(err)
 		var seed int64
+		window := cfg.window
 		rep.Benchmarks = append(rep.Benchmarks, run(cfg.name, func() {
 			seed++
-			_, err := placement.Optimize(om, cfg.tp, cfg.pp, wl, rand.New(rand.NewSource(seed)))
+			_, err := placement.OptimizeWindow(om, cfg.tp, cfg.pp, wl, rand.New(rand.NewSource(seed)), window)
 			fail(err)
 		}))
 	}
+	speedupPair := func(key, num, den string) {
+		var n, d float64
+		for _, b := range rep.Benchmarks {
+			switch b.Name {
+			case num:
+				n = b.NsPerOp
+			case den:
+				d = b.NsPerOp
+			}
+		}
+		if n > 0 && d > 0 {
+			rep.SpeedupNs[key] = n / d
+		}
+	}
+	speedupPair("scalar(optimize-placement-pp32)/speculative", "optimize-placement-pp32-scalar", "optimize-placement-pp32")
 
-	rep.Benchmarks = append(rep.Benchmarks, gaGenerationBench(fail))
+	rep.Benchmarks = append(rep.Benchmarks, gaGenerationBench("ga-generation", 0, fail))
+	rep.Benchmarks = append(rep.Benchmarks, gaGenerationBench("ga-generation-scalar", 1, fail))
+	speedupPair("scalar(ga-generation)/batched", "ga-generation-scalar", "ga-generation")
+
+	// Per-benchmark improvement over the PR 5 tree, recorded against the
+	// carried-forward baselines.
+	for _, base := range pr5Placement {
+		for _, b := range rep.Benchmarks {
+			if b.Name == base.Name {
+				rep.SpeedupNs["pr5("+base.Name+")"] = base.NsPerOp / b.NsPerOp
+			}
+		}
+	}
 
 	// Service throughput: concurrent identical jobs coalesce onto one
 	// execution (the dedup path), concurrent distinct jobs stream through

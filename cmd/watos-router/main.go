@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/shard"
 )
 
@@ -35,6 +36,7 @@ func main() {
 	interval := flag.Duration("health-interval", 2*time.Second, "shard health-probe interval")
 	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
 	failAfter := flag.Int("fail-after", 2, "consecutive failed probes before a shard is excluded from routing")
+	pprofOn := cliutil.PprofFlag()
 	flag.Parse()
 
 	var addrs []string
@@ -67,7 +69,7 @@ func main() {
 	router := shard.NewRouter(m)
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           router.Handler(),
+		Handler:           cliutil.WithPprof(router.Handler(), *pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

@@ -39,6 +39,7 @@ func main() {
 	history := flag.Int("history", 1024, "retained terminal job records (oldest evicted first)")
 	snapshot := flag.String("snapshot", "", "cache snapshot path: load at startup, save on shutdown and on POST /v1/snapshot")
 	seedFrom := flag.String("seed-from", "", "peer watosd address to pull a cache snapshot from at startup (shard warm join; mismatched snapshot versions are discarded)")
+	pprofOn := cliutil.PprofFlag()
 	flag.Parse()
 
 	srv := service.NewServer(service.Options{
@@ -96,7 +97,7 @@ func main() {
 	// handler bounds request bodies instead (service.MaxRequestBytes).
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           cliutil.WithPprof(srv.Handler(), *pprofOn),
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,

@@ -11,6 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/pprof"
 
 	"repro/internal/hw"
 	"repro/internal/model"
@@ -106,4 +108,33 @@ func SweepConfigs(config string) ([]string, error) {
 		return nil, err
 	}
 	return []string{config}, nil
+}
+
+// PprofFlag registers the shared -pprof flag on the default flag set.
+func PprofFlag() *bool {
+	return flag.Bool("pprof", false, "expose net/http/pprof profiling endpoints under /debug/pprof/")
+}
+
+// WithPprof wraps a service handler with the net/http/pprof endpoints when
+// enabled. The routes are registered explicitly on a private mux (never on
+// http.DefaultServeMux), so profiling is opt-in per process and the
+// service's own routing is untouched:
+//
+//	/debug/pprof/           index (goroutine, heap, allocs, block, mutex, …)
+//	/debug/pprof/cmdline    process command line
+//	/debug/pprof/profile    30-second CPU profile (?seconds= to adjust)
+//	/debug/pprof/symbol     symbol resolution for raw addresses
+//	/debug/pprof/trace      execution trace (?seconds= to adjust)
+func WithPprof(h http.Handler, enabled bool) http.Handler {
+	if !enabled {
+		return h
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/", h)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

@@ -108,7 +108,30 @@ type Mesh struct {
 	deadDies     map[DieID]bool
 
 	paths []pathEntry // interned all-pairs routes (nil above maxInternedDies)
-	sig   string      // topology+fault signature, rebuilt on fault injection
+
+	// Compact views of the interned ID routes, split out of the wide
+	// pathEntry records so the placement inner loops — which perform one
+	// random (ai, bi) lookup per re-routed pipeline edge — stride over
+	// 24-byte slice headers instead of ~200-byte entries (a ~8× smaller
+	// cache footprint on the hottest lookup of the annealer). spMaskTab
+	// holds each shortest path additionally as a link bitmask sized
+	// maskWords words, so γ conflict counts against an occupancy word
+	// vector are a handful of AND+popcount operations instead of a
+	// per-link loop; spHops caches the hop counts.
+	// xyMaskTab/xyHops are the same bitmask view for the deterministic XY
+	// route, letting a batch evaluator turn whole-path link-multiset edits
+	// into a handful of word operations.
+	xyIDTab   [][]int32
+	xyMaskTab [][]uint64
+	xyHops    []int16
+	spIDTab   [][2][]int32
+	spLens    []int8
+	spMaskTab [][2][]uint64
+	spHops    [][2]int16
+	maskArena []uint64 // flat backing store of sp/xy masks, 2·maskWords per pair
+	maskWords int
+
+	sig string // topology+fault signature, rebuilt on fault injection
 }
 
 // New creates a mesh for the wafer configuration.
@@ -168,6 +191,16 @@ func (m *Mesh) internPaths() {
 		return
 	}
 	m.paths = make([]pathEntry, m.nDies*m.nDies)
+	m.xyIDTab = make([][]int32, m.nDies*m.nDies)
+	m.spIDTab = make([][2][]int32, m.nDies*m.nDies)
+	m.spLens = make([]int8, m.nDies*m.nDies)
+	m.maskWords = (len(m.links) + 63) / 64
+	m.spMaskTab = make([][2][]uint64, m.nDies*m.nDies)
+	m.spHops = make([][2]int16, m.nDies*m.nDies)
+	m.xyMaskTab = make([][]uint64, m.nDies*m.nDies)
+	m.xyHops = make([]int16, m.nDies*m.nDies)
+	maskArena := make([]uint64, m.nDies*m.nDies*2*m.maskWords)
+	m.maskArena = maskArena
 	for ai := 0; ai < m.nDies; ai++ {
 		a := m.DieAt(ai)
 		for bi := 0; bi < m.nDies; bi++ {
@@ -185,6 +218,22 @@ func (m *Mesh) internPaths() {
 				e.spID[1] = e.yxID
 				e.spLen = 2
 			}
+			idx := ai*m.nDies + bi
+			m.xyIDTab[idx] = e.xyID
+			m.spIDTab[idx] = e.spID
+			m.spLens[idx] = int8(e.spLen)
+			for k := 0; k < e.spLen; k++ {
+				mask := maskArena[(idx*2+k)*m.maskWords : (idx*2+k+1)*m.maskWords]
+				for _, id := range e.spID[k] {
+					mask[id>>6] |= 1 << (uint32(id) & 63)
+				}
+				m.spMaskTab[idx][k] = mask
+				m.spHops[idx][k] = int16(len(e.spID[k]))
+			}
+			// Index 0 of sp is always the XY route, so the XY mask view
+			// aliases the first shortest-path mask.
+			m.xyMaskTab[idx] = m.spMaskTab[idx][0]
+			m.xyHops[idx] = int16(len(e.xyID))
 		}
 	}
 }
@@ -382,8 +431,10 @@ func (m *Mesh) ShortestPaths(a, b DieID) [][]Link {
 // zero-coordinate-math representation of XYPath, in the same hop order.
 // The returned slice is shared — do not modify it.
 func (m *Mesh) XYPathIDs(a, b DieID) []int32 {
-	if e := m.pathAt(a, b); e != nil {
-		return e.xyID
+	if m.xyIDTab != nil {
+		if ai, bi := m.DieIndex(a), m.DieIndex(b); ai >= 0 && bi >= 0 {
+			return m.xyIDTab[ai*m.nDies+bi]
+		}
 	}
 	return m.buildPathIDs(m.buildXYPath(a, b))
 }
@@ -392,14 +443,86 @@ func (m *Mesh) XYPathIDs(a, b DieID) []int32 {
 // slice is the ID sequence of the k-th ShortestPaths route. The returned
 // slices are shared — do not modify them.
 func (m *Mesh) ShortestPathIDs(a, b DieID) [][]int32 {
-	if e := m.pathAt(a, b); e != nil {
-		return e.spID[:e.spLen]
+	if m.spIDTab != nil {
+		if ai, bi := m.DieIndex(a), m.DieIndex(b); ai >= 0 && bi >= 0 {
+			e := ai*m.nDies + bi
+			return m.spIDTab[e][:m.spLens[e]]
+		}
 	}
 	xy := m.buildPathIDs(m.buildXYPath(a, b))
 	if a.X == b.X || a.Y == b.Y {
 		return [][]int32{xy}
 	}
 	return [][]int32{xy, m.buildPathIDs(m.buildYXPath(a, b))}
+}
+
+// XYPathIDsAt is XYPathIDs addressed by dense die indices (DieIndex). On an
+// interned mesh it is a single table load with no coordinate validation —
+// the lookup shape of the batch swap evaluator, which resolves its anchors
+// to die indices once per committed state instead of once per candidate.
+func (m *Mesh) XYPathIDsAt(ai, bi int) []int32 {
+	if m.xyIDTab != nil {
+		return m.xyIDTab[ai*m.nDies+bi]
+	}
+	return m.buildPathIDs(m.buildXYPath(m.DieAt(ai), m.DieAt(bi)))
+}
+
+// XYPathMaskAt returns the interned XY route of a dense die index pair as a
+// link bitmask (maskWords words, shared — do not modify) plus its hop count.
+// mask is nil when the mesh is beyond the interning bound — callers fall
+// back to the ID form. The mask words are sized identically to LinkSet
+// words, so whole-path occupancy edits are per-word OR/AND-NOT operations.
+func (m *Mesh) XYPathMaskAt(ai, bi int) (mask []uint64, hops int16) {
+	if m.xyMaskTab == nil {
+		return nil, 0
+	}
+	e := ai*m.nDies + bi
+	return m.xyMaskTab[e], m.xyHops[e]
+}
+
+// InternedMaskWords returns the per-mask word count of the interned path
+// bitmasks, or 0 when the mesh is beyond the interning bound.
+func (m *Mesh) InternedMaskWords() int {
+	if m.xyMaskTab == nil {
+		return 0
+	}
+	return m.maskWords
+}
+
+// InternedMaskArena exposes the flat backing store of the interned path
+// masks for batch evaluators that index it per candidate with computed
+// offsets: for the ordered dense die pair e = ai*nDies + bi and
+// w = InternedMaskWords, words [e·2w, e·2w+w) hold the XY (first shortest)
+// path mask and [e·2w+w, e·2w+2w) the second shortest path mask — all-zero
+// when the route is straight, so a path's existence and its hop count both
+// fall out of popcounts over words the γ count loads anyway. Shared — do
+// not modify; nil beyond the interning bound.
+func (m *Mesh) InternedMaskArena() []uint64 { return m.maskArena }
+
+// NumDies returns the dense die index bound (Cols·Rows).
+func (m *Mesh) NumDies() int { return m.nDies }
+
+// ShortestPathMasksAt returns the interned shortest paths of a dense die
+// index pair as link bitmasks (maskWords words per mask, shared — do not
+// modify) plus their hop counts; n is the number of paths. n == 0 when the
+// mesh is beyond the interning bound — callers fall back to the ID form.
+// γ of path k against an occupancy word vector occ is then
+// Σ_w popcount(masks[k][w] & occ[w]).
+func (m *Mesh) ShortestPathMasksAt(ai, bi int) (masks [2][]uint64, hops [2]int16, n int) {
+	if m.spMaskTab == nil {
+		return masks, hops, 0
+	}
+	e := ai*m.nDies + bi
+	return m.spMaskTab[e], m.spHops[e], int(m.spLens[e])
+}
+
+// ShortestPathIDsAt is ShortestPathIDs addressed by dense die indices.
+func (m *Mesh) ShortestPathIDsAt(ai, bi int) [][]int32 {
+	if m.spIDTab != nil {
+		e := ai*m.nDies + bi
+		return m.spIDTab[e][:m.spLens[e]]
+	}
+	return m.ShortestPathIDs(m.DieAt(ai), m.DieAt(bi))
 }
 
 // EffectiveLinkBandwidth returns the link's bandwidth after fault
@@ -580,6 +703,13 @@ func (s *LinkSet) Remove(i int) {
 // Has reports membership of a link ID.
 func (s *LinkSet) Has(i int) bool {
 	return i >= 0 && s.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// HasID is Has for dense int32 path IDs, which are always on-mesh — it
+// skips the negative-ID guard so batch evaluators probing many links per
+// candidate (placement.ScorerBatch) stay on the two-instruction path.
+func (s *LinkSet) HasID(id int32) bool {
+	return s.bits[id>>6]&(1<<(uint32(id)&63)) != 0
 }
 
 // Any reports whether the set holds at least one ID.

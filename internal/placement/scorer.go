@@ -52,9 +52,13 @@ type Scorer struct {
 
 	// occCount is the pipeline-path link multiset; occ is its boolean view
 	// (the γ-conflict set of Eq 2), with membership flips recorded in the
-	// dirty mask each swap.
+	// dirty mask each swap. occOne is the "multiplicity exactly one" word
+	// vector, maintained in lock-step: together with occ it lets the batch
+	// evaluator decide a zero crossing under a ±1 delta with two word
+	// operations.
 	occCount []int32
 	occ      *mesh.LinkSet
+	occOne   []uint64
 	dirty    *mesh.LinkSet
 
 	// Per-pair state: candidate path ID sequences (1 or 2), their γ
@@ -82,6 +86,11 @@ type Scorer struct {
 
 	cost float64
 
+	// gen counts committed-state changes (Reset, Apply). ScorerBatch keys
+	// its cached base term vector on it: a Revert restores every stored term
+	// bit for bit, so only commits invalidate the batch base.
+	gen int64
+
 	// pending swap, held until Apply or Revert.
 	pending      bool
 	pendA, pendB int
@@ -95,6 +104,7 @@ func NewScorer(m *mesh.Mesh, anchors []mesh.DieID, w Workload) *Scorer {
 	sc := &Scorer{
 		m:         m,
 		occCount:  make([]int32, m.NumLinks()),
+		occOne:    make([]uint64, (m.NumLinks()+63)/64),
 		occ:       m.NewLinkSet(),
 		dirty:     m.NewLinkSet(),
 		linkPairs: make([][]pairRef, m.NumLinks()),
@@ -110,6 +120,7 @@ func (sc *Scorer) Reset(anchors []mesh.DieID, w Workload) {
 	sc.pp = len(anchors)
 	sc.w = w
 	sc.pending = false
+	sc.gen++
 	if cap(sc.anchors) < sc.pp {
 		sc.anchors = make([]mesh.DieID, sc.pp)
 		sc.pipeIDs = make([][]int32, sc.pp)
@@ -152,6 +163,9 @@ func (sc *Scorer) Reset(anchors []mesh.DieID, w Workload) {
 	for i := range sc.occCount {
 		sc.occCount[i] = 0
 	}
+	for i := range sc.occOne {
+		sc.occOne[i] = 0
+	}
 	sc.occ.Clear()
 	for id := range sc.linkPairs {
 		sc.linkPairs[id] = sc.linkPairs[id][:0]
@@ -162,8 +176,12 @@ func (sc *Scorer) Reset(anchors []mesh.DieID, w Workload) {
 		sc.pipeTerm[s] = float64(len(ids)) * sc.pipeVol(s)
 		for _, id := range ids {
 			sc.occCount[id]++
-			if sc.occCount[id] == 1 {
+			switch sc.occCount[id] {
+			case 1:
 				sc.occ.Add(int(id))
+				sc.occOne[id>>6] |= 1 << (uint32(id) & 63)
+			case 2:
+				sc.occOne[id>>6] &^= 1 << (uint32(id) & 63)
 			}
 		}
 	}
@@ -215,6 +233,7 @@ func (sc *Scorer) Apply() {
 		panic("placement: Apply without a pending swap")
 	}
 	sc.pending = false
+	sc.gen++
 }
 
 // Revert undoes the pending swap by re-applying it: a two-anchor swap is an
@@ -268,10 +287,14 @@ func (sc *Scorer) applySwap(a, b int) {
 	for i := 0; i < ne; i++ {
 		for _, id := range sc.pipeIDs[edges[i]] {
 			occCount[id]--
-			if occCount[id] == 0 {
+			switch occCount[id] {
+			case 1:
+				sc.occOne[id>>6] |= 1 << (uint32(id) & 63)
+			case 0:
 				// Occupancy flip 1→0: the Remove records the flip in the
 				// dirty mask (TrackDirty), and -1 goes into the γ counters
 				// of the candidate paths crossing the link.
+				sc.occOne[id>>6] &^= 1 << (uint32(id) & 63)
 				sc.occ.Remove(int(id))
 				if refs := sc.linkPairs[id]; len(refs) != 0 {
 					sc.adjustGamma(refs, -1)
@@ -286,12 +309,16 @@ func (sc *Scorer) applySwap(a, b int) {
 		sc.pipeTerm[s] = float64(len(ids)) * sc.pipeVol(s)
 		for _, id := range ids {
 			occCount[id]++
-			if occCount[id] == 1 {
+			switch occCount[id] {
+			case 1:
 				// Occupancy flip 0→1, mirrored.
+				sc.occOne[id>>6] |= 1 << (uint32(id) & 63)
 				sc.occ.Add(int(id))
 				if refs := sc.linkPairs[id]; len(refs) != 0 {
 					sc.adjustGamma(refs, +1)
 				}
+			case 2:
+				sc.occOne[id>>6] &^= 1 << (uint32(id) & 63)
 			}
 		}
 	}

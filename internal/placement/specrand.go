@@ -1,0 +1,81 @@
+// Speculative, rewindable view of a math/rand stream.
+//
+// The annealer's Metropolis protocol draws an acceptance threshold only for
+// uphill proposals, so the RNG call sequence depends on evaluation results:
+// a naive lookahead that pre-draws K (proposal, threshold) tuples would
+// desynchronise the stream the first time a downhill candidate is accepted,
+// because the scalar loop would never have drawn that candidate's threshold.
+// specRand solves this without cloning the generator (math/rand exposes no
+// state copy): every public math/rand derivation bottoms out in Source.Int63,
+// so buffering the raw Int63 values and re-deriving Intn/Float64 exactly as
+// math/rand does makes the stream rewindable. A speculative consumer draws
+// ahead under a predicted call sequence; when replay shows the prediction was
+// wrong it rewinds to a mark, and the buffered raw values are reinterpreted
+// under the corrected call sequence — producing the byte-identical draw
+// sequence a scalar consumer of the same *rand.Rand would see.
+package placement
+
+import "math/rand"
+
+type specRand struct {
+	src *rand.Rand
+	buf []int64
+	pos int
+}
+
+func newSpecRand(src *rand.Rand) *specRand { return &specRand{src: src} }
+
+// raw returns the next Int63 of the stream, pulling from the underlying
+// generator only when the buffer is exhausted.
+func (r *specRand) raw() int64 {
+	if r.pos == len(r.buf) {
+		r.buf = append(r.buf, r.src.Int63())
+	}
+	v := r.buf[r.pos]
+	r.pos++
+	return v
+}
+
+// mark returns the current stream position; rewind moves back to a mark,
+// discarding the interpretation (but not the raw values) of everything
+// drawn since.
+func (r *specRand) mark() int    { return r.pos }
+func (r *specRand) rewind(m int) { r.pos = m }
+
+// compact drops the consumed prefix so the buffer stays bounded by the
+// deepest single speculation window rather than the whole run.
+func (r *specRand) compact() {
+	if r.pos > 0 {
+		n := copy(r.buf, r.buf[r.pos:])
+		r.buf = r.buf[:n]
+		r.pos = 0
+	}
+}
+
+func (r *specRand) int31() int32 { return int32(r.raw() >> 32) }
+
+// intn mirrors math/rand.Rand.Intn for 0 < n ≤ MaxInt32 (the annealer's
+// proposal range) bit for bit, including the power-of-two fast path and the
+// modulo-bias rejection loop.
+func (r *specRand) intn(n int) int {
+	n32 := int32(n)
+	if n32&(n32-1) == 0 {
+		return int(r.int31() & (n32 - 1))
+	}
+	max := int32((1 << 31) - 1 - (1<<31)%uint32(n32))
+	v := r.int31()
+	for v > max {
+		v = r.int31()
+	}
+	return int(v % n32)
+}
+
+// float64 mirrors math/rand.Rand.Float64 bit for bit, including the
+// resample-on-1.0 correction loop.
+func (r *specRand) float64() float64 {
+	f := float64(r.raw()) / (1 << 63)
+	for f == 1 {
+		f = float64(r.raw()) / (1 << 63)
+	}
+	return f
+}

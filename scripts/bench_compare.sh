@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# bench_compare.sh — diff two BENCH_*.json perf-trajectory files.
+#
+# Usage:
+#   scripts/bench_compare.sh OLD.json NEW.json [--threshold PCT] [--report-only]
+#
+# Prints, per benchmark present in both files, the ns/op and allocs/op
+# ratios (old/new — >1.00 is an improvement). Exits non-zero when any
+# benchmark regresses by more than the threshold (default 25% ns/op, to
+# ride out shared-runner noise) or grows allocs/op beyond a 5%/+2 slack
+# (concurrent benchmarks jitter by a few allocs run-to-run), unless
+# --report-only is given. Benchmarks present in only one file are listed
+# but never fail the gate.
+set -euo pipefail
+
+if [ $# -lt 2 ]; then
+  echo "usage: $0 OLD.json NEW.json [--threshold PCT] [--report-only]" >&2
+  exit 2
+fi
+
+OLD=$1
+NEW=$2
+shift 2
+THRESHOLD=25
+REPORT_ONLY=0
+while [ $# -gt 0 ]; do
+  case "$1" in
+    --threshold) THRESHOLD=$2; shift 2 ;;
+    --report-only) REPORT_ONLY=1; shift ;;
+    *) echo "unknown flag: $1" >&2; exit 2 ;;
+  esac
+done
+
+OLD="$OLD" NEW="$NEW" THRESHOLD="$THRESHOLD" REPORT_ONLY="$REPORT_ONLY" python3 - <<'EOF'
+import json, os, sys
+
+old_path, new_path = os.environ["OLD"], os.environ["NEW"]
+threshold = float(os.environ["THRESHOLD"])
+report_only = os.environ["REPORT_ONLY"] == "1"
+
+def load(path):
+    with open(path) as f:
+        rep = json.load(f)
+    return rep.get("tag", path), {b["name"]: b for b in rep.get("benchmarks", [])}
+
+old_tag, old = load(old_path)
+new_tag, new = load(new_path)
+
+print(f"benchmark comparison: {old_tag} -> {new_tag}")
+print(f"{'benchmark':<34} {'old ns/op':>14} {'new ns/op':>14} {'ns ratio':>9} {'allocs':>13} {'verdict':>10}")
+
+failures = []
+for name in old:
+    if name not in new:
+        print(f"{name:<34} {old[name]['ns_per_op']:>14.0f} {'(dropped)':>14}")
+        continue
+    o, n = old[name], new[name]
+    ns_ratio = o["ns_per_op"] / n["ns_per_op"] if n["ns_per_op"] else float("inf")
+    alloc_str = f"{o['allocs_per_op']} -> {n['allocs_per_op']}"
+    verdict = "ok"
+    alloc_slack = max(o["allocs_per_op"] * 1.05, o["allocs_per_op"] + 2)
+    if n["allocs_per_op"] > alloc_slack:
+        verdict = "ALLOC-REG"
+        failures.append(f"{name}: allocs/op {o['allocs_per_op']} -> {n['allocs_per_op']}")
+    elif n["ns_per_op"] > o["ns_per_op"] * (1 + threshold / 100):
+        verdict = "NS-REG"
+        failures.append(
+            f"{name}: ns/op {o['ns_per_op']:.0f} -> {n['ns_per_op']:.0f} "
+            f"({(n['ns_per_op'] / o['ns_per_op'] - 1) * 100:.1f}% slower, threshold {threshold:.0f}%)")
+    elif ns_ratio >= 1.05:
+        verdict = "improved"
+    print(f"{name:<34} {o['ns_per_op']:>14.0f} {n['ns_per_op']:>14.0f} {ns_ratio:>8.2f}x {alloc_str:>13} {verdict:>10}")
+
+for name in new:
+    if name not in old:
+        print(f"{name:<34} {'(new)':>14} {new[name]['ns_per_op']:>14.0f}")
+
+if failures:
+    print()
+    print(f"{len(failures)} regression(s) beyond the {threshold:.0f}% threshold:")
+    for f in failures:
+        print(f"  - {f}")
+    if not report_only:
+        sys.exit(1)
+    print("(report-only: not failing)")
+else:
+    print()
+    print("no regressions beyond threshold")
+EOF
