@@ -1,4 +1,4 @@
-.PHONY: build test race bench bench-smoke bench-compare router-smoke figures
+.PHONY: build test race bench bench-smoke bench-compare router-smoke chaos-smoke figures
 
 build:
 	go build ./...
@@ -11,13 +11,13 @@ race:
 
 # Tier-2 performance trajectory: runs the benchmark suite in-process with
 # -benchmem semantics (best of 3 timed loops per benchmark) and writes
-# BENCH_pr6.json (ns/op, allocs/op, B/op per benchmark, service +
-# routed-shard jobs/sec and dedup rates, plus the speedups vs the recorded
-# PR-1..PR-5 baselines, the in-run PR3-era annealer full-re-evaluation
-# baseline, and the in-run scalar references of the batched annealer and GA
-# paths).
+# BENCH_pr7.json (ns/op, allocs/op, B/op per benchmark, service +
+# routed-shard jobs/sec and dedup rates, the kill-one-shard-mid-burst
+# resilience numbers, plus the speedups vs the recorded PR-1..PR-6
+# baselines, the in-run PR3-era annealer full-re-evaluation baseline, and
+# the in-run scalar references of the batched annealer and GA paths).
 bench:
-	go run ./cmd/bench -out BENCH_pr6.json
+	go run ./cmd/bench -out BENCH_pr7.json
 
 # Fast regression gate for the search inner loops: the zero-alloc
 # assertions of the scalar annealer swap path and the batched ScorerBatch
@@ -31,9 +31,9 @@ bench-smoke:
 
 # Compare two recorded perf trajectories (ns/op + allocs/op ratios, with a
 # regression threshold). Usage:
-#   make bench-compare OLD=BENCH_pr5.json NEW=BENCH_pr6.json
-OLD ?= BENCH_pr5.json
-NEW ?= BENCH_pr6.json
+#   make bench-compare OLD=BENCH_pr6.json NEW=BENCH_pr7.json
+OLD ?= BENCH_pr6.json
+NEW ?= BENCH_pr7.json
 bench-compare:
 	bash scripts/bench_compare.sh $(OLD) $(NEW)
 
@@ -43,6 +43,14 @@ bench-compare:
 # previously-routed job without a single cache miss.
 router-smoke:
 	bash scripts/router_smoke.sh
+
+# Fault-injection smoke: 3 watosd shards + replicated watos-router as real
+# processes; one shard is SIGKILLed while it holds a sweep leg and another is
+# drained over HTTP — the routed sweep must stay byte-identical throughout,
+# the replica placement must stay within the greedy recovery-load bound, and
+# the drain inheritor must serve the handed-off slice with zero cold misses.
+chaos-smoke:
+	bash scripts/chaos_smoke.sh
 
 figures:
 	go run ./cmd/figures

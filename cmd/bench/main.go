@@ -13,7 +13,10 @@
 // bursts routed by fingerprint across 1 vs 2 watosd shards (scaling), an
 // identical burst through the router (routed-dedup hit rate — stable
 // hashing keeps shard-side singleflight firing), and scatter-gathered
-// Table II sweeps.
+// Table II sweeps. The kill-mid-burst benchmark tears one replicated
+// shard's listener down in the middle of a distinct burst and reports the
+// completion rate (1.0 = no job was lost for good) plus the mean failover
+// latency of re-dispatching the lost jobs to the surviving replicas.
 //
 // The annealer-iteration benchmarks compare the incremental Eq 2 Scorer
 // against the PR3-era full re-evaluation measured in the same run (tagged
@@ -33,7 +36,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                # writes BENCH_pr6.json
+//	go run ./cmd/bench                # writes BENCH_pr7.json
 //	go run ./cmd/bench -out perf.json # custom output path
 package main
 
@@ -94,6 +97,15 @@ type serviceEntry struct {
 	DedupRate   float64 `json:"dedup_rate"`
 	WallSeconds float64 `json:"wall_seconds"`
 	JobsPerSec  float64 `json:"jobs_per_sec"`
+	// CompletionRate is the fraction of the burst that reached a result,
+	// re-dispatched jobs included (chaos benchmarks only; 1 = lossless).
+	CompletionRate float64 `json:"completion_rate,omitempty"`
+	// RecoveredJobs counts jobs lost with a killed shard and recovered by
+	// re-dispatching through the router to a surviving replica.
+	RecoveredJobs int `json:"recovered_jobs,omitempty"`
+	// FailoverMs is the mean latency of one recovery: loss detected to
+	// recomputed result in hand on a survivor.
+	FailoverMs float64 `json:"failover_latency_ms,omitempty"`
 }
 
 // report is the BENCH_*.json schema.
@@ -119,7 +131,8 @@ type report struct {
 // machine: PR 1 is the map-based mesh/collective hot path, PR 2 the dense
 // plan-cached tree (from BENCH_pr2.json), PR 3 the service-era tree (from
 // BENCH_pr3.json), PR 4 the incremental-scorer tree (from BENCH_pr4.json),
-// PR 5 the sharded-tier tree (from BENCH_pr5.json).
+// PR 5 the sharded-tier tree (from BENCH_pr5.json), PR 6 the
+// batched-evaluator tree (from BENCH_pr6.json).
 // The pr3-full-reeval annealer baseline is measured live
 // in this run (the full-evaluation path still exists as
 // placement.EvalAnchors), so its speedup factor is machine-exact.
@@ -158,6 +171,13 @@ var priorBaselines = []taggedEntry{
 		NsPerOp:     42581610.77272727,
 		AllocsPerOp: 58052,
 		BytesPerOp:  8406810,
+	}},
+	{Tag: "pr6", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  26,
+		NsPerOp:     34619261.73076923,
+		AllocsPerOp: 57986,
+		BytesPerOp:  9165701,
 	}},
 }
 
@@ -352,6 +372,114 @@ func routerThroughput(name string, shards, jobs int, distinct bool, pred predict
 	return burst(name, c, shards, jobs, distinct)
 }
 
+// routerChaosBurst measures fleet resilience under a mid-burst crash: a
+// distinct burst is submitted through the replicated router, then one
+// shard's listener and state are torn down — the in-process equivalent of
+// SIGKILL, aborting its connections and losing its in-memory jobs. Waits on
+// jobs that died with the shard fail fast (the router has excluded it
+// in-band), and each lost job is re-dispatched through the router, which now
+// routes its fingerprint to a surviving replica. Reported: the completion
+// rate with re-dispatches included (1 = the fleet lost nothing for good),
+// the recovered-job count, and the mean failover latency — loss detected to
+// recomputed result in hand on a survivor.
+func routerChaosBurst(name string, nShards, jobs int, pred predictor.Predictor) serviceEntry {
+	var shards []*service.Server
+	var servers []*httptest.Server
+	var addrs []string
+	for i := 0; i < nShards; i++ {
+		s := service.NewServer(service.Options{EvalWorkers: 1, JobWorkers: 2, Backlog: 64}, pred)
+		ts := httptest.NewServer(s.Handler())
+		shards = append(shards, s)
+		servers = append(servers, ts)
+		addrs = append(addrs, strings.TrimPrefix(ts.URL, "http://"))
+	}
+	m := shard.NewMap(addrs, shard.Options{})
+	m.Probe(context.Background())
+	router := httptest.NewServer(shard.NewRouter(m).Handler())
+	defer func() {
+		router.Close()
+		m.Close()
+		for i := range shards {
+			servers[i].Close()
+			shards[i].Close()
+		}
+	}()
+	c := client.New(router.URL)
+	c.PollInterval = time.Millisecond
+
+	ctx := context.Background()
+	start := time.Now()
+	ids := make([]string, jobs)
+	reqs := make([]service.Request, jobs)
+	var wg sync.WaitGroup
+	var submitErr error
+	var mu sync.Mutex
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reqs[i] = service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: int64(100 + i)}
+			j, err := c.Submit(ctx, reqs[i])
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				submitErr = err
+				return
+			}
+			ids[i] = j.ID
+		}(i)
+	}
+	wg.Wait()
+	if submitErr != nil {
+		fmt.Fprintln(os.Stderr, "bench:", submitErr)
+		os.Exit(1)
+	}
+
+	// The whole burst is accepted and mostly still queued (2 workers per
+	// shard): kill shard 0 now, at the worst moment.
+	servers[0].CloseClientConnections()
+	servers[0].Close()
+	shards[0].Close()
+
+	var completed, recovered int
+	var failoverNs time.Duration
+	for i, id := range ids {
+		if _, err := c.Wait(ctx, id); err == nil {
+			completed++
+			continue
+		}
+		t0 := time.Now()
+		j, err := c.Run(ctx, reqs[i])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		if j.State != service.StateDone {
+			fmt.Fprintf(os.Stderr, "bench: recovered job %s state = %s, want done\n", j.ID, j.State)
+			os.Exit(1)
+		}
+		failoverNs += time.Since(t0)
+		recovered++
+		completed++
+	}
+	wall := time.Since(start)
+	e := serviceEntry{
+		Name:           name,
+		Shards:         nShards,
+		Jobs:           jobs,
+		WallSeconds:    wall.Seconds(),
+		JobsPerSec:     float64(completed) / wall.Seconds(),
+		CompletionRate: float64(completed) / float64(jobs),
+	}
+	if recovered > 0 {
+		e.RecoveredJobs = recovered
+		e.FailoverMs = float64(failoverNs.Milliseconds()) / float64(recovered)
+	}
+	fmt.Printf("%-32s %12.2f jobs/s %8.0f%% done %12.3f s wall   (%d recovered, %.1f ms mean failover)\n",
+		name, e.JobsPerSec, e.CompletionRate*100, e.WallSeconds, recovered, e.FailoverMs)
+	return e
+}
+
 // routerSweep scatter-gathers one Table II sweep through the router over an
 // n-shard fleet (4 per-architecture parts fanned out by fingerprint).
 func routerSweep(name string, shards int, pred predictor.Predictor) serviceEntry {
@@ -400,7 +528,7 @@ func gaGenerationBench(name string, placementBatch int, fail func(error)) entry 
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr6.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
 	reps := flag.Int("reps", benchReps, "timed-loop repetitions per benchmark (best is recorded)")
 	flag.Parse()
 	benchReps = *reps
@@ -412,7 +540,7 @@ func main() {
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr6",
+		Tag:       "pr7",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -639,6 +767,12 @@ func main() {
 		sched.ResetCache()
 		rep.Service = append(rep.Service, routerSweep(fmt.Sprintf("router-%dshard-sweep", shards), shards, pred))
 	}
+
+	// Fleet resilience: the distinct burst again, but one of the three
+	// replicated shards is killed while the burst is queued.
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	rep.Service = append(rep.Service, routerChaosBurst("router-3shard-kill-mid-burst", 3, 32, pred))
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

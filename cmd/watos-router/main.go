@@ -9,9 +9,13 @@
 //	watos -model Llama2-30B -config config3 -remote localhost:8090
 //	watos -model Llama2-30B -remote localhost:8090      # scattered sweep
 //
-// It serves the watosd API surface (plus GET/POST /v1/shards), so the typed
-// client and `watos -remote` work against a router unchanged; results are
-// byte-identical to a single daemon and to an in-process search.
+// It serves the watosd API surface (plus GET/POST/DELETE /v1/shards), so the
+// typed client and `watos -remote` work against a router unchanged; results
+// are byte-identical to a single daemon and to an in-process search. Each
+// fingerprint routes to a replica set (-replicas) with in-band failover,
+// sweep legs re-dispatch through shard crashes (-sweep-retries,
+// -sweep-leg-timeout), and DELETE /v1/shards drains a departing shard's warm
+// cache slice to the shards inheriting its fingerprints before removal.
 package main
 
 import (
@@ -36,6 +40,9 @@ func main() {
 	interval := flag.Duration("health-interval", 2*time.Second, "shard health-probe interval")
 	probeTimeout := flag.Duration("probe-timeout", 2*time.Second, "per-probe timeout")
 	failAfter := flag.Int("fail-after", 2, "consecutive failed probes before a shard is excluded from routing")
+	replicas := flag.Int("replicas", 2, "replica-set size R per fingerprint: primary plus failover targets (1 disables replication)")
+	sweepRetries := flag.Int("sweep-retries", 2, "re-dispatches per sweep leg after a retryable failure (shard crash mid-sweep)")
+	legTimeout := flag.Duration("sweep-leg-timeout", 0, "per-attempt deadline for one sweep leg (0 = only the request's deadline)")
 	pprofOn := cliutil.PprofFlag()
 	flag.Parse()
 
@@ -54,6 +61,7 @@ func main() {
 		HealthInterval: *interval,
 		ProbeTimeout:   *probeTimeout,
 		FailAfter:      *failAfter,
+		Replicas:       *replicas,
 	})
 	m.Probe(context.Background())
 	for _, st := range m.Statuses() {
@@ -67,6 +75,8 @@ func main() {
 	defer m.Close()
 
 	router := shard.NewRouter(m)
+	router.SweepRetries = *sweepRetries
+	router.LegTimeout = *legTimeout
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           cliutil.WithPprof(router.Handler(), *pprofOn),

@@ -10,8 +10,12 @@
 //	watosd -addr :8081 -seed-from localhost:8080   # join a fleet warm
 //	watos -model Llama2-30B -config config3 -remote localhost:8080
 //
-// Shutdown is graceful: on SIGINT/SIGTERM the daemon stops accepting
-// connections, drains in-flight jobs and saves a final snapshot.
+// Shutdown is graceful: on SIGINT/SIGTERM the daemon flips into draining
+// (new submissions get HTTP 503, health goes unhealthy so a routing tier
+// stops sending work), stops accepting connections, finishes every job
+// already accepted — running and queued — and saves a final snapshot. A
+// second signal skips the drain and exits on the bounded path (running jobs
+// finish, the queued backlog is dropped).
 package main
 
 import (
@@ -111,18 +115,40 @@ func main() {
 
 	select {
 	case <-ctx.Done():
-		log.Print("shutting down: draining jobs")
+		log.Print("shutting down: draining jobs (signal again to skip the drain)")
 	case err := <-errc:
 		fmt.Fprintln(os.Stderr, "watosd:", err)
 		os.Exit(1)
 	}
+	// Refuse new work before the listener goes down, so a submission racing
+	// the shutdown gets a clean 503 instead of a reset connection, and
+	// re-arm signals: a second SIGTERM/SIGINT falls through to the bounded
+	// close instead of being swallowed by the finished NotifyContext.
+	srv.BeginDrain()
+	stop()
+	forced := make(chan os.Signal, 1)
+	signal.Notify(forced, os.Interrupt, syscall.SIGTERM)
 
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := srv.Close(); err != nil {
+
+	// Graceful path: finish the accepted backlog too. A second signal while
+	// it drains cuts over to the bounded close (running jobs finish, the
+	// rest of the backlog is dropped and marked failed).
+	closed := make(chan error, 1)
+	go func() { closed <- srv.CloseGraceful() }()
+	var err error
+	select {
+	case err = <-closed:
+	case <-forced:
+		log.Print("second signal: dropping the queued backlog")
+		srv.AbortDrain()
+		err = <-closed
+	}
+	if err != nil {
 		log.Printf("snapshot save: %v", err)
 	} else if *snapshot != "" {
 		log.Printf("snapshot saved to %s", *snapshot)

@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -85,6 +86,60 @@ func TestGainAt20PercentMatchesPaperBand(t *testing.T) {
 	}
 	if die <= link*0.9 {
 		t.Errorf("die-fault gain (%.2f) should be at least comparable to link gain (%.2f)", die, link)
+	}
+}
+
+func TestAllDiesFaultyCollapsesThroughput(t *testing.T) {
+	m := mesh.New(hw.Config3())
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			d := mesh.DieID{X: x, Y: y}
+			if m.Contains(d) {
+				m.InjectDieFault(d, 1.0)
+			}
+		}
+	}
+	if len(m.HealthyDies()) != 0 {
+		t.Fatalf("%d dies still healthy after killing the whole wafer", len(m.HealthyDies()))
+	}
+	s := Collect(m)
+	if s.DeadDieFraction != 1 || s.MeanDieHealth != 0 {
+		t.Errorf("stats = %.2f dead / %.2f mean health, want 1 / 0", s.DeadDieFraction, s.MeanDieHealth)
+	}
+	if rf := RobustFactor(s); rf != 0 {
+		t.Errorf("robust throughput on a dead wafer = %v, want 0", rf)
+	}
+	if bf := BaselineFactor(s); bf != 0 {
+		t.Errorf("baseline throughput on a dead wafer = %v, want 0", bf)
+	}
+	// 0/0 is reported as +Inf rather than NaN so sweep plots stay ordered.
+	if g := Gain(s); !math.IsInf(g, 1) {
+		t.Errorf("gain on a dead wafer = %v, want +Inf", g)
+	}
+}
+
+// TestMeshSwitchSeamFaultStats checks the collector sees a fault on the
+// §VI-E strip boundary exactly once: one degraded, dead link pair out of the
+// mesh-switch link set, with every die untouched.
+func TestMeshSwitchSeamFaultStats(t *testing.T) {
+	m := mesh.New(hw.Config3MeshSwitch())
+	seam := mesh.Link{From: mesh.DieID{X: 0, Y: 0}, To: mesh.DieID{X: 0, Y: 1}}
+	m.InjectLinkFault(seam, 1.0)
+	s := Collect(m)
+	links := float64(len(m.AllLinks()))
+	if want := 1 / links; math.Abs(s.DeadLinkFraction-want) > 1e-12 {
+		t.Errorf("dead link fraction = %v, want %v (one directed link)", s.DeadLinkFraction, want)
+	}
+	if s.DegradedLinkFraction != s.DeadLinkFraction {
+		t.Errorf("degraded fraction %v != dead fraction %v for a single dead link",
+			s.DegradedLinkFraction, s.DeadLinkFraction)
+	}
+	if s.MeanDieHealth != 1 || s.DeadDieFraction != 0 {
+		t.Error("a link fault changed die health stats")
+	}
+	if RobustFactor(s) <= BaselineFactor(s)-1e-9 {
+		t.Errorf("robust (%v) below baseline (%v) on a seam fault",
+			RobustFactor(s), BaselineFactor(s))
 	}
 }
 

@@ -1,0 +1,110 @@
+package mesh
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/hw"
+)
+
+// TestFaultKeySampledDeterminism pins the property the evaluation cache
+// depends on: a sampled fault map is a pure function of its seed. Two meshes
+// degraded with the same seed must carry byte-identical fault fingerprints
+// (so cache entries for a degraded run are shared), and a different seed
+// must produce a different fingerprint (so distinct fault states never
+// alias).
+func TestFaultKeySampledDeterminism(t *testing.T) {
+	sample := func(seed int64) string {
+		m := New(hw.Config3())
+		rng := rand.New(rand.NewSource(seed))
+		m.InjectRandomLinkFaults(rng, 0.2)
+		m.InjectRandomDieFaults(rng, 0.1)
+		return m.FaultKey()
+	}
+	if New(hw.Config3()).FaultKey() != "" {
+		t.Error("healthy mesh has a non-empty fault key")
+	}
+	a, b := sample(42), sample(42)
+	if a == "" {
+		t.Fatal("20% link faults + 10% die faults sampled an empty fault map")
+	}
+	if a != b {
+		t.Errorf("same seed produced different fault keys:\n%s\n%s", a, b)
+	}
+	if c := sample(43); c == a {
+		t.Errorf("different seeds produced the same fault key %q", a)
+	}
+}
+
+// TestAllDiesFaulty drives the fault model to its boundary: every die dead.
+// Nothing survives to schedule on, so the healthy-die set is empty and the
+// whole mesh reports fully degraded.
+func TestAllDiesFaulty(t *testing.T) {
+	m := New(hw.Config3())
+	for y := 0; y < m.Rows; y++ {
+		for x := 0; x < m.Cols; x++ {
+			m.InjectDieFault(DieID{X: x, Y: y}, 1.0)
+		}
+	}
+	if got := m.HealthyDies(); len(got) != 0 {
+		t.Errorf("all dies killed, HealthyDies still lists %d", len(got))
+	}
+	for y := 0; y < m.Rows; y++ {
+		for x := 0; x < m.Cols; x++ {
+			d := DieID{X: x, Y: y}
+			if !m.DieDead(d) || m.DieHealth(d) != 0 {
+				t.Fatalf("die %v not fully dead (health %v)", d, m.DieHealth(d))
+			}
+		}
+	}
+	if m.FaultKey() == "" {
+		t.Error("fully dead mesh has an empty fault key")
+	}
+}
+
+// TestMeshSwitchStripBoundaryFault exercises a fault on the seam of the
+// §VI-E mesh-switch topology: the 12×4 arrangement is four 12×1 strips
+// (rows) joined by the switch, so a vertical link crosses a strip boundary.
+// Killing it must register as a fault, leave the dies healthy, and still
+// admit a detour — while group membership keeps reporting the endpoints in
+// different strips.
+func TestMeshSwitchStripBoundaryFault(t *testing.T) {
+	m := New(hw.Config3MeshSwitch())
+	if m.Cols != 12 || m.Rows != 4 {
+		t.Fatalf("mesh-switch grid = %dx%d, want 12x4", m.Cols, m.Rows)
+	}
+	a, b := DieID{X: 0, Y: 0}, DieID{X: 0, Y: 1}
+	if m.InSameGroup(a, b) {
+		t.Fatalf("%v and %v are in different strips, InSameGroup says otherwise", a, b)
+	}
+	if !m.InSameGroup(a, DieID{X: 11, Y: 0}) {
+		t.Error("dies of one strip not grouped together")
+	}
+
+	seam := Link{From: a, To: b}
+	m.InjectLinkFault(seam, 1.0)
+	if bw := m.EffectiveLinkBandwidth(seam); bw != 0 {
+		t.Errorf("dead seam link still has bandwidth %v", bw)
+	}
+	if key := m.FaultKey(); !strings.Contains(key, "L0,0>0,1=1") {
+		t.Errorf("fault key %q does not record the seam fault", key)
+	}
+	if got := len(m.HealthyDies()); got != m.Cols*m.Rows {
+		t.Errorf("link fault killed dies: %d healthy, want %d", got, m.Cols*m.Rows)
+	}
+
+	// Adaptive rerouting finds the 3-hop detour around the dead seam.
+	path := m.ReroutePath(a, b)
+	if path == nil {
+		t.Fatal("no detour around the dead seam link")
+	}
+	if len(path) < 3 {
+		t.Errorf("detour of %d hops cannot avoid the 1-hop dead seam", len(path))
+	}
+	for _, l := range path {
+		if l == seam {
+			t.Errorf("detour crosses the dead seam link %v", l)
+		}
+	}
+}

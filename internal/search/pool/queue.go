@@ -123,6 +123,13 @@ func (q *Queue) Close() { q.close(false) }
 // anyway.
 func (q *Queue) CloseDiscard() { q.close(true) }
 
+// Discard flips the queue into discard mode without closing it: tasks not
+// yet started are skipped from here on, while running tasks finish. Its use
+// is cutting a graceful Close short from another goroutine (a second
+// shutdown signal) — the blocked Close returns as soon as the workers have
+// skipped through the remaining backlog.
+func (q *Queue) Discard() { q.discard.Store(true) }
+
 func (q *Queue) close(discard bool) {
 	q.mu.Lock()
 	if q.closed {

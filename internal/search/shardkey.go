@@ -58,3 +58,45 @@ func ShardOwner(fingerprint string, shards []string) int {
 	}
 	return best
 }
+
+// ShardRank returns up to r shard indices in rendezvous order (highest score
+// first; ties toward the lower index): rank 0 is ShardOwner, rank 1 is the
+// owner of the set with rank 0 removed, and so on. r <= 0 or r > len(shards)
+// ranks the whole set. This is the replica set of a fingerprint — the
+// failover chain the routing tier walks when the primary is unreachable —
+// and the nesting property of rendezvous hashing makes it stable: removing
+// any shard deletes its entry from every chain without reordering the rest.
+func ShardRank(fingerprint string, shards []string, r int) []int {
+	if r <= 0 || r > len(shards) {
+		r = len(shards)
+	}
+	if r == 0 {
+		return nil
+	}
+	type ranked struct {
+		idx   int
+		score uint64
+	}
+	all := make([]ranked, len(shards))
+	for i, s := range shards {
+		all[i] = ranked{idx: i, score: ShardScore(fingerprint, s)}
+	}
+	// Selection over a handful of shards beats a full sort: fleets are
+	// small and r is usually 2 or 3.
+	out := make([]int, 0, r)
+	for len(out) < r {
+		best := -1
+		var bestScore uint64
+		for i, c := range all {
+			if c.idx < 0 {
+				continue
+			}
+			if best < 0 || c.score > bestScore {
+				best, bestScore = i, c.score
+			}
+		}
+		out = append(out, all[best].idx)
+		all[best].idx = -1
+	}
+	return out
+}

@@ -68,3 +68,48 @@ func TestShardOwnerStable(t *testing.T) {
 		t.Error("ShardOwner over an empty shard set != -1")
 	}
 }
+
+// TestShardRankNesting pins the replica-chain contract: rank 0 is
+// ShardOwner, every rank is the owner of the set with the higher ranks
+// removed (the failover chain is exactly "re-run rendezvous without the
+// dead shards"), and removing an unrelated shard never reorders a chain.
+func TestShardRankNesting(t *testing.T) {
+	shards := []string{"10.0.0.1:1", "10.0.0.2:1", "10.0.0.3:1", "10.0.0.4:1"}
+	for i := 0; i < 100; i++ {
+		fp := fmt.Sprintf("m=Llama2-30B|c=config1|seed=%d", i)
+		rank := ShardRank(fp, shards, 0)
+		if len(rank) != len(shards) {
+			t.Fatalf("full rank of %d shards has %d entries", len(shards), len(rank))
+		}
+		if rank[0] != ShardOwner(fp, shards) {
+			t.Fatalf("rank[0] = %d, ShardOwner = %d", rank[0], ShardOwner(fp, shards))
+		}
+		seen := map[int]bool{}
+		for _, idx := range rank {
+			if idx < 0 || idx >= len(shards) || seen[idx] {
+				t.Fatalf("rank %v is not a permutation of shard indices", rank)
+			}
+			seen[idx] = true
+		}
+		// Nesting: drop the primary and the owner of the remainder must be
+		// rank 1 of the full set.
+		without := make([]string, 0, len(shards)-1)
+		for j, s := range shards {
+			if j != rank[0] {
+				without = append(without, s)
+			}
+		}
+		next := without[ShardOwner(fp, without)]
+		if next != shards[rank[1]] {
+			t.Fatalf("owner without the primary = %s, rank[1] = %s", next, shards[rank[1]])
+		}
+		// Truncation is a prefix, never a different ordering.
+		top2 := ShardRank(fp, shards, 2)
+		if len(top2) != 2 || top2[0] != rank[0] || top2[1] != rank[1] {
+			t.Fatalf("ShardRank(r=2) = %v, want prefix of %v", top2, rank)
+		}
+	}
+	if got := ShardRank("fp", nil, 2); got != nil {
+		t.Errorf("ShardRank over an empty set = %v, want nil", got)
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/service"
@@ -38,7 +40,10 @@ type Client struct {
 	// original or replays from warm caches, byte-identically either way.
 	Retries int
 	// RetryDelay is the initial backoff between attempts, doubling each
-	// retry (default 50ms when Retries > 0).
+	// retry with bounded random jitter on top (default 50ms when
+	// Retries > 0). The jitter decorrelates retry storms: when a shard dies
+	// under a burst, every client's budget would otherwise tick on the same
+	// deterministic schedule and re-dogpile the failover target in lockstep.
 	RetryDelay time.Duration
 }
 
@@ -86,7 +91,7 @@ func (b *cancelBody) Close() error {
 
 // request issues one attempt and hands the open response body to the
 // caller on success (2xx).
-func (c *Client) request(ctx context.Context, method, path string, in []byte) (*http.Response, error) {
+func (c *Client) request(ctx context.Context, method, path string, in []byte, contentType string) (*http.Response, error) {
 	cancel := context.CancelFunc(func() {})
 	if c.Timeout > 0 {
 		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
@@ -101,7 +106,7 @@ func (c *Client) request(ctx context.Context, method, path string, in []byte) (*
 		return nil, err
 	}
 	if in != nil {
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -130,9 +135,7 @@ func (c *Client) request(ctx context.Context, method, path string, in []byte) (*
 	return resp, nil
 }
 
-// open runs the request with the bounded connection-error retry loop. HTTP
-// statuses (StatusError) and context cancellation are terminal; only
-// transport-level failures burn retry budget.
+// open runs a JSON request with the bounded connection-error retry loop.
 func (c *Client) open(ctx context.Context, method, path string, in any) (*http.Response, error) {
 	var data []byte
 	if in != nil {
@@ -141,13 +144,40 @@ func (c *Client) open(ctx context.Context, method, path string, in any) (*http.R
 			return nil, err
 		}
 	}
+	return c.openData(ctx, method, path, data, "application/json")
+}
+
+// jitterRand backs the retry jitter; the global math/rand source would do,
+// but a private one keeps the client from perturbing programs that seed the
+// global source for reproducibility.
+var (
+	jitterMu   sync.Mutex
+	jitterRand = rand.New(rand.NewSource(time.Now().UnixNano()))
+)
+
+// jitter draws a random addition in [0, d/2) to a backoff delay.
+func jitter(d time.Duration) time.Duration {
+	if d < 2 {
+		return 0
+	}
+	jitterMu.Lock()
+	defer jitterMu.Unlock()
+	return time.Duration(jitterRand.Int63n(int64(d / 2)))
+}
+
+// openData runs one raw-body request with the bounded connection-error retry
+// loop. HTTP statuses (StatusError) and context cancellation are terminal;
+// only transport-level failures burn retry budget, backing off exponentially
+// with bounded jitter. A canceled context stops the loop immediately —
+// before the backoff sleep, and mid-sleep if it fires then.
+func (c *Client) openData(ctx context.Context, method, path string, data []byte, contentType string) (*http.Response, error) {
 	delay := c.RetryDelay
 	if delay <= 0 {
 		delay = 50 * time.Millisecond
 	}
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		resp, err := c.request(ctx, method, path, data)
+		resp, err := c.request(ctx, method, path, data, contentType)
 		if err == nil {
 			return resp, nil
 		}
@@ -159,7 +189,7 @@ func (c *Client) open(ctx context.Context, method, path string, in any) (*http.R
 		select {
 		case <-ctx.Done():
 			return nil, lastErr
-		case <-time.After(delay):
+		case <-time.After(delay + jitter(delay)):
 		}
 		delay *= 2
 	}
@@ -298,6 +328,32 @@ func (c *Client) PullSnapshot(ctx context.Context) (io.ReadCloser, error) {
 		return nil, err
 	}
 	return resp.Body, nil
+}
+
+// PushSnapshot streams a snapshot (the bytes of a snapshot file or a
+// PullSnapshot stream) into the daemon's caches — the handoff a draining
+// shard's slice rides to its inheritors. The receiver validates the
+// versioned header; a scheme or predictor mismatch surfaces as a 409
+// StatusError wrapping service.ErrStaleSnapshot semantics.
+func (c *Client) PushSnapshot(ctx context.Context, snapshot []byte) (service.SnapshotInfo, error) {
+	resp, err := c.openData(ctx, http.MethodPut, "/v1/snapshot", snapshot, "application/octet-stream")
+	if err != nil {
+		return service.SnapshotInfo{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	var info service.SnapshotInfo
+	return info, json.NewDecoder(resp.Body).Decode(&info)
+}
+
+// Drain flips the daemon into draining (reject new jobs, unhealthy to
+// probes, in-flight work finishes) and returns its stats snapshot.
+func (c *Client) Drain(ctx context.Context) (service.Stats, error) {
+	var st service.Stats
+	err := c.do(ctx, http.MethodPost, "/v1/drain", nil, &st)
+	return st, err
 }
 
 // Health probes the daemon's liveness endpoint.

@@ -304,3 +304,66 @@ func TestClientSnapshotEndpoint(t *testing.T) {
 		t.Errorf("snapshot persisted %d candidates, want > 0", info.Candidates)
 	}
 }
+
+// TestClientCancellationStopsRetries pins the context contract of the retry
+// loop: a canceled context ends retrying immediately — no further attempts,
+// no backoff sleep — whatever budget remains.
+func TestClientCancellationStopsRetries(t *testing.T) {
+	_, c := startDaemon(t)
+	dead := &flakyTransport{failures: 1 << 30, inner: http.DefaultTransport}
+	c.hc.Transport = dead
+	c.Retries = 1000
+	c.RetryDelay = time.Hour // a single backoff sleep would hang the test
+
+	// Cancel mid-flight: the first attempt fails at the transport, the loop
+	// must notice the cancellation instead of sleeping an hour for attempt 2.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := c.Health(ctx); err == nil {
+		t.Fatal("Health with a canceled context succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("canceled context kept retrying for %v", elapsed)
+	}
+	if got := dead.attempts.Load(); got > 1 {
+		t.Errorf("canceled context made %d attempts, want at most 1", got)
+	}
+
+	// Cancellation during the backoff sleep also returns promptly.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	c.RetryDelay = time.Hour
+	done := make(chan error, 1)
+	go func() { done <- c.Health(ctx2) }()
+	time.Sleep(20 * time.Millisecond) // let it enter the backoff sleep
+	cancel2()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Health with a mid-backoff cancel succeeded")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel during backoff did not interrupt the sleep")
+	}
+}
+
+// TestClientRetryJitter checks the jitter bounds: strictly less than half
+// the base delay, never negative, and not constant (the whole point is that
+// two clients don't back off in lockstep).
+func TestClientRetryJitter(t *testing.T) {
+	const d = 80 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 200; i++ {
+		j := jitter(d)
+		if j < 0 || j >= d/2 {
+			t.Fatalf("jitter(%v) = %v, want in [0, %v)", d, j, d/2)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 2 {
+		t.Error("200 jitter draws were all identical")
+	}
+	if j := jitter(1); j != 0 {
+		t.Errorf("jitter(1ns) = %v, want 0", j)
+	}
+}

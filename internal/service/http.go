@@ -20,7 +20,12 @@ import (
 //	POST /v1/snapshot   persist the cache snapshot now; 200 + SnapshotInfo
 //	GET  /v1/snapshot   stream the versioned cache snapshot (gob) — the pull
 //	                    a cold shard seeds its caches from on join
-//	GET  /v1/healthz    liveness probe
+//	PUT  /v1/snapshot   restore the caches from a streamed snapshot — the
+//	                    push a draining shard hands its slice over with;
+//	                    200 + SnapshotInfo, 409 when the snapshot is stale
+//	POST /v1/drain      flip into draining (reject new jobs, health goes
+//	                    503) ahead of snapshot handoff and removal
+//	GET  /v1/healthz    liveness probe; 503 while draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -30,6 +35,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotPull)
+	mux.HandleFunc("PUT /v1/snapshot", s.handleSnapshotPush)
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	return mux
 }
@@ -62,7 +69,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, coalesced, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrBusy):
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case err != nil:
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
@@ -138,6 +145,38 @@ func (s *Server) handleSnapshotPull(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleSnapshotPush restores the caches from a snapshot streamed in the
+// request body — the receiving half of a drain: the inheritors of a
+// departing shard's fingerprints absorb its warm slice before the shard is
+// removed, so their first post-drain hits are warm. A scheme or predictor
+// mismatch is a 409: the pusher's keys cannot be trusted here.
+func (s *Server) handleSnapshotPush(w http.ResponseWriter, r *http.Request) {
+	info, err := s.RestoreSnapshotFrom(r.Body)
+	switch {
+	case errors.Is(err, ErrStaleSnapshot):
+		writeJSON(w, http.StatusConflict, errorBody{Error: err.Error()})
+	case err != nil:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusOK, info)
+	}
+}
+
+// handleDrain flips the daemon into draining (idempotent): the routing tier
+// calls it first in a DELETE /v1/shards flow so the victim stops taking work
+// while its snapshot is handed to the inheritors.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.BeginDrain()
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// handleHealth is the routing tier's admission signal, so a draining daemon
+// reports unhealthy: it still answers job polls and snapshot pulls, but must
+// stop receiving new routed work immediately.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }

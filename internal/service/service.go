@@ -208,6 +208,9 @@ type Stats struct {
 	// front-end reads them per shard as its load signal.
 	QueueDepth   int `json:"queue_depth"`
 	JobsInFlight int `json:"jobs_in_flight"`
+	// Draining reports a daemon that has stopped accepting new jobs and is
+	// finishing its in-flight work before shutdown or removal from a fleet.
+	Draining bool `json:"draining,omitempty"`
 	// Backlog is the configured backlog capacity QueueDepth saturates at.
 	Backlog        int               `json:"backlog"`
 	JobWorkers     int               `json:"job_workers"`
@@ -260,6 +263,11 @@ type Options struct {
 // ErrBusy reports a submission rejected because the job backlog is full.
 var ErrBusy = errors.New("service: job backlog full")
 
+// ErrDraining reports a submission rejected because the daemon is draining:
+// it is finishing in-flight work ahead of shutdown or fleet removal and must
+// not take on jobs whose results nobody would route a poll to.
+var ErrDraining = errors.New("service: daemon is draining")
+
 // job is the internal record; all fields are guarded by Server.mu.
 type job struct {
 	Job
@@ -279,7 +287,19 @@ type Server struct {
 	inflight map[string]*job // fingerprint → queued/running job
 	seq      int
 	stats    Stats
+	draining bool
 }
+
+// defaultPredictor is the shared predictor identity of every server built
+// with a nil predictor. It must be one instance, not one per server: the
+// caches are process-global and their keys embed the predictor's cache ID
+// (search.PredictorID), so two default servers in one process — a test
+// fleet, an embedded daemon pair — must agree on that identity for their
+// cache entries and snapshots to be interchangeable, exactly as two default
+// daemons in separate processes agree by each registering first.
+var defaultPredictor = sync.OnceValue(func() predictor.Predictor {
+	return predictor.NewLookupTable(predictor.TileLevel{})
+})
 
 // NewServer returns a started (but not yet serving) evaluation service
 // sharing the process-wide caches. Callers own pred's identity: reusing one
@@ -287,7 +307,7 @@ type Server struct {
 // valid.
 func NewServer(opts Options, pred predictor.Predictor) *Server {
 	if pred == nil {
-		pred = predictor.NewLookupTable(predictor.TileLevel{})
+		pred = defaultPredictor()
 	}
 	if opts.JobWorkers <= 0 {
 		opts.JobWorkers = 1
@@ -328,6 +348,10 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.draining {
+		s.stats.JobsRejected++
+		return Job{}, false, ErrDraining
+	}
 	if j, ok := s.inflight[fp]; ok {
 		j.Coalesced++
 		s.stats.JobsCoalesced++
@@ -546,10 +570,29 @@ func (s *Server) Wait(id string) (Job, error) {
 	return j.Job, nil
 }
 
+// BeginDrain flips the daemon into draining: new submissions are rejected
+// with ErrDraining and the health endpoint turns unhealthy so a routing tier
+// excludes the shard, while jobs already queued or running finish and their
+// results stay pollable. Idempotent; there is no undrain — the next step is
+// snapshot handoff and shutdown.
+func (s *Server) BeginDrain() {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+}
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
 // Stats snapshots the service counters and the shared cache statistics.
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
+	st.Draining = s.draining
 	s.mu.Unlock()
 	st.QueueDepth = s.queue.Depth()
 	st.JobsInFlight = s.queue.InFlight()
@@ -595,3 +638,20 @@ func (s *Server) Close() error {
 	_, err := s.SaveSnapshot()
 	return err
 }
+
+// CloseGraceful is the drain shutdown: submissions are refused from here on
+// (BeginDrain), every job already accepted — queued or running — executes to
+// completion, and only then does the usual close bookkeeping and final
+// snapshot run. With the drain flag up the accepted set is finite, so this
+// terminates; Close remains the bounded-latency path that drops the backlog.
+func (s *Server) CloseGraceful() error {
+	s.BeginDrain()
+	s.queue.Close()
+	return s.Close()
+}
+
+// AbortDrain cuts a CloseGraceful drain short from another goroutine (the
+// second-signal path of a daemon shutdown): queued jobs not yet started are
+// skipped — the close bookkeeping then marks them failed — while running
+// jobs still finish.
+func (s *Server) AbortDrain() { s.queue.Discard() }

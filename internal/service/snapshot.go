@@ -145,6 +145,12 @@ func (s *Server) SaveSnapshot() (SnapshotInfo, error) {
 	defer os.Remove(tmp.Name())
 	info, err := s.WriteSnapshotTo(tmp)
 	if err == nil {
+		// Flush to stable storage before the rename publishes the file: a
+		// rename can survive a crash that the unsynced data did not, which
+		// would leave a truncated "complete" snapshot at the final path.
+		err = tmp.Sync()
+	}
+	if err == nil {
 		err = tmp.Close()
 	} else {
 		tmp.Close()

@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"sort"
+	"strconv"
+
+	"repro/internal/search"
+)
+
+// Replica placement with balanced recovery load.
+//
+// Per-fingerprint rendezvous ranking (search.ShardRank) already yields a
+// stable failover chain, but its rank-1 targets are not load-balanced at the
+// granularity that matters for recovery: when a shard dies, the fingerprints
+// it owned fail over to whatever rank-1 happens to be per fingerprint, and
+// with small fleets the distribution across survivors can skew hard. The
+// rcstor greedy-placement recipe ("Data Placement Algorithm for Balanced
+// Recovery Load Distribution") fixes this by choosing backups to minimize the
+// variance of the recovery-load graph — L[i][j], the load survivor j inherits
+// when i fails.
+//
+// The fingerprint space is quantized into a fixed number of virtual buckets
+// (bucket = ShardKey(fp) mod Buckets). The backup table is conditioned per
+// (bucket, primary): for every bucket and every shard that could be a
+// fingerprint's rendezvous primary, a greedy pass assigns the backup that
+// currently carries the least of that primary's recovery row, breaking ties
+// by the rendezvous score of (bucket key, backup address) so the table is a
+// pure function of the address *set* — two routers over the same fleet build
+// identical tables whatever order their -shards lists name the members.
+// Because each row hands out exactly Buckets assignments greedily over the
+// other shards, every row is flat to within one bucket: that is the greedy
+// bound the /v1/stats report checks (MaxSpread <= 1).
+type Placement struct {
+	addrs   []string       // canonically sorted membership
+	index   map[string]int // addr -> index into addrs
+	buckets int
+	backup  [][]int // backup[t][p] = backup index for bucket t with primary p
+	report  RecoveryReport
+}
+
+// DefaultBuckets is the virtual-bucket count of the recovery-load
+// quantization: enough buckets that per-shard loads are smooth (a unit is
+// ~1/256th of a primary's slice), few enough that the table is trivially
+// small and rebuilt on every membership change.
+const DefaultBuckets = 256
+
+// RecoveryReport is the audited recovery-load graph, surfaced in /v1/stats.
+type RecoveryReport struct {
+	// Shards is the membership in canonical (sorted-address) order; Rows is
+	// indexed by it.
+	Shards []string `json:"shards"`
+	// Buckets is the quantization: every load unit below is one
+	// (bucket, primary) cell, ~1/Buckets of a failed shard's slice.
+	Buckets int `json:"buckets"`
+	// Replicas echoes the configured replica count R.
+	Replicas int `json:"replicas"`
+	// Rows is the recovery-load graph: Rows[i][j] counts the buckets
+	// survivor j inherits when shard i fails (diagonal zero).
+	Rows [][]int `json:"rows,omitempty"`
+	// MaxSpread is the worst per-row max-min bucket spread. The greedy
+	// assignment guarantees <= 1.
+	MaxSpread int `json:"max_spread"`
+	// Variance is the mean per-row variance of the off-diagonal cells.
+	Variance float64 `json:"variance"`
+	// BaselineVariance is the same statistic for pure per-bucket rendezvous
+	// rank-1 failover (no greedy pass) — what the spread would be if the
+	// chain alone picked backups.
+	BaselineVariance float64 `json:"baseline_variance"`
+	// WithinBound reports MaxSpread <= 1, the greedy-placement bound.
+	WithinBound bool `json:"within_bound"`
+}
+
+func bucketKey(t int) string { return "bkt|" + strconv.Itoa(t) }
+
+// NewPlacement builds the greedy backup table over the given shard
+// addresses. buckets <= 0 selects DefaultBuckets. The result is immutable;
+// the Map rebuilds it on every membership change.
+func NewPlacement(addrs []string, buckets int) *Placement {
+	if buckets <= 0 {
+		buckets = DefaultBuckets
+	}
+	sorted := append([]string(nil), addrs...)
+	sort.Strings(sorted)
+	p := &Placement{
+		addrs:   sorted,
+		index:   make(map[string]int, len(sorted)),
+		buckets: buckets,
+	}
+	for i, a := range sorted {
+		p.index[a] = i
+	}
+	n := len(sorted)
+	p.report = RecoveryReport{Shards: sorted, Buckets: buckets, WithinBound: true}
+	if n < 2 {
+		return p
+	}
+
+	rows := make([][]int, n) // greedy recovery-load graph
+	base := make([][]int, n) // rendezvous-only baseline for the report
+	for i := range rows {
+		rows[i] = make([]int, n)
+		base[i] = make([]int, n)
+	}
+	p.backup = make([][]int, buckets)
+	for t := 0; t < buckets; t++ {
+		key := bucketKey(t)
+		p.backup[t] = make([]int, n)
+		for pr := 0; pr < n; pr++ {
+			row := rows[pr]
+			best, baseline := -1, -1
+			var bestScore, baselineScore uint64
+			for j := 0; j < n; j++ {
+				if j == pr {
+					continue
+				}
+				score := search.ShardScore(key, sorted[j])
+				if best < 0 || row[j] < row[best] ||
+					(row[j] == row[best] && score > bestScore) {
+					best, bestScore = j, score
+				}
+				if baseline < 0 || score > baselineScore {
+					baseline, baselineScore = j, score
+				}
+			}
+			p.backup[t][pr] = best
+			row[best]++
+			base[pr][baseline]++
+		}
+	}
+
+	p.report.Rows = rows
+	p.report.MaxSpread, p.report.Variance = recoveryStats(rows)
+	_, p.report.BaselineVariance = recoveryStats(base)
+	p.report.WithinBound = p.report.MaxSpread <= 1
+	return p
+}
+
+// recoveryStats reduces a recovery-load graph to the worst per-row bucket
+// spread and the mean per-row variance of the off-diagonal cells.
+func recoveryStats(rows [][]int) (maxSpread int, variance float64) {
+	for i, row := range rows {
+		min, max, sum := -1, 0, 0
+		for j, v := range row {
+			if j == i {
+				continue
+			}
+			if min < 0 || v < min {
+				min = v
+			}
+			if v > max {
+				max = v
+			}
+			sum += v
+		}
+		cells := len(row) - 1
+		if cells <= 0 {
+			continue
+		}
+		if spread := max - min; spread > maxSpread {
+			maxSpread = spread
+		}
+		mean := float64(sum) / float64(cells)
+		var sq float64
+		for j, v := range row {
+			if j == i {
+				continue
+			}
+			d := float64(v) - mean
+			sq += d * d
+		}
+		variance += sq / float64(cells)
+	}
+	if len(rows) > 0 {
+		variance /= float64(len(rows))
+	}
+	return maxSpread, variance
+}
+
+// Backup returns the greedily placed backup address for a fingerprint whose
+// rendezvous primary is primaryAddr; ok is false when the primary is not in
+// the membership or the fleet has no second shard.
+func (p *Placement) Backup(fingerprint, primaryAddr string) (string, bool) {
+	pr, ok := p.index[primaryAddr]
+	if !ok || p.backup == nil {
+		return "", false
+	}
+	t := int(search.ShardKey(fingerprint) % uint64(p.buckets))
+	return p.addrs[p.backup[t][pr]], true
+}
+
+// Inheritors returns, per surviving address, how many of addr's buckets it
+// inherits when addr fails or drains — the drain push-target set.
+func (p *Placement) Inheritors(addr string) map[string]int {
+	pr, ok := p.index[addr]
+	if !ok || p.report.Rows == nil {
+		return nil
+	}
+	out := make(map[string]int)
+	for j, v := range p.report.Rows[pr] {
+		if v > 0 {
+			out[p.addrs[j]] = v
+		}
+	}
+	return out
+}
+
+// Report returns the audited recovery-load graph (Replicas is filled by the
+// Map, which knows the configured R).
+func (p *Placement) Report() RecoveryReport { return p.report }

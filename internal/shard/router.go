@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strings"
 	"sync"
@@ -28,11 +29,26 @@ import (
 //     part's own fingerprint and gathers the merged record set
 //     (service.MergeSweep), byte-identical to a single-node sweep;
 //   - GET /v1/stats aggregates the fleet (the flattened service.Stats sums,
-//     decodable by the unmodified client) plus router counters and per-shard
-//     statuses with queue occupancy gauges;
-//   - POST /v1/shards admits a new shard to the map mid-run.
+//     decodable by the unmodified client) plus router counters, per-shard
+//     statuses with queue occupancy gauges, and the audited replica
+//     placement (recovery-load graph);
+//   - POST /v1/shards admits a new shard to the map mid-run;
+//   - DELETE /v1/shards drains a shard out of the fleet: the victim stops
+//     taking work, its warm snapshot slice streams to the shards inheriting
+//     its fingerprints, and only then is it removed.
 type Router struct {
 	Map *Map
+
+	// SweepRetries bounds re-dispatches per sweep leg after a retryable
+	// failure (shard died mid-leg, job lost to a restart, backpressure);
+	// default 2. Re-running a leg is safe: results are canonical and
+	// deterministic, so a re-dispatched leg is byte-identical to the
+	// original.
+	SweepRetries int
+	// LegTimeout bounds one dispatch+wait attempt of a sweep leg (0 = only
+	// the caller's deadline). A leg stuck on a wedged shard re-dispatches to
+	// a surviving replica instead of pinning the whole scatter.
+	LegTimeout time.Duration
 
 	start time.Time
 	mu    sync.Mutex
@@ -52,6 +68,17 @@ type RouterCounters struct {
 	SweepsRouted uint64 `json:"sweeps_routed"`
 	// RouteErrors counts forwarding failures (shard down mid-request).
 	RouteErrors uint64 `json:"route_errors"`
+	// Failovers counts submissions that landed on a non-primary replica
+	// after the primary failed in-band.
+	Failovers uint64 `json:"failovers"`
+	// LegRetries counts sweep legs re-dispatched after a retryable failure —
+	// the mid-sweep failover signal.
+	LegRetries uint64 `json:"leg_retries"`
+	// ShardsDrained counts shards removed with a completed snapshot handoff
+	// to their inheritors.
+	ShardsDrained uint64 `json:"shards_drained"`
+	// ShardsRemoved counts all removals, drained or not.
+	ShardsRemoved uint64 `json:"shards_removed"`
 }
 
 // RouterStats is the router's /v1/stats payload. The embedded service.Stats
@@ -64,11 +91,15 @@ type RouterStats struct {
 	HealthyShards int            `json:"healthy_shards"`
 	TotalShards   int            `json:"total_shards"`
 	Shards        []Status       `json:"shards"`
+	// Placement is the audited replica placement: the recovery-load graph
+	// with its greedy-bound check (see RecoveryReport).
+	Placement RecoveryReport `json:"placement"`
 }
 
-// NewRouter returns a router over the shard map.
+// NewRouter returns a router over the shard map (sweep legs re-dispatch up
+// to twice by default; set SweepRetries/LegTimeout before serving to tune).
 func NewRouter(m *Map) *Router {
-	return &Router{Map: m, start: time.Now()}
+	return &Router{Map: m, SweepRetries: 2, start: time.Now()}
 }
 
 func (r *Router) count(fn func(*RouterCounters)) {
@@ -116,44 +147,60 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
 	mux.HandleFunc("GET /v1/shards", r.handleShards)
 	mux.HandleFunc("POST /v1/shards", r.handleAddShard)
+	mux.HandleFunc("DELETE /v1/shards", r.handleRemoveShard)
 	mux.HandleFunc("GET /v1/healthz", r.handleHealth)
 	return mux
 }
 
 // submitRouted normalizes a request, routes it by fingerprint and submits it
-// to the owning shard, returning the shard-namespaced job record. A
-// connection-level failure excludes the shard and retries the pick once, so
-// one dead shard costs a submission only the failover hop.
+// along the fingerprint's replica chain: the rendezvous primary first, then
+// in-band failover to each remaining replica on a connection-level failure.
+// If the whole chain connection-fails, the exclusions it recorded have
+// changed the healthy set, so one re-pick walks the post-exclusion chain
+// before giving up — a fleet losing R shards at once still costs a
+// submission only the failover hops.
 func (r *Router) submitRouted(ctx context.Context, req service.Request) (service.Job, *Backend, bool, error) {
 	norm, err := req.Normalize()
 	if err != nil {
 		return service.Job{}, nil, false, err
 	}
 	fp := norm.Fingerprint()
-	for attempt := 0; ; attempt++ {
-		b, err := r.Map.Pick(fp)
+	var lastErr error
+	for pass := 0; pass < 2; pass++ {
+		replicas, err := r.Map.PickReplicas(fp)
 		if err != nil {
+			if lastErr != nil {
+				err = lastErr
+			}
 			return service.Job{}, nil, false, err
 		}
-		j, coalesced, err := b.Client.SubmitJob(ctx, norm)
-		if err == nil {
-			j.ID = b.Addr + "/" + j.ID
-			r.count(func(c *RouterCounters) {
-				c.JobsRouted++
-				if coalesced {
-					c.JobsCoalesced++
-				}
-			})
-			return j, b, coalesced, nil
-		}
-		if connectionError(err) && attempt == 0 {
-			b.MarkFailed(err)
+		for i, b := range replicas {
+			j, coalesced, err := b.Client.SubmitJob(ctx, norm)
+			if err == nil {
+				j.ID = b.Addr + "/" + j.ID
+				failedOver := i > 0 || pass > 0
+				r.count(func(c *RouterCounters) {
+					c.JobsRouted++
+					if coalesced {
+						c.JobsCoalesced++
+					}
+					if failedOver {
+						c.Failovers++
+					}
+				})
+				return j, b, coalesced, nil
+			}
 			r.count(func(c *RouterCounters) { c.RouteErrors++ })
-			continue
+			if !connectionError(err) {
+				// A live shard answered with an HTTP status: that is the
+				// request's answer, not a reason to try its replica.
+				return service.Job{}, b, false, err
+			}
+			lastErr = err
+			b.MarkFailed(err)
 		}
-		r.count(func(c *RouterCounters) { c.RouteErrors++ })
-		return service.Job{}, b, false, err
 	}
+	return service.Job{}, nil, false, lastErr
 }
 
 func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
@@ -237,6 +284,93 @@ func (r *Router) Sweep(ctx context.Context, req service.Request) (service.SweepR
 	return r.sweepParts(ctx, norm, parts)
 }
 
+// legRetryable classifies a sweep-leg failure. Transport failures and the
+// failure modes a shard crash, restart or drain produces — the job vanished
+// (404), the daemon refused it (503), a bad gateway in a chained tier (502)
+// — are retryable: results are canonical and deterministic, so re-running
+// the leg on a surviving replica is byte-identical to the lost original.
+// Any other HTTP status is a deterministic answer and re-dispatching would
+// only repeat it.
+func legRetryable(err error) bool {
+	if connectionError(err) {
+		return true
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) {
+		switch se.Code {
+		case http.StatusNotFound, http.StatusBadGateway, http.StatusServiceUnavailable:
+			return true
+		}
+	}
+	return false
+}
+
+// tryLeg runs one dispatch+wait attempt of a sweep leg and reports whether
+// a failure is worth re-dispatching.
+func (r *Router) tryLeg(ctx context.Context, part service.Request) (*service.Result, service.SweepJobRef, bool, error) {
+	j, b, coalesced, err := r.submitRouted(ctx, part)
+	if err != nil {
+		return nil, service.SweepJobRef{}, legRetryable(err), err
+	}
+	ref := service.SweepJobRef{
+		Config:      part.Config,
+		JobID:       j.ID,
+		Fingerprint: j.Fingerprint,
+		Shard:       b.Name,
+		Coalesced:   coalesced,
+	}
+	done, err := b.Client.Wait(ctx, strings.TrimPrefix(j.ID, b.Addr+"/"))
+	if err != nil {
+		// Only a transport failure with the caller's context still live
+		// indicts the shard; our own per-leg deadline firing does not.
+		if connectionError(err) && ctx.Err() == nil {
+			b.MarkFailed(err)
+		}
+		return nil, ref, legRetryable(err), err
+	}
+	if done.State != service.StateDone {
+		// A daemon shutting down marks its unstarted backlog failed with a
+		// distinctive error; that work never ran and re-dispatches safely.
+		retry := strings.Contains(done.Error, "daemon shut down")
+		return nil, ref, retry, fmt.Errorf("job failed: %s", done.Error)
+	}
+	return done.Result, ref, false, nil
+}
+
+// runLeg drives one sweep leg to completion through shard churn: bounded
+// re-dispatch (SweepRetries) with an optional per-attempt deadline
+// (LegTimeout). Each retry re-walks the replica chain, which the failed
+// attempt's in-band exclusions have already steered away from the dead
+// shard — this is what lets a scatter-gather complete byte-identically
+// through a mid-sweep crash.
+func (r *Router) runLeg(ctx context.Context, part service.Request) (*service.Result, service.SweepJobRef, error) {
+	retries := r.SweepRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	var lastRef service.SweepJobRef
+	for attempt := 0; attempt <= retries; attempt++ {
+		if attempt > 0 {
+			r.count(func(c *RouterCounters) { c.LegRetries++ })
+		}
+		legCtx, cancel := ctx, context.CancelFunc(func() {})
+		if r.LegTimeout > 0 {
+			legCtx, cancel = context.WithTimeout(ctx, r.LegTimeout)
+		}
+		res, ref, retryable, err := r.tryLeg(legCtx, part)
+		cancel()
+		if err == nil {
+			return res, ref, nil
+		}
+		lastErr, lastRef = err, ref
+		if !retryable || ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, lastRef, lastErr
+}
+
 // sweepParts scatters an already-expanded sweep (see Server.sweepParts for
 // why expansion happens once, in the caller).
 func (r *Router) sweepParts(ctx context.Context, norm service.Request, parts []service.Request) (service.SweepResult, error) {
@@ -251,31 +385,13 @@ func (r *Router) sweepParts(ctx context.Context, norm service.Request, parts []s
 		wg.Add(1)
 		go func(i int, part service.Request) {
 			defer wg.Done()
-			j, b, coalesced, err := r.submitRouted(ctx, part)
+			res, ref, err := r.runLeg(ctx, part)
+			out.Jobs[i] = ref
 			if err != nil {
 				errs[i] = fmt.Errorf("sweep part %s: %w", part.Config, err)
 				return
 			}
-			out.Jobs[i] = service.SweepJobRef{
-				Config:      part.Config,
-				JobID:       j.ID,
-				Fingerprint: j.Fingerprint,
-				Shard:       b.Name,
-				Coalesced:   coalesced,
-			}
-			done, err := b.Client.Wait(ctx, strings.TrimPrefix(j.ID, b.Addr+"/"))
-			if err != nil {
-				if connectionError(err) {
-					b.MarkFailed(err)
-				}
-				errs[i] = fmt.Errorf("sweep part %s: %w", part.Config, err)
-				return
-			}
-			if done.State != service.StateDone {
-				errs[i] = fmt.Errorf("sweep part %s failed: %s", part.Config, done.Error)
-				return
-			}
-			results[i] = done.Result
+			results[i] = res
 		}(i, part)
 	}
 	wg.Wait()
@@ -375,6 +491,7 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		}
 	}
 	out.Shards = statuses
+	out.Placement = r.Map.RecoveryReport()
 	return out
 }
 
@@ -413,6 +530,145 @@ func (r *Router) handleAddShard(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusCreated, r.Map.Statuses())
+}
+
+// InheritorReport is one survivor's share of a drained shard's slice.
+type InheritorReport struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// Buckets is how much of the victim's fingerprint space this survivor
+	// inherits (placement recovery-load units).
+	Buckets int `json:"buckets"`
+	// Eval/Candidates count the warm cache entries absorbed from the
+	// victim's snapshot (zero with Error set when the push failed).
+	Eval       int    `json:"eval_entries,omitempty"`
+	Candidates int    `json:"candidate_entries,omitempty"`
+	Error      string `json:"error,omitempty"`
+}
+
+// DrainReport is the DELETE /v1/shards response: what happened to the
+// departing shard's warm slice before removal.
+type DrainReport struct {
+	Name string `json:"name"`
+	Addr string `json:"addr"`
+	// Drained reports a completed handoff: the victim stopped taking work
+	// and its snapshot reached every inheritor. False means the shard was
+	// removed anyway (already dead, or the handoff degraded — see Error).
+	Drained       bool              `json:"drained"`
+	SnapshotBytes int               `json:"snapshot_bytes,omitempty"`
+	Inheritors    []InheritorReport `json:"inheritors,omitempty"`
+	Error         string            `json:"error,omitempty"`
+	// Placement is the rebuilt post-removal placement.
+	Placement RecoveryReport `json:"placement"`
+}
+
+// Drain removes a shard from the fleet gracefully: flip it to draining (it
+// stops accepting jobs and turns unhealthy to probes), pull its cache
+// snapshot, push the snapshot to every shard inheriting part of its
+// fingerprint slice (per the recovery placement), then drop it from the
+// map. The handoff is best-effort — a victim that is already dead is simply
+// removed — but when it completes, the inheritors serve the drained slice
+// warm: their first post-drain hits replay from the absorbed entries
+// instead of re-simulating.
+func (r *Router) Drain(ctx context.Context, addr string) (DrainReport, error) {
+	b, ok := r.Map.BackendByAddr(addr)
+	if !ok {
+		return DrainReport{}, fmt.Errorf("shard: %s not in the map", addr)
+	}
+	rep := DrainReport{Name: b.Name, Addr: b.Addr}
+
+	// Inheritors come from the placement over the pre-removal membership —
+	// the same table failover routing reads, so the warmed shards are
+	// exactly the ones the victim's fingerprints will land on.
+	inherit := r.Map.Placement().Inheritors(addr)
+
+	handoff := func() error {
+		if _, err := b.Client.Drain(ctx); err != nil {
+			return fmt.Errorf("drain %s: %w", b.Name, err)
+		}
+		// The victim now refuses new work; take it out of routing in-band
+		// too, so nothing races into it between here and removal.
+		b.MarkFailed(nil)
+		rc, err := b.Client.PullSnapshot(ctx)
+		if err != nil {
+			return fmt.Errorf("pull snapshot from %s: %w", b.Name, err)
+		}
+		snap, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return fmt.Errorf("pull snapshot from %s: %w", b.Name, err)
+		}
+		rep.SnapshotBytes = len(snap)
+		ok := true
+		for _, ib := range r.Map.Backends() {
+			buckets, inherits := inherit[ib.Addr]
+			if !inherits || ib.Addr == addr {
+				continue
+			}
+			ir := InheritorReport{Name: ib.Name, Addr: ib.Addr, Buckets: buckets}
+			if !ib.Healthy() {
+				// A dead inheritor cannot absorb the slice — and does not
+				// need to: routing already excludes it, so its share of the
+				// victim's fingerprints fails over to the healthy replicas
+				// that did get the snapshot, and it re-warms on demand if it
+				// is ever readmitted. Skipping it is not a degraded handoff.
+				ir.Error = "skipped: shard excluded from routing"
+				rep.Inheritors = append(rep.Inheritors, ir)
+				continue
+			}
+			info, err := ib.Client.PushSnapshot(ctx, snap)
+			if err != nil {
+				ir.Error = err.Error()
+				ok = false
+			} else {
+				ir.Eval, ir.Candidates = info.Eval, info.Candidates
+			}
+			rep.Inheritors = append(rep.Inheritors, ir)
+		}
+		if !ok {
+			return fmt.Errorf("snapshot handoff from %s degraded", b.Name)
+		}
+		return nil
+	}
+	if err := handoff(); err != nil {
+		rep.Error = err.Error()
+	} else {
+		rep.Drained = true
+	}
+
+	if _, err := r.Map.Remove(addr); err != nil {
+		return rep, err
+	}
+	drained := rep.Drained
+	r.count(func(c *RouterCounters) {
+		c.ShardsRemoved++
+		if drained {
+			c.ShardsDrained++
+		}
+	})
+	rep.Placement = r.Map.RecoveryReport()
+	return rep, nil
+}
+
+// handleRemoveShard serves DELETE /v1/shards: drain the addressed shard's
+// slice to its inheritors and remove it. The response reports the handoff;
+// removal succeeds even when the victim is already unreachable (Drained
+// false, Error set) — the operator's intent is "out of the fleet", and a
+// dead shard's slice re-warms on demand via failover.
+func (r *Router) handleRemoveShard(w http.ResponseWriter, req *http.Request) {
+	var ar addShardRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, service.MaxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ar); err != nil || ar.Addr == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "body must be {\"addr\": \"host:port\"}"})
+		return
+	}
+	rep, err := r.Drain(req.Context(), ar.Addr)
+	if err != nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 // handleHealth reports the router healthy while at least one shard is

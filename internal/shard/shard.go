@@ -39,6 +39,12 @@ type Options struct {
 	// connection error (and in-band exclusion) instead of pinning routed
 	// requests forever.
 	RequestTimeout time.Duration
+	// Replicas is the replica-set size R (default 2): PickReplicas returns
+	// up to R healthy shards per fingerprint — the rendezvous primary
+	// followed by the greedily placed backup and then the rest of the
+	// rendezvous chain — so routing can fail over in-band without a
+	// re-pick. 1 disables replication (primary only).
+	Replicas int
 }
 
 func (o Options) withDefaults() Options {
@@ -56,6 +62,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RequestTimeout < 0 {
 		o.RequestTimeout = 0
+	}
+	if o.Replicas <= 0 {
+		o.Replicas = 2
 	}
 	return o
 }
@@ -103,9 +112,10 @@ type Status struct {
 type Map struct {
 	opts Options
 
-	mu       sync.Mutex
-	backends []*Backend
-	seq      int // next backend name ordinal
+	mu        sync.Mutex
+	backends  []*Backend
+	seq       int // next backend name ordinal
+	placement *Placement
 
 	started  bool
 	stopOnce sync.Once
@@ -125,6 +135,7 @@ func NewMap(addrs []string, opts Options) *Map {
 	for _, addr := range addrs {
 		m.add(addr)
 	}
+	m.rebuildPlacement()
 	return m
 }
 
@@ -145,7 +156,18 @@ func (m *Map) add(addr string) *Backend {
 	b.probeClient.Retries = -1
 	m.seq++
 	m.backends = append(m.backends, b)
+	m.rebuildPlacement()
 	return b
+}
+
+// rebuildPlacement recomputes the greedy replica placement for the current
+// membership. Caller holds m.mu (or owns the map exclusively, as in NewMap).
+func (m *Map) rebuildPlacement() {
+	addrs := make([]string, len(m.backends))
+	for i, b := range m.backends {
+		addrs[i] = b.Addr
+	}
+	m.placement = NewPlacement(addrs, 0)
 }
 
 // Add joins a new shard to the map mid-run and reports its assigned name.
@@ -161,6 +183,39 @@ func (m *Map) Add(addr string) (*Backend, error) {
 		}
 	}
 	return m.add(addr), nil
+}
+
+// Remove takes a shard out of the map (the final step of a drain — see
+// Router.handleRemoveShard) and rebuilds the replica placement. Rendezvous
+// hashing guarantees only the removed shard's fingerprints move.
+func (m *Map) Remove(addr string) (*Backend, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for i, b := range m.backends {
+		if b.Addr == addr {
+			m.backends = append(m.backends[:i:i], m.backends[i+1:]...)
+			m.rebuildPlacement()
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("shard: %s not in the map", addr)
+}
+
+// Placement returns the current greedy replica placement (never nil).
+func (m *Map) Placement() *Placement {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.placement
+}
+
+// RecoveryReport returns the audited recovery-load graph for /v1/stats,
+// with the configured replica count filled in.
+func (m *Map) RecoveryReport() RecoveryReport {
+	m.mu.Lock()
+	rep := m.placement.Report()
+	rep.Replicas = m.opts.Replicas
+	m.mu.Unlock()
+	return rep
 }
 
 // Backends snapshots the current backend list in join order.
@@ -216,20 +271,83 @@ func (m *Map) Healthy() []*Backend {
 // ErrNoShards reports routing with every shard excluded.
 var ErrNoShards = fmt.Errorf("shard: no healthy shards")
 
-// Pick routes a canonical request fingerprint to its owning healthy shard
-// (rendezvous hashing on the shard addresses). The assignment is stable:
-// the same fingerprint picks the same shard for as long as that shard stays
-// in the healthy set, whatever order shards appear in.
+// Pick routes a canonical request fingerprint to its owning healthy shard:
+// the head of its replica chain (see PickReplicas). The assignment is
+// stable — the same fingerprint picks the same shard for as long as that
+// shard stays in the healthy set, whatever order shards appear in — and
+// while the primary is healthy it is exactly the rendezvous owner.
 func (m *Map) Pick(fingerprint string) (*Backend, error) {
-	healthy := m.Healthy()
-	if len(healthy) == 0 {
+	replicas, err := m.PickReplicas(fingerprint)
+	if err != nil {
+		return nil, err
+	}
+	return replicas[0], nil
+}
+
+// PickReplicas returns the fingerprint's replica set: up to Options.Replicas
+// healthy shards in failover order. The chain is built over the FULL
+// membership — [rendezvous primary, greedy backup (Placement), rendezvous
+// rank 1, rank 2, ...] deduplicated — and then filtered to the healthy set,
+// so in-band failover (walking the returned slice) and health-exclusion
+// failover (the primary already excluded when PickReplicas runs) land a
+// fingerprint on the same shard, and a failed primary's slice spreads over
+// survivors per the balanced placement instead of dogpiling rendezvous
+// rank 1.
+func (m *Map) PickReplicas(fingerprint string) ([]*Backend, error) {
+	m.mu.Lock()
+	backends := make([]*Backend, len(m.backends))
+	copy(backends, m.backends)
+	pl := m.placement
+	r := m.opts.Replicas
+	m.mu.Unlock()
+	if len(backends) == 0 {
 		return nil, ErrNoShards
 	}
-	ids := make([]string, len(healthy))
-	for i, b := range healthy {
-		ids[i] = b.Addr
+
+	addrs := make([]string, len(backends))
+	byAddr := make(map[string]*Backend, len(backends))
+	for i, b := range backends {
+		addrs[i] = b.Addr
+		byAddr[b.Addr] = b
 	}
-	return healthy[search.ShardOwner(fingerprint, ids)], nil
+	rank := search.ShardRank(fingerprint, addrs, 0)
+	chain := make([]string, 0, len(rank)+1)
+	chain = append(chain, addrs[rank[0]])
+	if backup, ok := pl.Backup(fingerprint, addrs[rank[0]]); ok && backup != chain[0] {
+		chain = append(chain, backup)
+	}
+	for _, idx := range rank[1:] {
+		addr := addrs[idx]
+		if addr != chain[0] && (len(chain) < 2 || addr != chain[1]) {
+			chain = append(chain, addr)
+		}
+	}
+
+	out := make([]*Backend, 0, r)
+	for _, addr := range chain {
+		b := byAddr[addr]
+		b.mu.Lock()
+		ok := b.healthy
+		b.mu.Unlock()
+		if !ok {
+			continue
+		}
+		out = append(out, b)
+		if len(out) == r {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, ErrNoShards
+	}
+	return out, nil
+}
+
+// Healthy reports whether the backend is currently admitted to routing.
+func (b *Backend) Healthy() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.healthy
 }
 
 // MarkFailed records an in-band connection failure observed while
