@@ -1,4 +1,4 @@
-.PHONY: build test race bench bench-smoke bench-compare router-smoke chaos-smoke figures
+.PHONY: build test race bench bench-smoke bench-compare router-smoke chaos-smoke async-smoke figures
 
 build:
 	go build ./...
@@ -11,13 +11,15 @@ race:
 
 # Tier-2 performance trajectory: runs the benchmark suite in-process with
 # -benchmem semantics (best of 3 timed loops per benchmark) and writes
-# BENCH_pr7.json (ns/op, allocs/op, B/op per benchmark, service +
+# BENCH_pr8.json (ns/op, allocs/op, B/op per benchmark, service +
 # routed-shard jobs/sec and dedup rates, the kill-one-shard-mid-burst
-# resilience numbers, plus the speedups vs the recorded PR-1..PR-6
-# baselines, the in-run PR3-era annealer full-re-evaluation baseline, and
-# the in-run scalar references of the batched annealer and GA paths).
+# resilience numbers, the async-sweep time-to-first-row /
+# priority-latency / result-cache-repeat entries, plus the speedups vs
+# the recorded PR-1..PR-7 baselines, the in-run PR3-era annealer
+# full-re-evaluation baseline, and the in-run scalar references of the
+# batched annealer and GA paths).
 bench:
-	go run ./cmd/bench -out BENCH_pr7.json
+	go run ./cmd/bench -out BENCH_pr8.json
 
 # Fast regression gate for the search inner loops: the zero-alloc
 # assertions of the scalar annealer swap path and the batched ScorerBatch
@@ -31,9 +33,9 @@ bench-smoke:
 
 # Compare two recorded perf trajectories (ns/op + allocs/op ratios, with a
 # regression threshold). Usage:
-#   make bench-compare OLD=BENCH_pr6.json NEW=BENCH_pr7.json
-OLD ?= BENCH_pr6.json
-NEW ?= BENCH_pr7.json
+#   make bench-compare OLD=BENCH_pr7.json NEW=BENCH_pr8.json
+OLD ?= BENCH_pr7.json
+NEW ?= BENCH_pr8.json
 bench-compare:
 	bash scripts/bench_compare.sh $(OLD) $(NEW)
 
@@ -51,6 +53,15 @@ router-smoke:
 # the drain inheritor must serve the handed-off slice with zero cold misses.
 chaos-smoke:
 	bash scripts/chaos_smoke.sh
+
+# Async-job smoke: 1 single-job-worker shard + router as real processes; six
+# async bulk sweeps stack a deep sweep-leg backlog, an interactive job
+# submitted behind it must finish while the last sweep still runs, the async
+# merged record must diff clean against the in-process sweep, and a repeat
+# job must be served from the router's completed-result cache without
+# crossing the fleet.
+async-smoke:
+	bash scripts/async_smoke.sh
 
 figures:
 	go run ./cmd/figures

@@ -132,7 +132,8 @@ type report struct {
 // plan-cached tree (from BENCH_pr2.json), PR 3 the service-era tree (from
 // BENCH_pr3.json), PR 4 the incremental-scorer tree (from BENCH_pr4.json),
 // PR 5 the sharded-tier tree (from BENCH_pr5.json), PR 6 the
-// batched-evaluator tree (from BENCH_pr6.json).
+// batched-evaluator tree (from BENCH_pr6.json), PR 7 the fleet-resilience
+// tree (from BENCH_pr7.json).
 // The pr3-full-reeval annealer baseline is measured live
 // in this run (the full-evaluation path still exists as
 // placement.EvalAnchors), so its speedup factor is machine-exact.
@@ -178,6 +179,13 @@ var priorBaselines = []taggedEntry{
 		NsPerOp:     34619261.73076923,
 		AllocsPerOp: 57986,
 		BytesPerOp:  9165701,
+	}},
+	{Tag: "pr7", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  23,
+		NsPerOp:     40383667.52173913,
+		AllocsPerOp: 57986,
+		BytesPerOp:  9165715,
 	}},
 }
 
@@ -335,7 +343,10 @@ func serviceThroughput(name string, jobs int, distinct bool, pred predictor.Pred
 
 // routedFleet stands up n in-process watosd shards behind a probed shard
 // map and a router listener, returning a client bound to the router.
-func routedFleet(n int, pred predictor.Predictor) (*client.Client, func()) {
+// resultCache > 0 enables the router's completed-result cache at that
+// capacity (the throughput benchmarks keep it off so every burst pays for
+// real routing).
+func routedFleet(n int, pred predictor.Predictor, resultCache int) (*client.Client, func()) {
 	var shards []*service.Server
 	var servers []*httptest.Server
 	var addrs []string
@@ -348,7 +359,9 @@ func routedFleet(n int, pred predictor.Predictor) (*client.Client, func()) {
 	}
 	m := shard.NewMap(addrs, shard.Options{})
 	m.Probe(context.Background())
-	router := httptest.NewServer(shard.NewRouter(m).Handler())
+	r := shard.NewRouter(m)
+	r.Cache = shard.NewResultCache(resultCache)
+	router := httptest.NewServer(r.Handler())
 	c := client.New(router.URL)
 	c.PollInterval = time.Millisecond
 	cleanup := func() {
@@ -367,7 +380,7 @@ func routedFleet(n int, pred predictor.Predictor) (*client.Client, func()) {
 // rate (the routed-dedup hit rate: identical jobs only coalesce because
 // stable hashing sends them to one shard's singleflight).
 func routerThroughput(name string, shards, jobs int, distinct bool, pred predictor.Predictor) serviceEntry {
-	c, cleanup := routedFleet(shards, pred)
+	c, cleanup := routedFleet(shards, pred, 0)
 	defer cleanup()
 	return burst(name, c, shards, jobs, distinct)
 }
@@ -481,9 +494,10 @@ func routerChaosBurst(name string, nShards, jobs int, pred predictor.Predictor) 
 }
 
 // routerSweep scatter-gathers one Table II sweep through the router over an
-// n-shard fleet (4 per-architecture parts fanned out by fingerprint).
+// n-shard fleet (4 per-architecture parts fanned out by fingerprint, async
+// handle + polled gather — the only sweep path since the async subsystem).
 func routerSweep(name string, shards int, pred predictor.Predictor) serviceEntry {
-	c, cleanup := routedFleet(shards, pred)
+	c, cleanup := routedFleet(shards, pred, 0)
 	defer cleanup()
 	start := time.Now()
 	sw, err := c.Sweep(context.Background(), service.Request{Model: "Llama2-30B", Seq: 2048, Seed: 7})
@@ -501,6 +515,118 @@ func routerSweep(name string, shards int, pred predictor.Predictor) serviceEntry
 	}
 	fmt.Printf("%-32s %12.2f parts/s %9s %12.3f s wall   (%d parts, %d shards)\n",
 		name, e.JobsPerSec, "", e.WallSeconds, e.Jobs, shards)
+	return e
+}
+
+// asyncSweepRows measures the async handle's incremental payoff over an
+// n-shard fleet: time to the FIRST consumable per-architecture row versus
+// time to the fully merged record, in one scattered sweep. The gap is what
+// a synchronous caller used to spend staring at a blocked request.
+func asyncSweepRows(shards int, pred predictor.Predictor) (first, merged serviceEntry) {
+	c, cleanup := routedFleet(shards, pred, 0)
+	defer cleanup()
+	ctx := context.Background()
+	start := time.Now()
+	st, err := c.StartSweep(ctx, service.Request{Model: "Llama2-30B", Seq: 2048, Seed: 7})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(1)
+	}
+	var firstRow time.Duration
+	st, err = c.WaitSweep(ctx, st.ID, func(leg service.SweepLeg) {
+		if firstRow == 0 {
+			firstRow = time.Since(start)
+		}
+	})
+	if err != nil || st.State != service.StateDone {
+		fmt.Fprintf(os.Stderr, "bench: async sweep: %v (%s %s)\n", err, st.State, st.Error)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	name := fmt.Sprintf("router-%dshard-async-sweep", shards)
+	first = serviceEntry{
+		Name: name + "-first-row", Shards: shards, Jobs: 1,
+		WallSeconds: firstRow.Seconds(), JobsPerSec: 1 / firstRow.Seconds(),
+	}
+	merged = serviceEntry{
+		Name: name + "-merged", Shards: shards, Jobs: st.Total,
+		WallSeconds: wall.Seconds(), JobsPerSec: float64(st.Total) / wall.Seconds(),
+	}
+	fmt.Printf("%-32s %12.3f s to first row %7.3f s to merge   (%d parts, %d shards)\n",
+		name, first.WallSeconds, merged.WallSeconds, st.Total, shards)
+	return first, merged
+}
+
+// priorityLatency measures one job's submit-to-done latency on a
+// single-job-worker daemon whose queue holds a bulk async sweep backlog
+// (4 distinct Table II sweeps = 16 queued sweep-leg jobs). priority "" is
+// the interactive default — the job overtakes the backlog; "background"
+// waits out every leg. The pair quantifies what priority dispatch buys an
+// interactive caller under bulk load.
+func priorityLatency(name, priority string, pred predictor.Predictor) serviceEntry {
+	srv := service.NewServer(service.Options{EvalWorkers: 1, JobWorkers: 1, Backlog: 64}, pred)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	c := client.New(ts.URL)
+	c.PollInterval = time.Millisecond
+	ctx := context.Background()
+
+	for seed := int64(1); seed <= 4; seed++ {
+		if _, err := c.StartSweep(ctx, service.Request{Model: "Llama2-30B", Seq: 2048, Seed: seed}); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	j, err := c.Run(ctx, service.Request{
+		Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: 99, Priority: priority,
+	})
+	if err != nil || j.State != service.StateDone {
+		fmt.Fprintf(os.Stderr, "bench: %s: %v (%s)\n", name, err, j.State)
+		os.Exit(1)
+	}
+	wall := time.Since(start)
+	e := serviceEntry{
+		Name: name, Jobs: 1,
+		WallSeconds: wall.Seconds(), JobsPerSec: 1 / wall.Seconds(),
+	}
+	fmt.Printf("%-32s %12.1f ms latency %22s (16 sweep legs queued)\n",
+		name, wall.Seconds()*1e3, "")
+	return e
+}
+
+// cacheRepeatBurst measures the completed-result cache: a distinct burst is
+// run and polled to completion (the polls land every record in the router
+// cache), then the identical burst repeats — every job must be answered
+// terminally at the router, without one submission crossing the fleet. The
+// recorded entry is the repeat burst.
+func cacheRepeatBurst(name string, shards, jobs int, pred predictor.Predictor) serviceEntry {
+	c, cleanup := routedFleet(shards, pred, 4096)
+	defer cleanup()
+	ctx := context.Background()
+	reqs := make([]service.Request, jobs)
+	for i := range reqs {
+		reqs[i] = service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, Seed: int64(100 + i)}
+		if _, err := c.Run(ctx, reqs[i]); err != nil {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+	}
+	start := time.Now()
+	for i := range reqs {
+		j, err := c.Run(ctx, reqs[i])
+		if err != nil || !strings.HasPrefix(j.ID, "cache/") {
+			fmt.Fprintf(os.Stderr, "bench: repeat %d not cache-served: %v (job %s)\n", i, err, j.ID)
+			os.Exit(1)
+		}
+	}
+	wall := time.Since(start)
+	e := serviceEntry{
+		Name: name, Shards: shards, Jobs: jobs,
+		WallSeconds: wall.Seconds(), JobsPerSec: float64(jobs) / wall.Seconds(),
+	}
+	fmt.Printf("%-32s %12.2f jobs/s %9s %12.3f s wall   (%d repeats, all cache-served)\n",
+		name, e.JobsPerSec, "", e.WallSeconds, jobs)
 	return e
 }
 
@@ -528,7 +654,7 @@ func gaGenerationBench(name string, placementBatch int, fail func(error)) entry 
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr7.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
 	reps := flag.Int("reps", benchReps, "timed-loop repetitions per benchmark (best is recorded)")
 	flag.Parse()
 	benchReps = *reps
@@ -540,7 +666,7 @@ func main() {
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr7",
+		Tag:       "pr8",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -767,6 +893,25 @@ func main() {
 		sched.ResetCache()
 		rep.Service = append(rep.Service, routerSweep(fmt.Sprintf("router-%dshard-sweep", shards), shards, pred))
 	}
+
+	// Async job subsystem: incremental per-architecture rows from a sweep
+	// handle (time-to-first-row vs full merge), interactive-vs-background
+	// latency under a bulk sweep backlog (priority dispatch), and the
+	// repeat burst answered entirely from the router's completed-result
+	// cache.
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	first, mergedE := asyncSweepRows(2, pred)
+	rep.Service = append(rep.Service, first, mergedE)
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	rep.Service = append(rep.Service, priorityLatency("interactive-under-bulk-sweep", "", pred))
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	rep.Service = append(rep.Service, priorityLatency("background-under-bulk-sweep", "background", pred))
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	rep.Service = append(rep.Service, cacheRepeatBurst("router-cache-repeat-burst", 2, 32, pred))
 
 	// Fleet resilience: the distinct burst again, but one of the three
 	// replicated shards is killed while the burst is queued.

@@ -43,6 +43,9 @@ func main() {
 	replicas := flag.Int("replicas", 2, "replica-set size R per fingerprint: primary plus failover targets (1 disables replication)")
 	sweepRetries := flag.Int("sweep-retries", 2, "re-dispatches per sweep leg after a retryable failure (shard crash mid-sweep)")
 	legTimeout := flag.Duration("sweep-leg-timeout", 0, "per-attempt deadline for one sweep leg (0 = only the request's deadline)")
+	resultCache := flag.Int("result-cache", 4096, "completed-result cache entries: repeat submissions of an answered fingerprint are served at the router (0 disables)")
+	sweepTTL := flag.Duration("sweep-ttl", 15*time.Minute, "terminal async sweep handles expire after this age (negative = never)")
+	sweepHistory := flag.Int("sweep-history", 256, "retained async sweep handles (oldest finished evicted first)")
 	pprofOn := cliutil.PprofFlag()
 	flag.Parse()
 
@@ -77,6 +80,9 @@ func main() {
 	router := shard.NewRouter(m)
 	router.SweepRetries = *sweepRetries
 	router.LegTimeout = *legTimeout
+	router.Cache = shard.NewResultCache(*resultCache)
+	router.SweepTTL = *sweepTTL
+	router.SweepHistory = *sweepHistory
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           cliutil.WithPprof(router.Handler(), *pprofOn),

@@ -182,10 +182,40 @@ func runRemote(addr string, req service.Request, canon bool) {
 	printPerArch(r.PerArch)
 }
 
-// runRemoteSweep scatter-gathers an architecture sweep through the sweep
-// endpoint (per-architecture jobs, fanned across shards behind a router).
+// runRemoteSweep scatter-gathers an architecture sweep through the async
+// sweep endpoint (per-architecture legs, fanned across shards behind a
+// router): submit the handle, then poll it, surfacing each architecture's
+// row as its leg completes — heavy legs dispatch first, so the rows stream
+// in roughly critical-path order while the tail still runs.
 func runRemoteSweep(ctx context.Context, c *client.Client, addr string, req service.Request, canon bool) {
-	sw, err := c.Sweep(ctx, req)
+	st, err := c.StartSweep(ctx, req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	onLeg := func(leg service.SweepLeg) {
+		where := leg.JobID
+		if leg.Shard != "" {
+			where = leg.Shard + " (" + leg.JobID + ")"
+		}
+		line := fmt.Sprintf("  part %-12s -> %s", leg.Config, where)
+		if leg.Result != nil {
+			line += fmt.Sprintf(": %.1f TFLOP/s", leg.Result.Throughput/units.TFLOPS)
+		} else if leg.Error != "" {
+			line += ": " + leg.Error
+		}
+		fmt.Println(line)
+	}
+	if canon {
+		onLeg = nil // stream nothing; the canonical record is the output
+	} else {
+		fmt.Printf("remote:   %s (scattered sweep %s, %d architectures)\n", addr, st.ID, st.Total)
+	}
+	if st, err = c.WaitSweep(ctx, st.ID, onLeg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	sw, err := st.ToResult()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -194,14 +224,6 @@ func runRemoteSweep(ctx context.Context, c *client.Client, addr string, req serv
 	if canon {
 		fmt.Print(r.Canonical)
 		return
-	}
-	fmt.Printf("remote:   %s (scattered sweep, %d architectures)\n", addr, len(sw.Jobs))
-	for _, part := range sw.Jobs {
-		where := part.JobID
-		if part.Shard != "" {
-			where = part.Shard + " (" + part.JobID + ")"
-		}
-		fmt.Printf("  part %-12s -> %s\n", part.Config, where)
 	}
 	fmt.Printf("model:    %s\n", req.Model)
 	fmt.Printf("workload: batch %d, micro-batch %d, seq %d\n", req.Batch, req.Micro, req.Seq)

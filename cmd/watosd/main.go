@@ -41,6 +41,9 @@ func main() {
 	jobs := flag.Int("jobs", 1, "number of jobs running concurrently")
 	backlog := flag.Int("backlog", 64, "queued-job backlog bound (submissions beyond it get HTTP 503)")
 	history := flag.Int("history", 1024, "retained terminal job records (oldest evicted first)")
+	historyTTL := flag.Duration("history-ttl", time.Hour, "terminal job records expire after this age; polling them returns HTTP 410 (negative = never)")
+	sweepTTL := flag.Duration("sweep-ttl", 15*time.Minute, "terminal async sweep handles expire after this age (negative = never)")
+	sweepHistory := flag.Int("sweep-history", 256, "retained async sweep handles (oldest finished evicted first)")
 	snapshot := flag.String("snapshot", "", "cache snapshot path: load at startup, save on shutdown and on POST /v1/snapshot")
 	seedFrom := flag.String("seed-from", "", "peer watosd address to pull a cache snapshot from at startup (shard warm join; mismatched snapshot versions are discarded)")
 	pprofOn := cliutil.PprofFlag()
@@ -51,6 +54,9 @@ func main() {
 		JobWorkers:   *jobs,
 		Backlog:      *backlog,
 		History:      *history,
+		HistoryTTL:   *historyTTL,
+		SweepTTL:     *sweepTTL,
+		SweepHistory: *sweepHistory,
 		SnapshotPath: *snapshot,
 	}, nil)
 

@@ -1,0 +1,194 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// handle is the test payload: a sweep-like record with a shared slice, so
+// the clone function is load-bearing.
+type handle struct {
+	ID    string
+	State string
+	Legs  []int
+}
+
+func (h handle) Terminal() bool { return h.State == "done" || h.State == "failed" }
+
+func cloneHandle(h handle) handle {
+	h.Legs = append([]int(nil), h.Legs...)
+	return h
+}
+
+func newTestStore(opts Options) (*Store[handle], *time.Time) {
+	s := NewStore[handle](opts, cloneHandle)
+	clock := time.Unix(1000, 0)
+	s.now = func() time.Time { return clock }
+	return s, &clock
+}
+
+func mustCreate(t *testing.T, s *Store[handle]) string {
+	t.Helper()
+	id, _ := s.Create(func(id string) handle { return handle{ID: id, State: "running", Legs: []int{0}} })
+	return id
+}
+
+func finish(t *testing.T, s *Store[handle], id string) {
+	t.Helper()
+	if err := s.Update(id, func(h *handle) { h.State = "done" }); err != nil {
+		t.Fatalf("finish %s: %v", id, err)
+	}
+}
+
+// TestStoreLifecycle checks create → update → terminal round-trips and that
+// reads are defensive copies.
+func TestStoreLifecycle(t *testing.T) {
+	s, _ := newTestStore(Options{Prefix: "swp"})
+	id := mustCreate(t, s)
+	if id != "swp-1" {
+		t.Fatalf("first ID = %q, want swp-1", id)
+	}
+	got, err := s.Get(id)
+	if err != nil || got.State != "running" {
+		t.Fatalf("Get = %+v, %v", got, err)
+	}
+	got.Legs[0] = 99 // mutating the copy must not touch the stored handle
+	if again, _ := s.Get(id); again.Legs[0] != 0 {
+		t.Error("Get returned a shared slice, not a clone")
+	}
+	finish(t, s, id)
+	if got, _ := s.Get(id); got.State != "done" {
+		t.Errorf("state after update = %q, want done", got.State)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d, want 1", s.Len())
+	}
+}
+
+// TestStoreGoneVsUnknown pins the 410/404 distinction: an issued-then-
+// evicted ID reports ErrGone, a never-issued ID reports ErrUnknown.
+func TestStoreGoneVsUnknown(t *testing.T) {
+	s, _ := newTestStore(Options{Prefix: "swp", MaxEntries: 1})
+	a := mustCreate(t, s)
+	finish(t, s, a)
+	b := mustCreate(t, s) // cap 1: creating b evicts terminal a
+	if _, err := s.Get(a); !errors.Is(err, ErrGone) {
+		t.Errorf("evicted handle: err = %v, want ErrGone", err)
+	}
+	if _, err := s.Get(b); err != nil {
+		t.Errorf("live handle: err = %v", err)
+	}
+	for _, id := range []string{"swp-999", "job-1", "swp-", "swp-x", ""} {
+		if _, err := s.Get(id); !errors.Is(err, ErrUnknown) {
+			t.Errorf("never-issued %q: err = %v, want ErrUnknown", id, err)
+		}
+	}
+	if err := s.Update(a, func(h *handle) {}); !errors.Is(err, ErrGone) {
+		t.Errorf("Update on evicted handle: err = %v, want ErrGone", err)
+	}
+}
+
+// TestStoreMaxEntriesEvictsOldestFinished checks the cap evicts in finish
+// order, not issue order, and never evicts a live handle.
+func TestStoreMaxEntriesEvictsOldestFinished(t *testing.T) {
+	s, clock := newTestStore(Options{MaxEntries: 2})
+	a := mustCreate(t, s)
+	b := mustCreate(t, s)
+	c := mustCreate(t, s) // over cap, but all live: nothing evictable
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d with 3 live handles and cap 2, want 3 (live never evicted)", s.Len())
+	}
+	// b finishes first, then a: the cap must claim b (earliest finished)
+	// even though a was issued first.
+	finish(t, s, b)
+	*clock = clock.Add(time.Second)
+	finish(t, s, a)
+	if _, err := s.Get(b); !errors.Is(err, ErrGone) {
+		t.Errorf("earliest-finished handle b: err = %v, want ErrGone", err)
+	}
+	if _, err := s.Get(a); err != nil {
+		t.Errorf("later-finished handle a evicted: %v", err)
+	}
+	if _, err := s.Get(c); err != nil {
+		t.Errorf("live handle c evicted: %v", err)
+	}
+	if s.Evicted() != 1 {
+		t.Errorf("Evicted = %d, want 1", s.Evicted())
+	}
+}
+
+// TestStoreTTL checks terminal handles expire after the TTL while live
+// handles never do, and that expiry reports ErrGone.
+func TestStoreTTL(t *testing.T) {
+	s, clock := newTestStore(Options{TTL: time.Minute})
+	done := mustCreate(t, s)
+	live := mustCreate(t, s)
+	finish(t, s, done)
+	*clock = clock.Add(59 * time.Second)
+	if _, err := s.Get(done); err != nil {
+		t.Fatalf("handle expired before its TTL: %v", err)
+	}
+	*clock = clock.Add(2 * time.Second)
+	if _, err := s.Get(done); !errors.Is(err, ErrGone) {
+		t.Errorf("expired handle: err = %v, want ErrGone", err)
+	}
+	if _, err := s.Get(live); err != nil {
+		t.Errorf("live handle expired: %v", err)
+	}
+	if s.Len() != 1 {
+		t.Errorf("Len = %d after expiry, want 1", s.Len())
+	}
+
+	// TTL < 0 disables expiry entirely.
+	forever, clock2 := newTestStore(Options{TTL: -1})
+	id := mustCreate(t, forever)
+	finish(t, forever, id)
+	*clock2 = clock2.Add(1000 * time.Hour)
+	if _, err := forever.Get(id); err != nil {
+		t.Errorf("TTL<0 store expired a handle: %v", err)
+	}
+}
+
+// TestStoreEach checks iteration order (issue order) and copy semantics.
+func TestStoreEach(t *testing.T) {
+	s, _ := newTestStore(Options{Prefix: "swp"})
+	for i := 0; i < 3; i++ {
+		mustCreate(t, s)
+	}
+	var ids []string
+	s.Each(func(id string, h handle) {
+		ids = append(ids, id)
+		h.Legs[0] = 42
+	})
+	want := []string{"swp-1", "swp-2", "swp-3"}
+	if fmt.Sprint(ids) != fmt.Sprint(want) {
+		t.Errorf("Each order = %v, want %v", ids, want)
+	}
+	if h, _ := s.Get("swp-1"); h.Legs[0] != 0 {
+		t.Error("Each leaked a mutable reference")
+	}
+}
+
+// TestStoreConcurrentUpdates checks updates from racing goroutines all land
+// (the store lock serializes payload access).
+func TestStoreConcurrentUpdates(t *testing.T) {
+	s := NewStore[handle](Options{}, cloneHandle)
+	id, _ := s.Create(func(id string) handle { return handle{ID: id, State: "running", Legs: make([]int, 1)} })
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				s.Update(id, func(h *handle) { h.Legs[0]++ })
+			}
+		}()
+	}
+	wg.Wait()
+	if h, _ := s.Get(id); h.Legs[0] != 1600 {
+		t.Errorf("Legs[0] = %d after 1600 updates, want 1600", h.Legs[0])
+	}
+}

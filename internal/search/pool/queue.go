@@ -3,24 +3,99 @@ package pool
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 )
 
-// Queue is a long-lived bounded job queue: a fixed set of workers drains a
-// bounded backlog of submitted tasks. It complements Runner — Runner fans a
-// known batch of n tasks out and joins them, while Queue accepts tasks one
-// at a time over its lifetime, which is what a resident evaluation service
-// needs. Like Runner it is deliberately dependency-free.
-type Queue struct {
-	tasks    chan func()
-	done     chan struct{}
-	workers  sync.WaitGroup
-	senders  sync.WaitGroup
-	discard  atomic.Bool
-	inflight atomic.Int64
+// Class is a scheduling priority class. Higher classes dispatch strictly
+// before lower ones: an interactive request never waits behind a bulk
+// sweep's backlog. The zero value is Background so that forgetting to set a
+// class on batch work keeps it out of everyone else's way; the plain
+// Submit/TrySubmit entry points default to Interactive, preserving the
+// pre-priority behaviour for callers that never mention classes.
+type Class uint8
 
-	mu     sync.Mutex
-	closed bool
+const (
+	// Background is idle-capacity work: speculative warming, prefetch.
+	Background Class = iota
+	// SweepLeg is one architecture leg of a scattered sweep — bulk work
+	// that must not head-of-line-block interactive traffic.
+	SweepLeg
+	// Interactive is a user-facing single request; it jumps every queued
+	// sweep leg.
+	Interactive
+	// NumClasses sizes per-class gauges.
+	NumClasses = 3
+)
+
+// String returns the wire name of the class ("background", "sweep-leg",
+// "interactive").
+func (c Class) String() string {
+	switch c {
+	case Background:
+		return "background"
+	case SweepLeg:
+		return "sweep-leg"
+	case Interactive:
+		return "interactive"
+	}
+	return "unknown"
+}
+
+// ParseClass maps a wire name to its Class. The empty string is Interactive:
+// an unlabelled request is somebody waiting on the result.
+func ParseClass(s string) (Class, bool) {
+	switch s {
+	case "", "interactive":
+		return Interactive, true
+	case "sweep-leg":
+		return SweepLeg, true
+	case "background":
+		return Background, true
+	}
+	return Background, false
+}
+
+// Ticket identifies a task accepted into the backlog. It is the handle for
+// Promote: raising a queued task's priority in place, which is how an
+// interactive submission coalescing onto an already-queued sweep leg drags
+// that leg up to interactive urgency instead of waiting behind the sweep
+// (priority-inversion avoidance). A Ticket is inert once its task has been
+// handed to a worker.
+type Ticket struct {
+	fn    func()
+	class Class
+	crit  int
+	seq   uint64
+	index int // position in the heap; -1 once dequeued
+}
+
+// Queue is a long-lived bounded priority job queue: a fixed set of workers
+// drains a bounded backlog of submitted tasks, highest priority first. It
+// complements Runner — Runner fans a known batch of n tasks out and joins
+// them, while Queue accepts tasks one at a time over its lifetime, which is
+// what a resident evaluation service needs. Like Runner it is deliberately
+// dependency-free.
+//
+// Dispatch order is (class desc, criticality desc, arrival asc): classes
+// separate tenants (interactive > sweep-leg > background), criticality
+// orders work within a class — a sweep submits its heaviest legs first
+// because the merge barrier waits on the slowest leg, so the legs gating
+// the most downstream work must reach a worker first while light legs fill
+// the remaining slots — and arrival order breaks ties, keeping equal-priority
+// dispatch FIFO and deterministic.
+type Queue struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond // workers wait here for tasks
+	notFull  sync.Cond // blocking Submits wait here for backlog space
+	heap     []*Ticket
+	byClass  [NumClasses]int
+	seq      uint64
+	backlog  int
+	waiting  int // workers parked in notEmpty — each is a free direct-handoff slot
+	inflight int
+	closed   bool
+	discard  bool
+	workers  sync.WaitGroup
+	done     chan struct{} // closed on Close/CloseDiscard (after discard is set)
 }
 
 // NewQueue returns a Queue with the given worker count (<=0 = GOMAXPROCS)
@@ -33,86 +108,157 @@ func NewQueue(workers, backlog int) *Queue {
 	if backlog < 0 {
 		backlog = 0
 	}
-	q := &Queue{
-		tasks: make(chan func(), backlog),
-		done:  make(chan struct{}),
-	}
+	q := &Queue{backlog: backlog, done: make(chan struct{})}
+	q.notEmpty.L = &q.mu
+	q.notFull.L = &q.mu
 	q.workers.Add(workers)
 	for i := 0; i < workers; i++ {
-		go func() {
-			defer q.workers.Done()
-			for fn := range q.tasks {
-				if !q.discard.Load() {
-					q.inflight.Add(1)
-					fn()
-					q.inflight.Add(-1)
-				}
-			}
-		}()
+		go q.worker()
 	}
 	return q
 }
 
-// enter registers a sender; it reports false once the queue is closed.
-func (q *Queue) enter() bool {
+// worker drains the heap until the queue is closed and empty. A parked
+// worker counts toward admission capacity (direct handoff), mirroring the
+// channel semantics this queue replaced: with backlog 0 a submission still
+// succeeds when a worker is idle.
+func (q *Queue) worker() {
+	defer q.workers.Done()
+	q.mu.Lock()
+	for {
+		for len(q.heap) == 0 && !q.closed {
+			q.waiting++
+			q.notFull.Signal() // an idle worker is admission capacity
+			q.notEmpty.Wait()
+			q.waiting--
+		}
+		if len(q.heap) == 0 { // closed and fully drained
+			q.mu.Unlock()
+			return
+		}
+		t := q.popLocked()
+		q.notFull.Signal()
+		if q.discard {
+			continue
+		}
+		q.inflight++
+		q.mu.Unlock()
+		t.fn()
+		q.mu.Lock()
+		q.inflight--
+	}
+}
+
+// hasSpaceLocked reports whether one more task fits: the configured backlog
+// plus one direct-handoff slot per parked worker.
+func (q *Queue) hasSpaceLocked() bool { return len(q.heap) < q.backlog+q.waiting }
+
+func (q *Queue) pushLocked(fn func(), class Class, crit int) *Ticket {
+	q.seq++
+	t := &Ticket{fn: fn, class: class, crit: crit, seq: q.seq, index: len(q.heap)}
+	q.heap = append(q.heap, t)
+	q.byClass[class]++
+	q.up(t.index)
+	q.notEmpty.Signal()
+	return t
+}
+
+// TrySubmit enqueues fn at Interactive priority without blocking. It reports
+// false when the queue is closed or the backlog is full — the bounded-queue
+// backpressure signal the service turns into a 503. It never blocks, even
+// while other submitters are waiting or the queue is closing.
+func (q *Queue) TrySubmit(fn func()) bool { return q.TrySubmitClass(fn, Interactive, 0) != nil }
+
+// TrySubmitClass is TrySubmit with an explicit class and criticality; it
+// returns the accepted task's Ticket, or nil on backpressure/closed.
+func (q *Queue) TrySubmitClass(fn func(), class Class, crit int) *Ticket {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.closed || !q.hasSpaceLocked() {
+		return nil
+	}
+	return q.pushLocked(fn, class, crit)
+}
+
+// Submit enqueues fn at Interactive priority, blocking while the backlog is
+// full. It reports false when the queue is closed — including when Close is
+// called while the submission is still waiting for backlog space. A true
+// result means enqueued, not executed: CloseDiscard drops
+// accepted-but-unstarted tasks by design (a submission racing CloseDiscard
+// may land in the discarded backlog), so callers needing completion
+// guarantees must track their tasks themselves, as the evaluation service
+// does with its job records.
+func (q *Queue) Submit(fn func()) bool { return q.SubmitClass(fn, Interactive, 0) != nil }
+
+// SubmitClass is Submit with an explicit class and criticality; it returns
+// the accepted task's Ticket, or nil when the queue closed while waiting.
+func (q *Queue) SubmitClass(fn func(), class Class, crit int) *Ticket {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && !q.hasSpaceLocked() {
+		q.notFull.Wait()
+	}
 	if q.closed {
+		return nil
+	}
+	return q.pushLocked(fn, class, crit)
+}
+
+// Promote raises a queued task to at least (class, crit), resiting it in the
+// dispatch order; it keeps the task's original arrival rank against equal
+// priorities. It reports whether the task was re-prioritized — false when
+// the ticket has already been handed to a worker or the requested priority
+// does not exceed the current one. Lowering a priority is deliberately not
+// supported: demotion under coalescing would let a background submitter
+// delay an interactive job that arrived first.
+func (q *Queue) Promote(t *Ticket, class Class, crit int) bool {
+	if t == nil {
 		return false
 	}
-	q.senders.Add(1)
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t.index < 0 {
+		return false
+	}
+	if class < t.class || (class == t.class && crit <= t.crit) {
+		return false
+	}
+	q.byClass[t.class]--
+	t.class, t.crit = class, crit
+	q.byClass[t.class]++
+	q.up(t.index) // priority only increased
 	return true
-}
-
-// TrySubmit enqueues fn without blocking. It reports false when the queue is
-// closed or the backlog is full — the bounded-queue backpressure signal the
-// service turns into a 503. It never blocks, even while other submitters
-// are waiting or the queue is closing.
-func (q *Queue) TrySubmit(fn func()) bool {
-	if !q.enter() {
-		return false
-	}
-	defer q.senders.Done()
-	select {
-	case q.tasks <- fn:
-		return true
-	default:
-		return false
-	}
-}
-
-// Submit enqueues fn, blocking while the backlog is full. It reports false
-// when the queue is closed — including when Close is called while the
-// submission is still waiting for backlog space. A true result means
-// enqueued, not executed: CloseDiscard drops accepted-but-unstarted tasks
-// by design (a submission racing CloseDiscard may land in the discarded
-// backlog), so callers needing completion guarantees must track their
-// tasks themselves, as the evaluation service does with its job records.
-func (q *Queue) Submit(fn func()) bool {
-	if !q.enter() {
-		return false
-	}
-	defer q.senders.Done()
-	select {
-	case q.tasks <- fn:
-		return true
-	case <-q.done:
-		return false
-	}
 }
 
 // Depth returns the number of tasks waiting in the backlog (excluding tasks
 // already running on workers).
-func (q *Queue) Depth() int { return len(q.tasks) }
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.heap)
+}
+
+// ClassDepths returns the backlog depth per priority class, indexed by
+// Class — the per-tenant occupancy gauges the stats endpoint exposes.
+func (q *Queue) ClassDepths() [NumClasses]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.byClass
+}
 
 // InFlight returns the number of tasks currently executing on workers. With
 // Depth it is the queue's occupancy — the load signal a routing front-end
 // reads per shard.
-func (q *Queue) InFlight() int { return int(q.inflight.Load()) }
+func (q *Queue) InFlight() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflight
+}
 
 // Close stops accepting new tasks (waking any Submit blocked on a full
-// backlog), drains the already-accepted backlog and waits for running tasks
-// to finish. It is idempotent (also with respect to CloseDiscard).
+// backlog), drains the already-accepted backlog in priority order and waits
+// for running tasks to finish. It is idempotent (also with respect to
+// CloseDiscard).
 func (q *Queue) Close() { q.close(false) }
 
 // CloseDiscard stops accepting new tasks and waits only for the tasks
@@ -128,7 +274,11 @@ func (q *Queue) CloseDiscard() { q.close(true) }
 // is cutting a graceful Close short from another goroutine (a second
 // shutdown signal) — the blocked Close returns as soon as the workers have
 // skipped through the remaining backlog.
-func (q *Queue) Discard() { q.discard.Store(true) }
+func (q *Queue) Discard() {
+	q.mu.Lock()
+	q.discard = true
+	q.mu.Unlock()
+}
 
 func (q *Queue) close(discard bool) {
 	q.mu.Lock()
@@ -137,12 +287,73 @@ func (q *Queue) close(discard bool) {
 		return
 	}
 	q.closed = true
-	q.mu.Unlock()
 	if discard {
-		q.discard.Store(true)
+		q.discard = true
 	}
-	close(q.done)    // wake blocked Submits; new enters are refused above
-	q.senders.Wait() // no sends in flight → safe to close the task channel
-	close(q.tasks)
+	close(q.done) // observable shutdown signal; discard is set before it
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+	q.mu.Unlock()
 	q.workers.Wait()
+}
+
+// before reports whether a dispatches ahead of b.
+func before(a, b *Ticket) bool {
+	if a.class != b.class {
+		return a.class > b.class
+	}
+	if a.crit != b.crit {
+		return a.crit > b.crit
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) swap(i, j int) {
+	q.heap[i], q.heap[j] = q.heap[j], q.heap[i]
+	q.heap[i].index = i
+	q.heap[j].index = j
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(q.heap[i], q.heap[parent]) {
+			return
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < n && before(q.heap[l], q.heap[best]) {
+			best = l
+		}
+		if r < n && before(q.heap[r], q.heap[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		q.swap(i, best)
+		i = best
+	}
+}
+
+func (q *Queue) popLocked() *Ticket {
+	t := q.heap[0]
+	last := len(q.heap) - 1
+	q.swap(0, last)
+	q.heap[last] = nil
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	t.index = -1
+	q.byClass[t.class]--
+	return t
 }

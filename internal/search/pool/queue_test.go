@@ -187,6 +187,201 @@ func TestQueueInFlight(t *testing.T) {
 	}
 }
 
+// TestQueuePriorityOrder pins the dispatch order deterministically: with
+// the single worker gated, a mixed backlog drains as (class desc,
+// criticality desc, arrival asc) — interactive first, then sweep legs
+// heaviest-first, then background in FIFO order.
+func TestQueuePriorityOrder(t *testing.T) {
+	q := NewQueue(1, 16)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if q.TrySubmitClass(func() { close(started); <-release }, Background, 0) == nil {
+		t.Fatal("gate task refused")
+	}
+	<-started // the single worker is now pinned; submissions below stay queued
+
+	var mu sync.Mutex
+	var got []string
+	record := func(name string) func() {
+		return func() { mu.Lock(); got = append(got, name); mu.Unlock() }
+	}
+	q.TrySubmitClass(record("bg-a"), Background, 0)
+	q.TrySubmitClass(record("leg-crit3"), SweepLeg, 3)
+	q.TrySubmitClass(record("bg-b"), Background, 0)
+	q.TrySubmitClass(record("leg-crit9"), SweepLeg, 9)
+	q.TrySubmitClass(record("leg-crit1"), SweepLeg, 1)
+	if !q.TrySubmit(record("interactive")) { // plain TrySubmit = Interactive
+		t.Fatal("interactive submit refused")
+	}
+
+	if d := q.ClassDepths(); d[Interactive] != 1 || d[SweepLeg] != 3 || d[Background] != 2 {
+		t.Errorf("ClassDepths = %v, want [2 3 1] (bg, leg, interactive)", d)
+	}
+	close(release)
+	q.Close()
+	want := []string{"interactive", "leg-crit9", "leg-crit3", "leg-crit1", "bg-a", "bg-b"}
+	if len(got) != len(want) {
+		t.Fatalf("drained %d tasks, want %d: %v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueuePriorityConcurrentSubmitters checks ordering determinism under
+// racing submitters: whatever interleaving the submissions land in, the
+// drained (class, criticality) sequence must be non-increasing — FIFO tie
+// order between racing equal-priority submitters is unspecified, priority
+// order is not.
+func TestQueuePriorityConcurrentSubmitters(t *testing.T) {
+	q := NewQueue(1, 256)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if q.TrySubmitClass(func() { close(started); <-release }, Background, 0) == nil {
+		t.Fatal("gate task refused")
+	}
+	<-started
+
+	type key struct {
+		class Class
+		crit  int
+	}
+	var mu sync.Mutex
+	var got []key
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				k := key{Class(uint8((g + i) % int(NumClasses))), (g * i) % 5}
+				if q.SubmitClass(func() {
+					mu.Lock()
+					got = append(got, k)
+					mu.Unlock()
+				}, k.class, k.crit) == nil {
+					t.Error("SubmitClass refused on an open queue")
+				}
+			}
+		}(g)
+	}
+	wg.Wait() // every task is enqueued before the worker is released
+	close(release)
+	q.Close()
+	if len(got) != 64 {
+		t.Fatalf("drained %d tasks, want 64", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		prev, cur := got[i-1], got[i]
+		if cur.class > prev.class || (cur.class == prev.class && cur.crit > prev.crit) {
+			t.Fatalf("dispatch order violated at %d: %+v after %+v", i, cur, prev)
+		}
+	}
+}
+
+// TestQueuePromote checks in-place re-prioritization: promoting a queued
+// background task to interactive moves it ahead of earlier arrivals, while
+// dispatched tickets and demotions are refused.
+func TestQueuePromote(t *testing.T) {
+	q := NewQueue(1, 8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	gate := q.TrySubmitClass(func() { close(started); <-release }, Interactive, 0)
+	<-started
+	if q.Promote(gate, Interactive, 99) {
+		t.Error("Promote succeeded on a ticket already handed to a worker")
+	}
+	if q.Promote(nil, Interactive, 0) {
+		t.Error("Promote succeeded on a nil ticket")
+	}
+
+	var mu sync.Mutex
+	var got []string
+	record := func(name string) func() {
+		return func() { mu.Lock(); got = append(got, name); mu.Unlock() }
+	}
+	q.TrySubmitClass(record("bg-first"), Background, 0)
+	promoted := q.TrySubmitClass(record("bg-promoted"), Background, 0)
+	q.TrySubmitClass(record("leg"), SweepLeg, 5)
+	if q.Promote(promoted, Background, 0) {
+		t.Error("Promote accepted a non-raise")
+	}
+	if !q.Promote(promoted, Interactive, 0) {
+		t.Error("Promote refused a class raise on a queued ticket")
+	}
+	if d := q.ClassDepths(); d[Interactive] != 1 || d[SweepLeg] != 1 || d[Background] != 1 {
+		t.Errorf("ClassDepths after promote = %v, want one per class", d)
+	}
+	close(release)
+	q.Close()
+	want := []string{"bg-promoted", "leg", "bg-first"}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestQueueCloseVsCloseDiscard contrasts the two shutdown flavours on
+// identical queued backlogs: Close runs every accepted task, CloseDiscard
+// drops all of them.
+func TestQueueCloseVsCloseDiscard(t *testing.T) {
+	for _, discard := range []bool{false, true} {
+		q := NewQueue(1, 8)
+		release := make(chan struct{})
+		started := make(chan struct{})
+		var ran atomic.Int64
+		q.TrySubmit(func() { close(started); <-release; ran.Add(1) })
+		<-started
+		for i := 0; i < 5; i++ {
+			if !q.TrySubmit(func() { ran.Add(1) }) {
+				t.Fatal("backlog submit refused")
+			}
+		}
+		closed := make(chan struct{})
+		go func() {
+			if discard {
+				q.CloseDiscard()
+			} else {
+				q.Close()
+			}
+			close(closed)
+		}()
+		<-q.done // discard flag is set before done closes; safe to unblock
+		close(release)
+		<-closed
+		want := int64(6)
+		if discard {
+			want = 1
+		}
+		if got := ran.Load(); got != want {
+			t.Errorf("discard=%v ran %d tasks, want %d", discard, got, want)
+		}
+		if q.TrySubmit(func() {}) || q.TrySubmitClass(func() {}, Background, 0) != nil {
+			t.Errorf("discard=%v: submission accepted after close", discard)
+		}
+	}
+}
+
+// TestQueueClassNames pins the wire names and their round-trip through
+// ParseClass, including the empty-string-is-interactive default.
+func TestQueueClassNames(t *testing.T) {
+	for _, c := range []Class{Background, SweepLeg, Interactive} {
+		got, ok := ParseClass(c.String())
+		if !ok || got != c {
+			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, ok)
+		}
+	}
+	if c, ok := ParseClass(""); !ok || c != Interactive {
+		t.Errorf("ParseClass(\"\") = %v, %v, want Interactive", c, ok)
+	}
+	if _, ok := ParseClass("garbage"); ok {
+		t.Error("ParseClass accepted an unknown class name")
+	}
+}
+
 // TestQueueDefaultWidth checks the GOMAXPROCS default accepts work.
 func TestQueueDefaultWidth(t *testing.T) {
 	q := NewQueue(0, -1)

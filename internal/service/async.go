@@ -1,0 +1,333 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cliutil"
+	"repro/internal/jobs"
+)
+
+// Async sweeps: a sweep is a first-class job with a durable handle. POST
+// /v1/sweeps returns 202 plus a handle ID immediately; the handle collects
+// per-architecture results incrementally as legs complete, so a client can
+// consume partial Table II rows while the tail is still running, and the
+// merged record — assembled in sweep order from exactly the per-leg Results
+// the synchronous path would have gathered — is byte-identical to a
+// synchronous single-node sweep.
+//
+// Dispatch is SupraX-style critical-path-first: the merge barrier waits on
+// the slowest leg, so the legs gating the most downstream work (estimated
+// by the architecture's die count, which bounds the strategy space the leg
+// explores) are submitted first at the highest within-class criticality,
+// and light legs fill the remaining worker slots. All legs ride the
+// "sweep-leg" priority class, strictly below interactive traffic.
+
+// SweepLeg is the live status of one scattered sweep part inside a handle.
+type SweepLeg struct {
+	Config      string `json:"config"`
+	JobID       string `json:"job_id,omitempty"`
+	Fingerprint string `json:"fingerprint"`
+	// Criticality is the leg's dispatch weight (die count of its arch).
+	Criticality int   `json:"criticality"`
+	State       State `json:"state"`
+	// Shard names the backend the leg ran on (router-filled).
+	Shard     string `json:"shard,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Error     string `json:"error,omitempty"`
+	// Result is the leg's completed record — the partial Table II row a
+	// poller can consume before the sweep finishes.
+	Result *Result `json:"result,omitempty"`
+}
+
+// SweepStatus is the durable, pollable handle of an async sweep.
+type SweepStatus struct {
+	ID          string `json:"id"`
+	State       State  `json:"state"`
+	Fingerprint string `json:"fingerprint"`
+	Total       int    `json:"total_legs"`
+	// Completed counts terminal legs (done or failed).
+	Completed   int        `json:"completed_legs"`
+	Legs        []SweepLeg `json:"legs"`
+	Error       string     `json:"error,omitempty"`
+	SubmittedAt time.Time  `json:"submitted_at"`
+	FinishedAt  time.Time  `json:"finished_at,omitzero"`
+	// Result is the merged record set, byte-identical (Canonical) to the
+	// same sweep run synchronously on a single daemon. Set on done.
+	Result *Result `json:"result,omitempty"`
+}
+
+// Terminal reports whether the sweep has finished (done or failed) — the
+// jobs.Handle contract that starts the handle's retention clock.
+func (s SweepStatus) Terminal() bool { return s.State.Terminal() }
+
+// SweepSummary is the listing form of a sweep handle (no leg payloads).
+type SweepSummary struct {
+	ID          string    `json:"id"`
+	State       State     `json:"state"`
+	Fingerprint string    `json:"fingerprint"`
+	Total       int       `json:"total_legs"`
+	Completed   int       `json:"completed_legs"`
+	SubmittedAt time.Time `json:"submitted_at"`
+	FinishedAt  time.Time `json:"finished_at,omitzero"`
+}
+
+// cloneSweepStatus deep-copies a handle for reads outside the store lock:
+// legs are mutated in place as they complete, so the slice must not be
+// shared. Results are written once and read-only afterwards.
+func cloneSweepStatus(s SweepStatus) SweepStatus {
+	s.Legs = append([]SweepLeg(nil), s.Legs...)
+	return s
+}
+
+// ToResult converts a terminal handle into the synchronous SweepResult
+// payload — the shared conversion the server's sync path and the client's
+// submit-and-wait path both use, so both render one representation.
+func (s SweepStatus) ToResult() (SweepResult, error) {
+	switch {
+	case s.State == StateFailed:
+		return SweepResult{}, errors.New("service: " + s.Error)
+	case s.State != StateDone:
+		return SweepResult{}, fmt.Errorf("service: sweep %s still %s", s.ID, s.State)
+	}
+	out := SweepResult{Fingerprint: s.Fingerprint, Result: s.Result}
+	for _, leg := range s.Legs {
+		out.Jobs = append(out.Jobs, SweepJobRef{
+			Config:      leg.Config,
+			JobID:       leg.JobID,
+			Fingerprint: leg.Fingerprint,
+			Shard:       leg.Shard,
+			Coalesced:   leg.Coalesced,
+		})
+	}
+	return out, nil
+}
+
+// LegCriticality estimates how much downstream merge work a sweep leg
+// gates: the die count of its architecture bounds the (TP, PP) strategy
+// space the leg explores, so heavier-die legs run longest and the merge
+// barrier waits on them. Dispatching them first (LPT order) minimizes the
+// barrier's wait; unknown configs weigh zero and fill idle slots last.
+func LegCriticality(config string) int {
+	cands, err := cliutil.ArchCandidates(config)
+	if err != nil || len(cands) != 1 {
+		return 0
+	}
+	return cands[0].Dies()
+}
+
+// sweepDispatchOrder returns leg indices in dispatch order: criticality
+// descending, sweep order ascending on ties — deterministic critical-path-
+// first submission.
+func sweepDispatchOrder(legs []SweepLeg) []int {
+	order := make([]int, len(legs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return legs[order[a]].Criticality > legs[order[b]].Criticality
+	})
+	return order
+}
+
+// StartSweep expands a sweep request, registers a durable handle, and
+// scatters the legs as prioritized jobs — heaviest first — returning the
+// handle immediately. Legs complete in the background; LookupSweep polls
+// the handle, WaitSweep blocks on it. A submission failure (backpressure,
+// draining) fails the handle and is returned as the error.
+func (s *Server) StartSweep(req Request) (SweepStatus, error) {
+	norm, parts, err := ExpandSweep(req)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	legs := make([]SweepLeg, len(parts))
+	for i, p := range parts {
+		legs[i] = SweepLeg{
+			Config:      p.Config,
+			Fingerprint: p.Fingerprint(),
+			Criticality: LegCriticality(p.Config),
+			State:       StateQueued,
+		}
+	}
+	id, _ := s.sweeps.Create(func(id string) SweepStatus {
+		return SweepStatus{
+			ID:          id,
+			State:       StateRunning,
+			Fingerprint: norm.Fingerprint(),
+			Total:       len(parts),
+			Legs:        legs,
+			SubmittedAt: time.Now(),
+		}
+	})
+	s.mu.Lock()
+	s.sweepDone[id] = make(chan struct{})
+	s.mu.Unlock()
+
+	for _, i := range sweepDispatchOrder(legs) {
+		part := parts[i]
+		part.Priority = "sweep-leg"
+		part.Criticality = legs[i].Criticality
+		j, coalesced, err := s.Submit(part)
+		if err != nil {
+			s.failSweep(id, fmt.Sprintf("sweep part %s: %v", part.Config, err))
+			st, _ := s.sweeps.Get(id)
+			return st, fmt.Errorf("service: sweep part %s: %w", part.Config, err)
+		}
+		idx := i
+		s.sweeps.Update(id, func(st *SweepStatus) {
+			st.Legs[idx].JobID = j.ID
+			st.Legs[idx].Coalesced = coalesced
+		})
+		go s.watchLeg(id, idx, j.ID)
+	}
+	st, err := s.sweeps.Get(id)
+	if err != nil {
+		return SweepStatus{}, err
+	}
+	return st, nil
+}
+
+// watchLeg waits for one leg's job to go terminal and folds it into the
+// handle. One goroutine per leg: the job's done channel is the only wake
+// signal, so no polling.
+func (s *Server) watchLeg(id string, idx int, jobID string) {
+	j, err := s.Wait(jobID)
+	if err != nil {
+		j = Job{ID: jobID, State: StateFailed, Error: err.Error()}
+	}
+	s.legDone(id, idx, j)
+}
+
+// legDone folds a terminal leg job into the sweep handle; the last
+// successful leg triggers the merge. It is the router's entry point too —
+// router legs complete via runLeg rather than a local job, but fold in
+// identically.
+func (s *Server) legDone(id string, idx int, j Job) {
+	var complete bool
+	var results []*Result
+	err := s.sweeps.Update(id, func(st *SweepStatus) {
+		leg := &st.Legs[idx]
+		if leg.State.Terminal() {
+			return // duplicate completion (failover race); first wins
+		}
+		leg.State = j.State
+		if j.ID != "" {
+			leg.JobID = j.ID
+		}
+		st.Completed++
+		if j.State == StateDone {
+			leg.Result = j.Result
+		} else {
+			leg.Error = j.Error
+			if st.State == StateRunning {
+				st.State = StateFailed
+				st.Error = fmt.Sprintf("sweep part %s failed: %s", leg.Config, j.Error)
+				st.FinishedAt = time.Now()
+			}
+		}
+		if st.State == StateRunning && st.Completed == st.Total {
+			complete = true
+			results = make([]*Result, st.Total)
+			for i := range st.Legs {
+				results[i] = st.Legs[i].Result
+			}
+		}
+	})
+	if err != nil {
+		return // handle evicted mid-flight; nothing to fold into
+	}
+	if complete {
+		merged, mergeErr := MergeSweep(results)
+		s.sweeps.Update(id, func(st *SweepStatus) {
+			if mergeErr != nil {
+				st.State = StateFailed
+				st.Error = mergeErr.Error()
+			} else {
+				st.State = StateDone
+				st.Result = merged
+			}
+			st.FinishedAt = time.Now()
+		})
+		if mergeErr == nil {
+			s.mu.Lock()
+			s.stats.SweepsRun++
+			s.mu.Unlock()
+		}
+	}
+	st, err := s.sweeps.Get(id)
+	if err == nil && st.State.Terminal() {
+		s.finishSweep(id)
+	}
+}
+
+// failSweep marks the handle failed (if still running) and releases
+// waiters.
+func (s *Server) failSweep(id, msg string) {
+	s.sweeps.Update(id, func(st *SweepStatus) {
+		if st.State == StateRunning {
+			st.State = StateFailed
+			st.Error = msg
+			st.FinishedAt = time.Now()
+		}
+	})
+	s.finishSweep(id)
+}
+
+// finishSweep closes the handle's done channel, waking synchronous waiters.
+func (s *Server) finishSweep(id string) {
+	s.mu.Lock()
+	if ch, ok := s.sweepDone[id]; ok {
+		close(ch)
+		delete(s.sweepDone, id)
+	}
+	s.mu.Unlock()
+}
+
+// LookupSweep returns a snapshot of a sweep handle: jobs.ErrGone for an
+// evicted handle (HTTP 410), jobs.ErrUnknown for a never-issued ID (404).
+func (s *Server) LookupSweep(id string) (SweepStatus, error) {
+	return s.sweeps.Get(id)
+}
+
+// WaitSweep blocks until the sweep handle goes terminal and returns it.
+func (s *Server) WaitSweep(id string) (SweepStatus, error) {
+	s.mu.Lock()
+	ch := s.sweepDone[id]
+	s.mu.Unlock()
+	if ch != nil {
+		<-ch
+	}
+	return s.sweeps.Get(id)
+}
+
+// Sweeps lists the retained sweep handles, oldest first.
+func (s *Server) Sweeps() []SweepSummary {
+	var out []SweepSummary
+	s.sweeps.Each(func(id string, st SweepStatus) {
+		out = append(out, SweepSummary{
+			ID:          st.ID,
+			State:       st.State,
+			Fingerprint: st.Fingerprint,
+			Total:       st.Total,
+			Completed:   st.Completed,
+			SubmittedAt: st.SubmittedAt,
+			FinishedAt:  st.FinishedAt,
+		})
+	})
+	return out
+}
+
+// SweepLookupStatus converts the handle-store sentinels into the HTTP
+// statuses shared by both daemons' handlers: 410 for evicted, 404 for
+// never issued.
+func SweepLookupStatus(err error) int {
+	switch {
+	case errors.Is(err, jobs.ErrGone):
+		return 410
+	case errors.Is(err, jobs.ErrUnknown):
+		return 404
+	}
+	return 500
+}

@@ -237,13 +237,77 @@ func (c *Client) SubmitJob(ctx context.Context, req service.Request) (service.Jo
 	return j, status == http.StatusOK, err
 }
 
+// StartSweep submits a sweep asynchronously: the daemon (or router)
+// scatters per-architecture legs in the background and answers immediately
+// with a durable handle to poll via SweepStatus.
+func (c *Client) StartSweep(ctx context.Context, req service.Request) (service.SweepStatus, error) {
+	var st service.SweepStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &st)
+	return st, err
+}
+
+// SweepStatus polls one sweep handle; legs fill in incrementally as they
+// complete. An evicted handle is a 410 StatusError, a never-issued ID a 404.
+func (c *Client) SweepStatus(ctx context.Context, id string) (service.SweepStatus, error) {
+	var st service.SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
+	return st, err
+}
+
+// WaitSweep polls a sweep handle until it goes terminal, tolerating
+// transient poll failures like Wait. onLeg, when non-nil, fires once per
+// leg as the poll first observes it terminal (in sweep order within a
+// poll) — the hook consuming partial Table II rows while the tail runs.
+func (c *Client) WaitSweep(ctx context.Context, id string, onLeg func(service.SweepLeg)) (service.SweepStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 50 * time.Millisecond
+	}
+	seen := make(map[int]bool)
+	failures := 0
+	for {
+		st, err := c.SweepStatus(ctx, id)
+		if err != nil {
+			failures++
+			if failures > waitRetries || ctx.Err() != nil {
+				return st, err
+			}
+		} else {
+			failures = 0
+			if onLeg != nil {
+				for i, leg := range st.Legs {
+					if leg.State.Terminal() && !seen[i] {
+						seen[i] = true
+						onLeg(leg)
+					}
+				}
+			}
+			if st.State.Terminal() {
+				return st, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
 // Sweep scatters a sweep request into per-architecture jobs (across shards
 // when addressed at a router) and returns the gathered merged record set.
-// The call is synchronous: it returns when every part has finished.
+// The call is synchronous — submit the async handle, poll it to the merge —
+// and byte-identical to the pre-async blocking flow, which ?wait=1 still
+// serves for non-polling clients.
 func (c *Client) Sweep(ctx context.Context, req service.Request) (service.SweepResult, error) {
-	var res service.SweepResult
-	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &res)
-	return res, err
+	st, err := c.StartSweep(ctx, req)
+	if err != nil {
+		return service.SweepResult{}, err
+	}
+	if st, err = c.WaitSweep(ctx, st.ID, nil); err != nil {
+		return service.SweepResult{}, err
+	}
+	return st.ToResult()
 }
 
 // Job fetches one job by ID.
@@ -295,10 +359,11 @@ func (c *Client) Wait(ctx context.Context, id string) (service.Job, error) {
 }
 
 // Run submits a job and waits for its terminal state — the remote
-// equivalent of one in-process search.
+// equivalent of one in-process search. A submission answered terminal on
+// the spot (a router result-cache hit) returns without a single poll.
 func (c *Client) Run(ctx context.Context, req service.Request) (service.Job, error) {
 	j, err := c.Submit(ctx, req)
-	if err != nil {
+	if err != nil || j.State.Terminal() {
 		return j, err
 	}
 	return c.Wait(ctx, j.ID)

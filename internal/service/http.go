@@ -12,11 +12,19 @@ import (
 //	                    when coalesced onto an identical in-flight job,
 //	                    400 on a bad request, 503 when the backlog is full
 //	GET  /v1/jobs       list job summaries in submission order
-//	GET  /v1/jobs/{id}  one job, including its Result when done
-//	POST /v1/sweeps     scatter a sweep Request into per-architecture jobs
-//	                    and gather the merged record set; 200 + SweepResult
-//	GET  /v1/stats      Stats: job counters, dedup rate, queue occupancy
-//	                    gauges, cache statistics
+//	GET  /v1/jobs/{id}  one job, including its Result when done; 410 once
+//	                    the record has been evicted from history
+//	POST /v1/sweeps     scatter a sweep Request into prioritized
+//	                    per-architecture legs; async by default — 202 +
+//	                    SweepStatus handle, poll GET /v1/sweeps/{id} for
+//	                    incremental per-leg results. ?wait=1 blocks and
+//	                    answers 200 + SweepResult (the pre-async contract).
+//	GET  /v1/sweeps     list sweep-handle summaries
+//	GET  /v1/sweeps/{id} one sweep handle, legs filling in as they
+//	                    complete; 410 once the handle has been evicted
+//	GET  /v1/stats      Stats: job counters, dedup rate, per-priority queue
+//	                    occupancy gauges, sweep-handle gauges, cache
+//	                    statistics
 //	POST /v1/snapshot   persist the cache snapshot now; 200 + SnapshotInfo
 //	GET  /v1/snapshot   stream the versioned cache snapshot (gob) — the pull
 //	                    a cold shard seeds its caches from on join
@@ -32,6 +40,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotPull)
@@ -85,9 +95,14 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.Job(r.PathValue("id"))
+	id := r.PathValue("id")
+	j, ok := s.Job(id)
 	if !ok {
-		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + r.PathValue("id")})
+		if s.JobGone(id) {
+			writeJSON(w, http.StatusGone, errorBody{Error: "job " + id + " evicted from history"})
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown job " + id})
 		return
 	}
 	writeJSON(w, http.StatusOK, j)
@@ -102,21 +117,53 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Validation failures are the client's fault (400); failures past
-	// validation are execution-side (503 for backpressure, 500 otherwise).
-	norm, parts, err := ExpandSweep(req)
-	if err != nil {
+	// validation are execution-side (503 for backpressure/draining, 500
+	// otherwise). Pre-validate so the 400/503 split stays clean on the
+	// async path too.
+	if _, _, err := ExpandSweep(req); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	res, err := s.sweepParts(norm, parts)
+	if r.URL.Query().Get("wait") != "" {
+		// Synchronous compatibility flow: block until the merge.
+		res, err := s.Sweep(req)
+		switch {
+		case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		case err != nil:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+		return
+	}
+	st, err := s.StartSweep(req)
 	switch {
-	case errors.Is(err, ErrBusy):
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusOK, res)
+		writeJSON(w, http.StatusAccepted, st)
 	}
+}
+
+func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {
+	out := s.Sweeps()
+	if out == nil {
+		out = []SweepSummary{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	st, err := s.LookupSweep(id)
+	if err != nil {
+		writeJSON(w, SweepLookupStatus(err), errorBody{Error: "sweep " + id + ": " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

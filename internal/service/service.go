@@ -33,12 +33,14 @@ package service
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"repro/internal/cliutil"
 	"repro/internal/core"
+	"repro/internal/jobs"
 	"repro/internal/model"
 	"repro/internal/predictor"
 	"repro/internal/sched"
@@ -72,6 +74,19 @@ type Request struct {
 	PipelineWafers int `json:"pipeline_wafers,omitempty"`
 	// Seed drives the placement optimiser and GA.
 	Seed int64 `json:"seed,omitempty"`
+
+	// Priority selects the scheduling class: "interactive" (the default —
+	// an unlabelled request is somebody waiting), "sweep-leg", or
+	// "background". It is server-side scheduling metadata, deliberately
+	// NOT part of the fingerprint: identical work submitted at different
+	// priorities still coalesces onto one execution, and a higher-priority
+	// duplicate promotes the queued job instead of waiting behind it.
+	Priority string `json:"priority,omitempty"`
+	// Criticality orders jobs within a class — higher dispatches first.
+	// A sweep sets it per leg (SupraX-style critical-path-first: the legs
+	// gating the most downstream merge work carry the highest value).
+	// Like Priority it never enters the fingerprint.
+	Criticality int `json:"criticality,omitempty"`
 }
 
 // Normalize applies the CLI-equivalent defaults and validates the model
@@ -101,7 +116,16 @@ func (r Request) Normalize() (Request, error) {
 	if err := work.Validate(); err != nil {
 		return r, err
 	}
+	if _, ok := pool.ParseClass(r.Priority); !ok {
+		return r, fmt.Errorf("unknown priority %q (want interactive, sweep-leg or background)", r.Priority)
+	}
 	return r, nil
+}
+
+// class resolves the request's scheduling class (call after Normalize).
+func (r Request) class() pool.Class {
+	c, _ := pool.ParseClass(r.Priority)
+	return c
 }
 
 // Workload returns the request's training workload (call after Normalize).
@@ -165,6 +189,13 @@ type Result struct {
 	// Canonical is the canonical rendering of the full exploration record
 	// (see Canonical) — the byte-identity proof against an in-process run.
 	Canonical string `json:"canonical"`
+	// SchemeVersion and PredictorID stamp the result with the fingerprint
+	// scheme and predictor identity it was computed under. They let a
+	// completed-result cache (the router's) invalidate entries across
+	// scheme bumps and predictor swaps instead of aliasing stale records,
+	// exactly as snapshot headers do for the evaluation caches.
+	SchemeVersion int    `json:"scheme_version,omitempty"`
+	PredictorID   uint64 `json:"predictor_id,omitempty"`
 }
 
 // Job is the externally visible job record.
@@ -201,6 +232,9 @@ type Stats struct {
 	JobsDone      uint64 `json:"jobs_done"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsRejected  uint64 `json:"jobs_rejected"`
+	// JobsEvicted counts terminal job records dropped by the History cap
+	// or HistoryTTL; polling an evicted job ID returns 410 Gone.
+	JobsEvicted uint64 `json:"jobs_evicted"`
 	// SweepsRun counts completed POST /v1/sweeps scatters.
 	SweepsRun uint64 `json:"sweeps_run"`
 	// QueueDepth and JobsInFlight are the queue occupancy gauges: jobs
@@ -208,6 +242,25 @@ type Stats struct {
 	// front-end reads them per shard as its load signal.
 	QueueDepth   int `json:"queue_depth"`
 	JobsInFlight int `json:"jobs_in_flight"`
+	// Per-priority backlog depths (they sum to QueueDepth): the gauges
+	// that make head-of-line blocking visible — a deep sweep-leg lane with
+	// an empty interactive lane is the healthy shape.
+	QueueInteractive int `json:"queue_interactive"`
+	QueueSweepLeg    int `json:"queue_sweep_leg"`
+	QueueBackground  int `json:"queue_background"`
+	// JobsPending and JobsRunning are job-store gauges over the retained
+	// records (pending = queued), complementing the JobsDone/JobsFailed
+	// counters above.
+	JobsPending int `json:"jobs_pending"`
+	JobsRunning int `json:"jobs_running"`
+	// Async sweep-handle gauges: handles still running, terminal handles
+	// retained for polling, and handles dropped by TTL/max-entries
+	// eviction (polling an evicted handle returns 410).
+	SweepsRunning  int    `json:"sweeps_running"`
+	SweepsDone     int    `json:"sweeps_done"`
+	SweepsFailed   int    `json:"sweeps_failed"`
+	SweepsEvicted  uint64 `json:"sweeps_evicted"`
+	SweepsRetained int    `json:"sweeps_retained"`
 	// Draining reports a daemon that has stopped accepting new jobs and is
 	// finishing its in-flight work before shutdown or removal from a fleet.
 	Draining bool `json:"draining,omitempty"`
@@ -256,6 +309,18 @@ type Options struct {
 	// completions. The History bound is therefore only enforced for
 	// records older than the grace period.
 	HistoryGrace time.Duration
+	// HistoryTTL additionally expires terminal job records by age
+	// (default 1 hour; negative = no TTL): a long-lived daemon with light
+	// traffic should not pin hours-old exploration records just because
+	// the History cap was never reached. Evicted job IDs answer 410.
+	HistoryTTL time.Duration
+	// SweepTTL and SweepHistory bound the async sweep-handle store:
+	// terminal handles expire after SweepTTL (default 15 minutes) and the
+	// store retains at most SweepHistory handles (default 256), oldest
+	// finished first. Live handles are never evicted; polling an evicted
+	// handle returns 410 Gone.
+	SweepTTL     time.Duration
+	SweepHistory int
 	// SnapshotPath enables cache snapshot persistence when non-empty.
 	SnapshotPath string
 }
@@ -272,22 +337,28 @@ var ErrDraining = errors.New("service: daemon is draining")
 type job struct {
 	Job
 	done chan struct{}
+	// ticket is the job's queue position while queued — the Promote
+	// handle an interactive duplicate uses to drag a queued sweep leg up
+	// to its own urgency. Inert once the job starts.
+	ticket *pool.Ticket
 }
 
 // Server is the evaluation service.
 type Server struct {
-	opts  Options
-	pred  predictor.Predictor
-	queue *pool.Queue
-	start time.Time
+	opts   Options
+	pred   predictor.Predictor
+	queue  *pool.Queue
+	start  time.Time
+	sweeps *jobs.Store[SweepStatus]
 
-	mu       sync.Mutex
-	jobs     map[string]*job
-	order    []string        // submission order, for listings
-	inflight map[string]*job // fingerprint → queued/running job
-	seq      int
-	stats    Stats
-	draining bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string        // submission order, for listings
+	inflight  map[string]*job // fingerprint → queued/running job
+	seq       int
+	stats     Stats
+	draining  bool
+	sweepDone map[string]chan struct{} // closed when a sweep handle goes terminal
 }
 
 // defaultPredictor is the shared predictor identity of every server built
@@ -321,13 +392,22 @@ func NewServer(opts Options, pred predictor.Predictor) *Server {
 	if opts.HistoryGrace == 0 {
 		opts.HistoryGrace = time.Minute
 	}
+	if opts.HistoryTTL == 0 {
+		opts.HistoryTTL = time.Hour
+	}
 	return &Server{
-		opts:     opts,
-		pred:     pred,
-		queue:    pool.NewQueue(opts.JobWorkers, opts.Backlog),
-		start:    time.Now(),
-		jobs:     make(map[string]*job),
-		inflight: make(map[string]*job),
+		opts:  opts,
+		pred:  pred,
+		queue: pool.NewQueue(opts.JobWorkers, opts.Backlog),
+		start: time.Now(),
+		sweeps: jobs.NewStore[SweepStatus](jobs.Options{
+			Prefix:     "swp",
+			TTL:        opts.SweepTTL,
+			MaxEntries: opts.SweepHistory,
+		}, cloneSweepStatus),
+		jobs:      make(map[string]*job),
+		inflight:  make(map[string]*job),
+		sweepDone: make(map[string]chan struct{}),
 	}
 }
 
@@ -355,6 +435,12 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 	if j, ok := s.inflight[fp]; ok {
 		j.Coalesced++
 		s.stats.JobsCoalesced++
+		// Priority-inversion avoidance: an interactive duplicate of a
+		// queued sweep leg must not inherit the leg's bulk priority — the
+		// queued job is promoted to the duplicate's class in place, so the
+		// waiting user is served at interactive urgency while the sweep
+		// still gets the shared result.
+		s.queue.Promote(j.ticket, norm.class(), norm.Criticality)
 		return j.Job, true, nil
 	}
 	s.seq++
@@ -368,10 +454,11 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 		},
 		done: make(chan struct{}),
 	}
-	// Reserve the queue slot before the job becomes visible: TrySubmit is
-	// non-blocking, so holding the lock here is safe, and a backlog-full
+	// Reserve the queue slot before the job becomes visible: TrySubmitClass
+	// is non-blocking, so holding the lock here is safe, and a backlog-full
 	// rejection leaves no half-registered state behind.
-	if !s.queue.TrySubmit(func() { s.run(j) }) {
+	j.ticket = s.queue.TrySubmitClass(func() { s.run(j) }, norm.class(), norm.Criticality)
+	if j.ticket == nil {
 		s.stats.JobsRejected++
 		return Job{}, false, ErrBusy
 	}
@@ -409,28 +496,35 @@ func (s *Server) run(j *job) {
 	s.mu.Unlock()
 }
 
-// evictHistoryLocked drops the oldest terminal job records beyond the
-// History bound, sparing jobs still inside the grace window so in-flight
-// result polls cannot 404 on a just-completed job. Callers must hold s.mu.
+// evictHistoryLocked bounds the retained terminal job records two ways: the
+// History cap drops the oldest beyond the bound, and HistoryTTL expires any
+// terminal record by age regardless of the cap. Jobs still inside the grace
+// window are spared from the cap (so in-flight result polls cannot 404 on a
+// just-completed job), but not from the much longer TTL. Callers must hold
+// s.mu.
 func (s *Server) evictHistoryLocked() {
 	now := time.Now()
+	expired := func(j *job) bool {
+		return s.opts.HistoryTTL > 0 && j.State.Terminal() && now.Sub(j.FinishedAt) >= s.opts.HistoryTTL
+	}
 	evictable := func(j *job) bool {
 		return j.State.Terminal() && (s.opts.HistoryGrace < 0 || now.Sub(j.FinishedAt) >= s.opts.HistoryGrace)
 	}
 	excess := -s.opts.History
 	for _, id := range s.order {
-		if evictable(s.jobs[id]) {
+		if j := s.jobs[id]; evictable(j) && !expired(j) {
 			excess++
 		}
 	}
-	if excess <= 0 {
-		return
-	}
 	kept := s.order[:0]
 	for _, id := range s.order {
-		if excess > 0 && evictable(s.jobs[id]) {
+		j := s.jobs[id]
+		if expired(j) || (excess > 0 && evictable(j)) {
+			if !expired(j) {
+				excess--
+			}
 			delete(s.jobs, id)
-			excess--
+			s.stats.JobsEvicted++
 			continue
 		}
 		kept = append(kept, id)
@@ -464,7 +558,11 @@ func (s *Server) execute(req Request) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return BuildResult(res), nil
+	out := BuildResult(res)
+	// Stamp the versioning a completed-result cache invalidates by.
+	out.SchemeVersion = search.FingerprintSchemeVersion
+	out.PredictorID = search.PredictorID(s.pred)
+	return out, nil
 }
 
 // BuildResult flattens a co-exploration into the wire Result. The CLI uses
@@ -536,6 +634,27 @@ func (s *Server) Job(id string) (Job, bool) {
 	return j.Job, true
 }
 
+// JobGone reports whether a missing job ID was once issued and has been
+// evicted from history — the 404-vs-410 distinction. Job IDs are issued
+// from the monotonic sequence ("job-<n>"), so any parseable ordinal at or
+// below the current sequence was real.
+func (s *Server) JobGone(id string) bool {
+	n, ok := strings.CutPrefix(id, "job-")
+	if !ok {
+		return false
+	}
+	v, err := strconv.ParseUint(n, 10, 64)
+	if err != nil || v < 1 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, live := s.jobs[id]; live {
+		return false
+	}
+	return v <= uint64(s.seq)
+}
+
 // Jobs lists all jobs in submission order.
 func (s *Server) Jobs() []Summary {
 	s.mu.Lock()
@@ -593,9 +712,33 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	st := s.stats
 	st.Draining = s.draining
+	for _, id := range s.order {
+		switch s.jobs[id].State {
+		case StateQueued:
+			st.JobsPending++
+		case StateRunning:
+			st.JobsRunning++
+		}
+	}
 	s.mu.Unlock()
 	st.QueueDepth = s.queue.Depth()
 	st.JobsInFlight = s.queue.InFlight()
+	depths := s.queue.ClassDepths()
+	st.QueueInteractive = depths[pool.Interactive]
+	st.QueueSweepLeg = depths[pool.SweepLeg]
+	st.QueueBackground = depths[pool.Background]
+	s.sweeps.Each(func(_ string, sw SweepStatus) {
+		switch sw.State {
+		case StateDone:
+			st.SweepsDone++
+		case StateFailed:
+			st.SweepsFailed++
+		default:
+			st.SweepsRunning++
+		}
+	})
+	st.SweepsRetained = st.SweepsRunning + st.SweepsDone + st.SweepsFailed
+	st.SweepsEvicted = s.sweeps.Evicted()
 	st.Backlog = s.opts.Backlog
 	st.JobWorkers = s.opts.JobWorkers
 	st.EvalWorkers = s.opts.EvalWorkers

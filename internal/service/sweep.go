@@ -2,7 +2,6 @@ package service
 
 import (
 	"errors"
-	"fmt"
 
 	"repro/internal/cliutil"
 )
@@ -106,56 +105,22 @@ func MergeSweep(parts []*Result) (*Result, error) {
 }
 
 // Sweep scatters a sweep request into per-architecture jobs on this daemon
-// and gathers them into one merged record set. Parts submit through the
-// normal job path, so identical in-flight architectures coalesce and every
-// part lands in the shared caches; the merged Canonical is byte-identical to
-// the same request run as a single sweep job. A part that fails (or a
-// backlog rejection) fails the whole sweep.
+// and gathers them into one merged record set. It is the synchronous facade
+// over the async handle machinery (StartSweep + WaitSweep) — one code path
+// produces both the 202-handle flow and this blocking flow, which is what
+// guarantees the merged Canonical stays byte-identical between them. Parts
+// submit through the normal job path at sweep-leg priority, so identical
+// in-flight architectures coalesce, every part lands in the shared caches,
+// and interactive jobs overtake the legs. A part that fails (or a backlog
+// rejection) fails the whole sweep.
 func (s *Server) Sweep(req Request) (SweepResult, error) {
-	norm, parts, err := ExpandSweep(req)
+	st, err := s.StartSweep(req)
 	if err != nil {
 		return SweepResult{}, err
 	}
-	return s.sweepParts(norm, parts)
-}
-
-// sweepParts runs an already-expanded sweep — the handler calls it directly
-// so validation (ExpandSweep) happens exactly once per request and its
-// errors are cleanly separable as the client's fault.
-func (s *Server) sweepParts(norm Request, parts []Request) (SweepResult, error) {
-	out := SweepResult{Fingerprint: norm.Fingerprint()}
-	jobs := make([]Job, len(parts))
-	for i, part := range parts {
-		j, coalesced, err := s.Submit(part)
-		if err != nil {
-			return SweepResult{}, fmt.Errorf("service: sweep part %s: %w", part.Config, err)
-		}
-		jobs[i] = j
-		out.Jobs = append(out.Jobs, SweepJobRef{
-			Config:      part.Config,
-			JobID:       j.ID,
-			Fingerprint: j.Fingerprint,
-			Coalesced:   coalesced,
-		})
-	}
-	results := make([]*Result, len(parts))
-	for i := range jobs {
-		j, err := s.Wait(jobs[i].ID)
-		if err != nil {
-			return SweepResult{}, err
-		}
-		if j.State != StateDone {
-			return SweepResult{}, fmt.Errorf("service: sweep part %s failed: %s", parts[i].Config, j.Error)
-		}
-		results[i] = j.Result
-	}
-	merged, err := MergeSweep(results)
+	st, err = s.WaitSweep(st.ID)
 	if err != nil {
 		return SweepResult{}, err
 	}
-	out.Result = merged
-	s.mu.Lock()
-	s.stats.SweepsRun++
-	s.mu.Unlock()
-	return out, nil
+	return st.ToResult()
 }

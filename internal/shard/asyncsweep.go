@@ -1,0 +1,249 @@
+package shard
+
+import (
+	"context"
+	"sort"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+// Async sweeps at the routing tier mirror the daemon's handle machinery:
+// POST /v1/sweeps answers 202 with a durable handle, legs scatter across
+// the fleet by fingerprint and fold back incrementally, and the merged
+// record stays byte-identical to a single-node sweep because the legs
+// gather exactly the per-architecture Results service.MergeSweep expects.
+// Each leg rides runLeg — the same bounded-retry, replica-failover driver
+// the synchronous scatter used — so mid-sweep shard churn is still
+// absorbed; the handle just makes the recovery observable leg by leg.
+//
+// Legs dispatch critical-path-first (die count, service.LegCriticality) and
+// carry the "sweep-leg" priority class down to the owning shard's queue, so
+// interactive traffic overtakes bulk legs fleet-wide, not just locally.
+
+// ensureSweeps lazily builds the router's handle store: Router is
+// constructed by NewRouter with tuning fields set afterwards, so the store
+// materializes on first use with whatever SweepTTL/SweepHistory hold then.
+func (r *Router) ensureSweeps() {
+	r.sweepsOnce.Do(func() {
+		r.sweeps = jobs.NewStore[service.SweepStatus](jobs.Options{
+			Prefix:     "swp",
+			TTL:        r.SweepTTL,
+			MaxEntries: r.SweepHistory,
+		}, func(s service.SweepStatus) service.SweepStatus {
+			s.Legs = append([]service.SweepLeg(nil), s.Legs...)
+			return s
+		})
+		r.sweepDone = make(map[string]chan struct{})
+	})
+}
+
+// StartSweep expands a sweep request, registers a durable handle, and
+// scatters the legs across the fleet — heaviest first — returning the
+// handle immediately. Legs complete in the background on their own context:
+// the handle outlives the submitting HTTP request, so a client can
+// disconnect and poll the handle later.
+func (r *Router) StartSweep(req service.Request) (service.SweepStatus, error) {
+	norm, parts, err := service.ExpandSweep(req)
+	if err != nil {
+		return service.SweepStatus{}, err
+	}
+	// Fast-fail an empty fleet with the routing sentinel (503) rather than
+	// minting a handle whose every leg is doomed.
+	if len(r.Map.Healthy()) == 0 {
+		return service.SweepStatus{}, ErrNoShards
+	}
+	r.ensureSweeps()
+	legs := make([]service.SweepLeg, len(parts))
+	for i, p := range parts {
+		legs[i] = service.SweepLeg{
+			Config:      p.Config,
+			Fingerprint: p.Fingerprint(),
+			Criticality: service.LegCriticality(p.Config),
+			State:       service.StateQueued,
+		}
+	}
+	id, _ := r.sweeps.Create(func(id string) service.SweepStatus {
+		return service.SweepStatus{
+			ID:          id,
+			State:       service.StateRunning,
+			Fingerprint: norm.Fingerprint(),
+			Total:       len(parts),
+			Legs:        legs,
+			SubmittedAt: time.Now(),
+		}
+	})
+	r.mu.Lock()
+	r.sweepDone[id] = make(chan struct{})
+	r.mu.Unlock()
+
+	order := make([]int, len(legs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return legs[order[a]].Criticality > legs[order[b]].Criticality
+	})
+	for _, i := range order {
+		if res, ok := r.Cache.Get(legs[i].Fingerprint); ok {
+			// The fleet already answered this architecture: fold the cached
+			// record in without crossing a shard.
+			r.legDone(id, i, service.SweepLeg{
+				State:  service.StateDone,
+				JobID:  "cache/" + ResultCacheKey(legs[i].Fingerprint),
+				Shard:  "cache",
+				Result: res,
+			})
+			continue
+		}
+		part := parts[i]
+		part.Priority = "sweep-leg"
+		part.Criticality = legs[i].Criticality
+		go r.runSweepLeg(id, i, part)
+	}
+	return r.sweeps.Get(id)
+}
+
+// runSweepLeg drives one scattered leg through runLeg (bounded retries,
+// replica failover, optional per-attempt deadline) and folds the outcome
+// into the handle.
+func (r *Router) runSweepLeg(id string, idx int, part service.Request) {
+	res, ref, err := r.runLeg(context.Background(), part)
+	leg := service.SweepLeg{
+		JobID:     ref.JobID,
+		Shard:     ref.Shard,
+		Coalesced: ref.Coalesced,
+	}
+	if err != nil {
+		leg.State = service.StateFailed
+		leg.Error = err.Error()
+	} else {
+		leg.State = service.StateDone
+		leg.Result = res
+		r.Cache.Put(ref.Fingerprint, res)
+	}
+	r.legDone(id, idx, leg)
+}
+
+// legDone folds a terminal leg into the sweep handle; the last successful
+// leg triggers the merge, exactly as on a daemon (service.Server.legDone).
+func (r *Router) legDone(id string, idx int, leg service.SweepLeg) {
+	var complete bool
+	var results []*service.Result
+	err := r.sweeps.Update(id, func(st *service.SweepStatus) {
+		dst := &st.Legs[idx]
+		if dst.State.Terminal() {
+			return // duplicate completion; first wins
+		}
+		dst.State = leg.State
+		if leg.JobID != "" {
+			dst.JobID = leg.JobID
+		}
+		dst.Shard = leg.Shard
+		dst.Coalesced = leg.Coalesced
+		st.Completed++
+		if leg.State == service.StateDone {
+			dst.Result = leg.Result
+		} else {
+			dst.Error = leg.Error
+			if st.State == service.StateRunning {
+				st.State = service.StateFailed
+				st.Error = "sweep part " + dst.Config + " failed: " + leg.Error
+				st.FinishedAt = time.Now()
+			}
+		}
+		if st.State == service.StateRunning && st.Completed == st.Total {
+			complete = true
+			results = make([]*service.Result, st.Total)
+			for i := range st.Legs {
+				results[i] = st.Legs[i].Result
+			}
+		}
+	})
+	if err != nil {
+		return // handle evicted mid-flight
+	}
+	if complete {
+		merged, mergeErr := service.MergeSweep(results)
+		r.sweeps.Update(id, func(st *service.SweepStatus) {
+			if mergeErr != nil {
+				st.State = service.StateFailed
+				st.Error = mergeErr.Error()
+			} else {
+				st.State = service.StateDone
+				st.Result = merged
+			}
+			st.FinishedAt = time.Now()
+		})
+		if mergeErr == nil {
+			r.count(func(c *RouterCounters) { c.SweepsRouted++ })
+		}
+	}
+	st, err := r.sweeps.Get(id)
+	if err == nil && st.State.Terminal() {
+		r.mu.Lock()
+		if ch, ok := r.sweepDone[id]; ok {
+			close(ch)
+			delete(r.sweepDone, id)
+		}
+		r.mu.Unlock()
+	}
+}
+
+// LookupSweep snapshots a router sweep handle: jobs.ErrGone once evicted
+// (410), jobs.ErrUnknown for a never-issued ID (404).
+func (r *Router) LookupSweep(id string) (service.SweepStatus, error) {
+	r.ensureSweeps()
+	return r.sweeps.Get(id)
+}
+
+// WaitSweep blocks until the handle goes terminal or the context ends.
+func (r *Router) WaitSweep(ctx context.Context, id string) (service.SweepStatus, error) {
+	r.ensureSweeps()
+	r.mu.Lock()
+	ch := r.sweepDone[id]
+	r.mu.Unlock()
+	if ch != nil {
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return service.SweepStatus{}, ctx.Err()
+		}
+	}
+	return r.sweeps.Get(id)
+}
+
+// Sweeps lists the retained router sweep handles, oldest first.
+func (r *Router) Sweeps() []service.SweepSummary {
+	r.ensureSweeps()
+	var out []service.SweepSummary
+	r.sweeps.Each(func(id string, st service.SweepStatus) {
+		out = append(out, service.SweepSummary{
+			ID:          st.ID,
+			State:       st.State,
+			Fingerprint: st.Fingerprint,
+			Total:       st.Total,
+			Completed:   st.Completed,
+			SubmittedAt: st.SubmittedAt,
+			FinishedAt:  st.FinishedAt,
+		})
+	})
+	return out
+}
+
+// Sweep is the synchronous facade: scatter the sweep as an async handle,
+// block until the merge, and render the pre-async SweepResult payload. One
+// code path produces both flows, which is what keeps the merged Canonical
+// byte-identical between them (and to a single-node sweep).
+func (r *Router) Sweep(ctx context.Context, req service.Request) (service.SweepResult, error) {
+	st, err := r.StartSweep(req)
+	if err != nil {
+		return service.SweepResult{}, err
+	}
+	st, err = r.WaitSweep(ctx, st.ID)
+	if err != nil {
+		return service.SweepResult{}, err
+	}
+	return st.ToResult()
+}

@@ -1,0 +1,146 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/lru"
+	"repro/internal/search"
+	"repro/internal/service"
+)
+
+// ResultCache is the router's completed-fingerprint cache: finished
+// canonical records retained in an LRU keyed by the request fingerprint's
+// search.ShardKey, so repeat traffic for an already-answered fingerprint is
+// served at the routing tier and never crosses the fleet. It closes the gap
+// singleflight leaves — in-flight identical jobs coalesce on a shard, but a
+// job resubmitted a minute after completion used to re-route (and at best
+// hit the shard's evaluation caches; at worst, after churn, re-simulate).
+//
+// Correctness rests on the same invariants the snapshot machinery pins:
+// results are deterministic functions of the canonical fingerprint, valid
+// only under one fingerprint-scheme version and one predictor identity.
+// Every cached entry stores the full fingerprint (the 64-bit ShardKey is a
+// routing hash, not an identity — collisions must miss, not alias) plus the
+// scheme/predictor stamp the executing shard wrote into the Result; a
+// lookup verifies all three, and a Put observing a different predictor
+// identity than the cache's current one flushes wholesale and adopts the
+// new identity (a fleet predictor swap invalidates every prior record).
+type ResultCache struct {
+	mu    sync.Mutex
+	cache *lru.Cache[cachedResult]
+	cap   int
+	// predictorID is the fleet predictor identity the cached records were
+	// computed under; 0 until the first verified Put adopts one.
+	predictorID uint64
+	hits        uint64
+	misses      uint64
+	flushes     uint64
+}
+
+type cachedResult struct {
+	Fingerprint string
+	Result      *service.Result
+}
+
+// ResultCacheStats is the cache's /v1/stats block.
+type ResultCacheStats struct {
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	Size   int    `json:"size"`
+	// Flushes counts wholesale invalidations on predictor-identity change.
+	Flushes uint64 `json:"flushes"`
+	// PredictorID is the identity the cached records are valid under.
+	PredictorID uint64 `json:"predictor_id,omitempty"`
+}
+
+// NewResultCache returns a cache bounded to capacity completed records;
+// capacity <= 0 disables caching (every lookup misses, every insert drops).
+func NewResultCache(capacity int) *ResultCache {
+	c := &ResultCache{cap: capacity}
+	if capacity > 0 {
+		c.cache = lru.New[cachedResult](capacity)
+	}
+	return c
+}
+
+// Key renders a fingerprint's cache key — its rendezvous shard key in hex.
+// The same hash that routes the fingerprint names its cached result, so an
+// operator can correlate cache entries with shard ownership directly.
+func ResultCacheKey(fp string) string {
+	return fmt.Sprintf("%016x", search.ShardKey(fp))
+}
+
+// Get returns the cached completed Result for a fingerprint, verifying the
+// stored fingerprint (hash-collision safety) and the scheme/predictor
+// stamps before serving. Safe on a nil or disabled cache (always a miss).
+func (c *ResultCache) Get(fp string) (*service.Result, bool) {
+	if c == nil || c.cache == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.cache.Get(ResultCacheKey(fp))
+	if !ok || e.Fingerprint != fp ||
+		e.Result.SchemeVersion != search.FingerprintSchemeVersion ||
+		e.Result.PredictorID != c.predictorID {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	return e.Result, true
+}
+
+// GetByKey returns the cached entry under a hex shard key (the "cache/<key>"
+// job-ID namespace), without counting a hit or miss.
+func (c *ResultCache) GetByKey(key string) (string, *service.Result, bool) {
+	if c == nil || c.cache == nil {
+		return "", nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.cache.Get(key)
+	if !ok {
+		return "", nil, false
+	}
+	return e.Fingerprint, e.Result, true
+}
+
+// Put retains a completed Result. Unstamped results (older shards, failed
+// merges) and scheme mismatches are dropped; a predictor identity different
+// from the cache's current one flushes the cache and adopts the new
+// identity. Safe on a nil or disabled cache.
+func (c *ResultCache) Put(fp string, res *service.Result) {
+	if c == nil || c.cache == nil || res == nil {
+		return
+	}
+	if res.SchemeVersion != search.FingerprintSchemeVersion || res.PredictorID == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if res.PredictorID != c.predictorID {
+		if c.predictorID != 0 {
+			// The fleet's predictor changed under us: every retained record
+			// was computed under the old identity and must not be served.
+			c.cache = lru.New[cachedResult](c.cap)
+			c.flushes++
+		}
+		c.predictorID = res.PredictorID
+	}
+	c.cache.Put(ResultCacheKey(fp), cachedResult{Fingerprint: fp, Result: res})
+}
+
+// Stats snapshots the cache counters. Safe on a nil cache.
+func (c *ResultCache) Stats() ResultCacheStats {
+	if c == nil {
+		return ResultCacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := ResultCacheStats{Hits: c.hits, Misses: c.misses, Flushes: c.flushes, PredictorID: c.predictorID}
+	if c.cache != nil {
+		st.Size = c.cache.Stats().Size
+	}
+	return st
+}

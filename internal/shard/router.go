@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/jobs"
 	"repro/internal/search"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -26,7 +27,9 @@ import (
 //     with a reordered -shards list;
 //   - GET /v1/jobs/{shard-addr}/{id} proxies to the owning shard;
 //   - POST /v1/sweeps scatters per-architecture parts across shards by each
-//     part's own fingerprint and gathers the merged record set
+//     part's own fingerprint — async by default (202 + SweepStatus handle,
+//     poll GET /v1/sweeps/{id}; ?wait=1 blocks for the pre-async 200 +
+//     SweepResult) — and merges the gathered record set
 //     (service.MergeSweep), byte-identical to a single-node sweep;
 //   - GET /v1/stats aggregates the fleet (the flattened service.Stats sums,
 //     decodable by the unmodified client) plus router counters, per-shard
@@ -49,10 +52,22 @@ type Router struct {
 	// the caller's deadline). A leg stuck on a wedged shard re-dispatches to
 	// a surviving replica instead of pinning the whole scatter.
 	LegTimeout time.Duration
+	// Cache is the fleet-wide completed-result cache: repeat submissions of
+	// an already-answered fingerprint are served here and never cross the
+	// fleet. nil disables caching.
+	Cache *ResultCache
+	// SweepTTL / SweepHistory bound the async sweep-handle store (see
+	// jobs.Options); zero takes the store defaults. Set before serving.
+	SweepTTL     time.Duration
+	SweepHistory int
 
 	start time.Time
 	mu    sync.Mutex
 	stats RouterCounters
+
+	sweepsOnce sync.Once
+	sweeps     *jobs.Store[service.SweepStatus]
+	sweepDone  map[string]chan struct{} // guarded by mu
 }
 
 // RouterCounters are the router's own counters (shard-side counters live in
@@ -87,10 +102,13 @@ type RouterCounters struct {
 // totals where it expects daemon stats.
 type RouterStats struct {
 	service.Stats
-	Router        RouterCounters `json:"router"`
-	HealthyShards int            `json:"healthy_shards"`
-	TotalShards   int            `json:"total_shards"`
-	Shards        []Status       `json:"shards"`
+	Router RouterCounters `json:"router"`
+	// ResultCache is the router's completed-fingerprint cache (hits are
+	// submissions answered without crossing the fleet).
+	ResultCache   ResultCacheStats `json:"result_cache"`
+	HealthyShards int              `json:"healthy_shards"`
+	TotalShards   int              `json:"total_shards"`
+	Shards        []Status         `json:"shards"`
 	// Placement is the audited replica placement: the recovery-load graph
 	// with its greedy-bound check (see RecoveryReport).
 	Placement RecoveryReport `json:"placement"`
@@ -144,6 +162,8 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", r.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id...}", r.handleJob)
 	mux.HandleFunc("POST /v1/sweeps", r.handleSweep)
+	mux.HandleFunc("GET /v1/sweeps", r.handleSweepList)
+	mux.HandleFunc("GET /v1/sweeps/{id}", r.handleSweepStatus)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
 	mux.HandleFunc("GET /v1/shards", r.handleShards)
 	mux.HandleFunc("POST /v1/shards", r.handleAddShard)
@@ -211,8 +231,15 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	if _, err := jr.Normalize(); err != nil {
+	norm, err := jr.Normalize()
+	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	// Completed-result cache: a fingerprint the fleet already answered is
+	// served at this tier — the submission never crosses to a shard.
+	if j, ok := r.cachedJob(norm.Fingerprint()); ok {
+		writeJSON(w, http.StatusOK, j)
 		return
 	}
 	j, _, coalesced, err := r.submitRouted(req.Context(), jr)
@@ -228,8 +255,41 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 	}
 }
 
+// cachedJob renders a completed-result-cache hit as a synthetic done job in
+// the reserved "cache/<shard-key>" ID namespace, so the normal submit→poll
+// client flow works unchanged on a hit.
+func (r *Router) cachedJob(fp string) (service.Job, bool) {
+	res, ok := r.Cache.Get(fp)
+	if !ok {
+		return service.Job{}, false
+	}
+	now := time.Now()
+	return service.Job{
+		ID:          "cache/" + ResultCacheKey(fp),
+		Fingerprint: fp,
+		State:       service.StateDone,
+		SubmittedAt: now,
+		StartedAt:   now,
+		FinishedAt:  now,
+		Result:      res,
+	}, true
+}
+
 func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 	id := req.PathValue("id")
+	if key, ok := strings.CutPrefix(id, "cache/"); ok {
+		fp, res, found := r.Cache.GetByKey(key)
+		if !found {
+			// Cache-hit job IDs are only ever minted from live entries, so a
+			// miss here means LRU/flush eviction: gone, not unknown.
+			writeJSON(w, http.StatusGone, errorBody{Error: "cached result " + id + " evicted"})
+			return
+		}
+		writeJSON(w, http.StatusOK, service.Job{
+			ID: id, Fingerprint: fp, State: service.StateDone, Result: res,
+		})
+		return
+	}
 	shardAddr, rest, ok := strings.Cut(id, "/")
 	if !ok {
 		writeJSON(w, http.StatusNotFound, errorBody{
@@ -248,6 +308,11 @@ func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 		}
 		writeJSON(w, forwardStatus(err), errorBody{Error: err.Error()})
 		return
+	}
+	if j.State == service.StateDone && j.Result != nil {
+		// Every completed record that flows back through the router lands in
+		// the completed-result cache, whatever path produced it.
+		r.Cache.Put(j.Fingerprint, j.Result)
 	}
 	j.ID = b.Addr + "/" + j.ID
 	writeJSON(w, http.StatusOK, j)
@@ -269,19 +334,6 @@ func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
-}
-
-// Sweep scatters a sweep request across the shard fleet — each architecture
-// part routes by its own fingerprint — and gathers the per-architecture
-// results into the merged record set, byte-identical to the same sweep on a
-// single daemon (service.MergeSweep). Parts run concurrently, so a sweep's
-// latency is its slowest architecture, not the sum.
-func (r *Router) Sweep(ctx context.Context, req service.Request) (service.SweepResult, error) {
-	norm, parts, err := service.ExpandSweep(req)
-	if err != nil {
-		return service.SweepResult{}, err
-	}
-	return r.sweepParts(ctx, norm, parts)
 }
 
 // legRetryable classifies a sweep-leg failure. Transport failures and the
@@ -371,44 +423,6 @@ func (r *Router) runLeg(ctx context.Context, part service.Request) (*service.Res
 	return nil, lastRef, lastErr
 }
 
-// sweepParts scatters an already-expanded sweep (see Server.sweepParts for
-// why expansion happens once, in the caller).
-func (r *Router) sweepParts(ctx context.Context, norm service.Request, parts []service.Request) (service.SweepResult, error) {
-	out := service.SweepResult{
-		Fingerprint: norm.Fingerprint(),
-		Jobs:        make([]service.SweepJobRef, len(parts)),
-	}
-	results := make([]*service.Result, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		wg.Add(1)
-		go func(i int, part service.Request) {
-			defer wg.Done()
-			res, ref, err := r.runLeg(ctx, part)
-			out.Jobs[i] = ref
-			if err != nil {
-				errs[i] = fmt.Errorf("sweep part %s: %w", part.Config, err)
-				return
-			}
-			results[i] = res
-		}(i, part)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return service.SweepResult{}, err
-		}
-	}
-	merged, err := service.MergeSweep(results)
-	if err != nil {
-		return service.SweepResult{}, err
-	}
-	out.Result = merged
-	r.count(func(c *RouterCounters) { c.SweepsRouted++ })
-	return out, nil
-}
-
 func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
 	var jr service.Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, service.MaxRequestBytes))
@@ -417,20 +431,52 @@ func (r *Router) handleSweep(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad request body: " + err.Error()})
 		return
 	}
-	norm, parts, err := service.ExpandSweep(jr)
-	if err != nil {
+	// Pre-validate so bad requests stay 400 on both the async and the
+	// blocking flow; later failures are execution-side.
+	if _, _, err := service.ExpandSweep(jr); err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	res, err := r.sweepParts(req.Context(), norm, parts)
+	if req.URL.Query().Get("wait") != "" {
+		// Synchronous compatibility flow: block until the merge.
+		res, err := r.Sweep(req.Context(), jr)
+		switch {
+		case errors.Is(err, ErrNoShards):
+			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		case err != nil:
+			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusOK, res)
+		}
+		return
+	}
+	st, err := r.StartSweep(jr)
 	switch {
 	case errors.Is(err, ErrNoShards):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, forwardStatus(err), errorBody{Error: err.Error()})
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 	default:
-		writeJSON(w, http.StatusOK, res)
+		writeJSON(w, http.StatusAccepted, st)
 	}
+}
+
+func (r *Router) handleSweepList(w http.ResponseWriter, req *http.Request) {
+	out := r.Sweeps()
+	if out == nil {
+		out = []service.SweepSummary{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (r *Router) handleSweepStatus(w http.ResponseWriter, req *http.Request) {
+	id := req.PathValue("id")
+	st, err := r.LookupSweep(id)
+	if err != nil {
+		writeJSON(w, service.SweepLookupStatus(err), errorBody{Error: "sweep " + id + ": " + err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // Stats aggregates the fleet view: per-shard stats (with queue occupancy
@@ -472,9 +518,20 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		agg.JobsDone += ss.JobsDone
 		agg.JobsFailed += ss.JobsFailed
 		agg.JobsRejected += ss.JobsRejected
+		agg.JobsEvicted += ss.JobsEvicted
 		agg.SweepsRun += ss.SweepsRun
 		agg.QueueDepth += ss.QueueDepth
 		agg.JobsInFlight += ss.JobsInFlight
+		agg.QueueInteractive += ss.QueueInteractive
+		agg.QueueSweepLeg += ss.QueueSweepLeg
+		agg.QueueBackground += ss.QueueBackground
+		agg.JobsPending += ss.JobsPending
+		agg.JobsRunning += ss.JobsRunning
+		agg.SweepsRunning += ss.SweepsRunning
+		agg.SweepsDone += ss.SweepsDone
+		agg.SweepsFailed += ss.SweepsFailed
+		agg.SweepsEvicted += ss.SweepsEvicted
+		agg.SweepsRetained += ss.SweepsRetained
 		agg.Backlog += ss.Backlog
 		agg.JobWorkers += ss.JobWorkers
 		agg.EvalWorkers += ss.EvalWorkers
@@ -485,6 +542,25 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		agg.EvalCache.Misses += ss.EvalCache.Misses
 		agg.EvalCache.Size += ss.EvalCache.Size
 	}
+	// Sweep-handle gauges: the router's own async handles (scattered sweeps
+	// live at this tier) on top of any direct-to-shard handles.
+	if r.sweeps != nil {
+		r.sweeps.Each(func(id string, st service.SweepStatus) {
+			switch st.State {
+			case service.StateRunning:
+				agg.SweepsRunning++
+			case service.StateDone:
+				agg.SweepsDone++
+			case service.StateFailed:
+				agg.SweepsFailed++
+			}
+			if st.State.Terminal() {
+				agg.SweepsRetained++
+			}
+		})
+		agg.SweepsEvicted += r.sweeps.Evicted()
+	}
+	out.ResultCache = r.Cache.Stats()
 	for _, st := range statuses {
 		if st.Healthy {
 			out.HealthyShards++
