@@ -1,4 +1,4 @@
-.PHONY: build test race bench bench-smoke bench-compare router-smoke chaos-smoke async-smoke figures
+.PHONY: build test race bench bench-smoke bench-compare router-smoke chaos-smoke async-smoke overload-smoke figures
 
 build:
 	go build ./...
@@ -11,15 +11,17 @@ race:
 
 # Tier-2 performance trajectory: runs the benchmark suite in-process with
 # -benchmem semantics (best of 3 timed loops per benchmark) and writes
-# BENCH_pr8.json (ns/op, allocs/op, B/op per benchmark, service +
+# BENCH_pr9.json (ns/op, allocs/op, B/op per benchmark, service +
 # routed-shard jobs/sec and dedup rates, the kill-one-shard-mid-burst
 # resilience numbers, the async-sweep time-to-first-row /
-# priority-latency / result-cache-repeat entries, plus the speedups vs
-# the recorded PR-1..PR-7 baselines, the in-run PR3-era annealer
-# full-re-evaluation baseline, and the in-run scalar references of the
-# batched annealer and GA paths).
+# priority-latency / result-cache-repeat entries, the 2x-saturation
+# goodput + interactive-p95 pair with overload protection on vs off —
+# which fails the run if protection does not win both — plus the
+# speedups vs the recorded PR-1..PR-8 baselines, the in-run PR3-era
+# annealer full-re-evaluation baseline, and the in-run scalar references
+# of the batched annealer and GA paths).
 bench:
-	go run ./cmd/bench -out BENCH_pr8.json
+	go run ./cmd/bench -out BENCH_pr9.json
 
 # Fast regression gate for the search inner loops: the zero-alloc
 # assertions of the scalar annealer swap path and the batched ScorerBatch
@@ -33,9 +35,9 @@ bench-smoke:
 
 # Compare two recorded perf trajectories (ns/op + allocs/op ratios, with a
 # regression threshold). Usage:
-#   make bench-compare OLD=BENCH_pr7.json NEW=BENCH_pr8.json
-OLD ?= BENCH_pr7.json
-NEW ?= BENCH_pr8.json
+#   make bench-compare OLD=BENCH_pr8.json NEW=BENCH_pr9.json
+OLD ?= BENCH_pr8.json
+NEW ?= BENCH_pr9.json
 bench-compare:
 	bash scripts/bench_compare.sh $(OLD) $(NEW)
 
@@ -62,6 +64,16 @@ chaos-smoke:
 # crossing the fleet.
 async-smoke:
 	bash scripts/async_smoke.sh
+
+# Overload smoke: real processes under deliberate overload and brownout. A
+# single-worker daemon under a background burst must shed over-budget work
+# with 429 + Retry-After while an interactive job overtakes the backlog
+# inside its deadline and a stale-deadline job expires without executing;
+# a slow-but-alive shard (request stalls injected, healthz green) must trip
+# the router's latency breaker, keep routed results byte-identical from the
+# fast shard, and be readmitted by a half-open trial once the stall clears.
+overload-smoke:
+	bash scripts/overload_smoke.sh
 
 figures:
 	go run ./cmd/figures

@@ -36,19 +36,28 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench                # writes BENCH_pr7.json
+// The saturation benchmarks drive a single-worker daemon at a sustained
+// 2x+ offered load twice — once with overload protection on (per-class
+// admission budgets, end-to-end deadlines) and once with everything
+// admitted — and record goodput (completed within target / offered) plus
+// the interactive p95; the run fails outright if protection does not win
+// both.
+//
+//	go run ./cmd/bench                # writes BENCH_pr9.json
 //	go run ./cmd/bench -out perf.json # custom output path
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -65,6 +74,7 @@ import (
 	"repro/internal/predictor"
 	"repro/internal/sched"
 	"repro/internal/search"
+	"repro/internal/search/pool"
 	"repro/internal/service"
 	"repro/internal/service/client"
 	"repro/internal/shard"
@@ -106,6 +116,17 @@ type serviceEntry struct {
 	// FailoverMs is the mean latency of one recovery: loss detected to
 	// recomputed result in hand on a survivor.
 	FailoverMs float64 `json:"failover_latency_ms,omitempty"`
+	// GoodputRate is the fraction of OFFERED jobs that completed within
+	// their latency target (saturation benchmarks only): shed, expired and
+	// past-target completions all count against it.
+	GoodputRate float64 `json:"goodput_rate,omitempty"`
+	// InteractiveP95Ms is the p95 submit-to-done latency of the completed
+	// interactive jobs (saturation benchmarks only).
+	InteractiveP95Ms float64 `json:"interactive_p95_ms,omitempty"`
+	// ShedJobs / ExpiredJobs split the non-completions: refused at
+	// admission (429) vs cancelled by their own deadline while queued.
+	ShedJobs    int `json:"shed_jobs,omitempty"`
+	ExpiredJobs int `json:"expired_jobs,omitempty"`
 }
 
 // report is the BENCH_*.json schema.
@@ -133,7 +154,8 @@ type report struct {
 // BENCH_pr3.json), PR 4 the incremental-scorer tree (from BENCH_pr4.json),
 // PR 5 the sharded-tier tree (from BENCH_pr5.json), PR 6 the
 // batched-evaluator tree (from BENCH_pr6.json), PR 7 the fleet-resilience
-// tree (from BENCH_pr7.json).
+// tree (from BENCH_pr7.json), PR 8 the async-job-subsystem tree (from
+// BENCH_pr8.json).
 // The pr3-full-reeval annealer baseline is measured live
 // in this run (the full-evaluation path still exists as
 // placement.EvalAnchors), so its speedup factor is machine-exact.
@@ -186,6 +208,13 @@ var priorBaselines = []taggedEntry{
 		NsPerOp:     40383667.52173913,
 		AllocsPerOp: 57986,
 		BytesPerOp:  9165715,
+	}},
+	{Tag: "pr8", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  23,
+		NsPerOp:     36608750.82608695,
+		AllocsPerOp: 57986,
+		BytesPerOp:  9165693,
 	}},
 }
 
@@ -630,6 +659,133 @@ func cacheRepeatBurst(name string, shards, jobs int, pred predictor.Predictor) s
 	return e
 }
 
+// saturationBurst drives one single-worker daemon at a sustained ~2x+
+// offered load — rounds of distinct full-sweep GA jobs, bulk background
+// legs plus an interactive pair per round — and reports goodput (the
+// fraction of OFFERED work that completed within its latency target) and
+// the interactive p95 of what completed. With protect=true the daemon
+// sheds over-budget background work at admission (429) and every request
+// carries its target as a hard deadline, so hopeless jobs fail fast and
+// the worker only burns time on work that can still be good; with
+// protect=false everything is admitted and runs to completion, so the
+// queue grows without bound and late jobs drag both metrics down. The
+// pair is the overload-protection acceptance measurement: protection must
+// win on goodput and on interactive p95.
+func saturationBurst(name string, protect bool, pred predictor.Predictor) serviceEntry {
+	opts := service.Options{EvalWorkers: 1, JobWorkers: 1, Backlog: 256}
+	if protect {
+		opts.ClassBudgets[pool.Background] = 2
+	}
+	srv := service.NewServer(opts, pred)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	c := client.New(ts.URL)
+	c.PollInterval = time.Millisecond
+	ctx := context.Background()
+
+	const (
+		rounds      = 6
+		bgPerRound  = 3
+		intPerRound = 2
+		roundGap    = 300 * time.Millisecond
+		bgTarget    = 2500 * time.Millisecond
+		intTarget   = 1200 * time.Millisecond
+	)
+	type outcome struct {
+		interactive bool
+		done        bool
+		shed        bool
+		expired     bool
+		latency     time.Duration
+		target      time.Duration
+	}
+	offered := rounds * (bgPerRound + intPerRound)
+	outcomes := make([]outcome, offered)
+	var wg sync.WaitGroup
+	start := time.Now()
+	idx := 0
+	launch := func(interactive bool) {
+		o := &outcomes[idx]
+		seed := int64(idx)
+		idx++
+		o.interactive = interactive
+		o.target = bgTarget
+		req := service.Request{
+			UseGA: true, Batch: 64 + int(seed), Seed: seed, Priority: "background",
+		}
+		if interactive {
+			o.target = intTarget
+			req.Priority = "interactive"
+		}
+		if protect {
+			req.DeadlineMS = o.target.Milliseconds()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			j, err := c.Run(ctx, req)
+			o.latency = time.Since(t0)
+			var se *client.StatusError
+			switch {
+			case err == nil && j.State == service.StateDone:
+				o.done = true
+			case err == nil && j.State == service.StateExpired:
+				o.expired = true
+			case errors.As(err, &se) && se.Code == 429:
+				o.shed = true
+			case err != nil:
+				fmt.Fprintln(os.Stderr, "bench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < bgPerRound; i++ {
+			launch(false)
+		}
+		for i := 0; i < intPerRound; i++ {
+			launch(true)
+		}
+		time.Sleep(roundGap)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var good, shed, expired int
+	var intLat []time.Duration
+	for _, o := range outcomes {
+		if o.done && o.latency <= o.target {
+			good++
+		}
+		if o.shed {
+			shed++
+		}
+		if o.expired {
+			expired++
+		}
+		if o.interactive && o.done {
+			intLat = append(intLat, o.latency)
+		}
+	}
+	e := serviceEntry{
+		Name: name, Jobs: offered,
+		WallSeconds: wall.Seconds(),
+		JobsPerSec:  float64(good) / wall.Seconds(),
+		GoodputRate: float64(good) / float64(offered),
+		ShedJobs:    shed,
+		ExpiredJobs: expired,
+	}
+	if len(intLat) > 0 {
+		sort.Slice(intLat, func(a, b int) bool { return intLat[a] < intLat[b] })
+		p95 := intLat[(len(intLat)*95+99)/100-1]
+		e.InteractiveP95Ms = float64(p95.Nanoseconds()) / 1e6
+	}
+	fmt.Printf("%-32s %11.0f%% goodput %8.0f ms int-p95 %10.3f s wall   (%d offered, %d shed, %d expired)\n",
+		name, e.GoodputRate*100, e.InteractiveP95Ms, e.WallSeconds, offered, shed, expired)
+	return e
+}
+
 // gaGenerationBench runs a fixed-generation GA optimize and reports
 // per-generation cost (total metrics divided by the generation count).
 // placementBatch 0 is the batched default (one ScorerBatch pass per chunk
@@ -654,7 +810,7 @@ func gaGenerationBench(name string, placementBatch int, fail func(error)) entry 
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr8.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
 	reps := flag.Int("reps", benchReps, "timed-loop repetitions per benchmark (best is recorded)")
 	flag.Parse()
 	benchReps = *reps
@@ -666,7 +822,7 @@ func main() {
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr8",
+		Tag:       "pr9",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -918,6 +1074,28 @@ func main() {
 	search.DefaultCache().Reset()
 	sched.ResetCache()
 	rep.Service = append(rep.Service, routerChaosBurst("router-3shard-kill-mid-burst", 3, 32, pred))
+
+	// Overload protection: the same 2x+ saturation pattern with admission
+	// control + deadlines on versus everything admitted. Protection must
+	// win on goodput AND on interactive p95, or the run fails — this is the
+	// PR's acceptance measurement, not an informational number.
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	protected := saturationBurst("saturation-2x-shedding", true, pred)
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	unprotected := saturationBurst("saturation-2x-no-shedding", false, pred)
+	rep.Service = append(rep.Service, protected, unprotected)
+	if protected.GoodputRate <= unprotected.GoodputRate {
+		fail(fmt.Errorf("shedding lost on goodput: %.2f protected vs %.2f unprotected",
+			protected.GoodputRate, unprotected.GoodputRate))
+	}
+	if protected.InteractiveP95Ms >= unprotected.InteractiveP95Ms {
+		fail(fmt.Errorf("shedding lost on interactive p95: %.0f ms protected vs %.0f ms unprotected",
+			protected.InteractiveP95Ms, unprotected.InteractiveP95Ms))
+	}
+	rep.SpeedupNs["goodput(shedding/no-shedding)"] = protected.GoodputRate / unprotected.GoodputRate
+	rep.SpeedupNs["interactive-p95(no-shedding/shedding)"] = unprotected.InteractiveP95Ms / protected.InteractiveP95Ms
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -46,6 +46,12 @@ func main() {
 	resultCache := flag.Int("result-cache", 4096, "completed-result cache entries: repeat submissions of an answered fingerprint are served at the router (0 disables)")
 	sweepTTL := flag.Duration("sweep-ttl", 15*time.Minute, "terminal async sweep handles expire after this age (negative = never)")
 	sweepHistory := flag.Int("sweep-history", 256, "retained async sweep handles (oldest finished evicted first)")
+	breakerOff := flag.Bool("breaker-off", false, "disable per-shard circuit breakers (routing then trusts the health probe alone)")
+	breakerWindow := flag.Int("breaker-window", 20, "circuit breaker rolling round-trip window size")
+	breakerMinSamples := flag.Int("breaker-min-samples", 8, "window occupancy required before a breaker may trip")
+	breakerErrorRate := flag.Float64("breaker-error-rate", 0.5, "failed round-trip fraction over the window that opens a shard's breaker")
+	breakerP95 := flag.Duration("breaker-p95", 2*time.Second, "window p95 round-trip latency that opens a shard's breaker (negative disables the latency signal)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "open-breaker routing exclusion before a single half-open trial is admitted")
 	pprofOn := cliutil.PprofFlag()
 	flag.Parse()
 
@@ -65,6 +71,14 @@ func main() {
 		ProbeTimeout:   *probeTimeout,
 		FailAfter:      *failAfter,
 		Replicas:       *replicas,
+		Breaker: shard.BreakerOptions{
+			Disabled:   *breakerOff,
+			Window:     *breakerWindow,
+			MinSamples: *breakerMinSamples,
+			ErrorRate:  *breakerErrorRate,
+			LatencyP95: *breakerP95,
+			Cooldown:   *breakerCooldown,
+		},
 	})
 	m.Probe(context.Background())
 	for _, st := range m.Statuses() {

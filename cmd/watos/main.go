@@ -40,6 +40,9 @@ func main() {
 	workers := cliutil.WorkersFlag()
 	noCache := cliutil.NoCacheFlag()
 	remote := cliutil.RemoteFlag()
+	deadline := flag.Duration("deadline", 0, "end-to-end deadline for a -remote request (0 = none); expiry answers deadline_exceeded, not failure")
+	priority := flag.String("priority", "", "scheduling class for a -remote request: interactive (default), sweep-leg or background")
+	retryBudget := flag.Int("retry-budget", 0, "token-bucket retry budget for -remote backpressure (429/503 + Retry-After) and reconnects; 0 = no backpressure retries")
 	flag.Parse()
 
 	if *listModels {
@@ -56,12 +59,16 @@ func main() {
 	spec, err := cliutil.Model(*modelName)
 	fail(err)
 	req := service.Request{
-		Model:  spec.Name,
-		Config: *configName,
-		Batch:  *batch,
-		Micro:  *micro,
-		Seq:    cliutil.SeqLen(spec, *seq),
-		UseGA:  *useGA,
+		Model:    spec.Name,
+		Config:   *configName,
+		Batch:    *batch,
+		Micro:    *micro,
+		Seq:      cliutil.SeqLen(spec, *seq),
+		UseGA:    *useGA,
+		Priority: *priority,
+	}
+	if *deadline > 0 {
+		req.DeadlineMS = deadline.Milliseconds()
 	}
 	req, err = req.Normalize()
 	fail(err)
@@ -75,9 +82,17 @@ func main() {
 				fmt.Fprintf(os.Stderr, "watos: -%s is ignored with -remote (server-side setting)\n", f.Name)
 			}
 		})
-		runRemote(*remote, req, *canon)
+		runRemote(*remote, req, *canon, *retryBudget)
 		return
 	}
+	// Deadlines, priority classes and retry budgets govern admission on a
+	// daemon or router; an in-process search has no queue to shed from.
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "deadline", "priority", "retry-budget":
+			fmt.Fprintf(os.Stderr, "watos: -%s is ignored without -remote\n", f.Name)
+		}
+	})
 
 	candidates, err := cliutil.ArchCandidates(req.Config)
 	fail(err)
@@ -145,9 +160,15 @@ func printPerArch(perArch []service.ArchSummary) {
 // endpoint, so a router fans them out per-architecture across its shards;
 // the merged record set is byte-identical to a single-daemon or in-process
 // sweep either way.
-func runRemote(addr string, req service.Request, canon bool) {
+func runRemote(addr string, req service.Request, canon bool, retryBudget int) {
 	ctx := context.Background()
 	c := client.New(addr)
+	if retryBudget > 0 {
+		// Shed answers (429/503 + Retry-After) become bounded waits instead of
+		// hard failures: each retry spends a token, each success earns a
+		// fraction back, so a persistently overloaded fleet still fails fast.
+		c.Budget = client.NewRetryBudget(retryBudget, 0.1)
+	}
 	if err := c.Health(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "watosd at %s unreachable: %v\n", addr, err)
 		os.Exit(1)

@@ -27,19 +27,68 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	"repro/internal/cliutil"
+	"repro/internal/search/pool"
 	"repro/internal/service"
 	"repro/internal/service/client"
 )
+
+// parseClassBudgets parses "-class-budget background=8,sweep-leg=32" into the
+// per-class backlog caps (indexed by pool.Class; 0 = uncapped). Class names
+// are the wire priority names the API accepts.
+func parseClassBudgets(s string) ([pool.NumClasses]int, error) {
+	var budgets [pool.NumClasses]int
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		name, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return budgets, fmt.Errorf("class budget %q: want class=N", kv)
+		}
+		name = strings.TrimSpace(name)
+		cls, known := pool.ParseClass(name)
+		if name == "" || !known {
+			return budgets, fmt.Errorf("class budget %q: unknown class (want interactive, sweep-leg or background)", name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n < 0 {
+			return budgets, fmt.Errorf("class budget %q: bad cap %q", name, val)
+		}
+		budgets[cls] = n
+	}
+	return budgets, nil
+}
+
+// withInjectedDelay wraps a handler so the first n non-healthz requests stall
+// for d before being served — a development fault that makes the data path
+// slow while the health probe stays green, exactly the brownout the routing
+// tier's latency breaker exists to catch. n <= 0 delays every request.
+func withInjectedDelay(h http.Handler, d time.Duration, n int) http.Handler {
+	var left atomic.Int64
+	unbounded := n <= 0
+	left.Store(int64(n))
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/healthz" && (unbounded || left.Add(-1) >= 0) {
+			time.Sleep(d)
+		}
+		h.ServeHTTP(w, r)
+	})
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "HTTP listen address")
 	workers := cliutil.WorkersFlag()
 	jobs := flag.Int("jobs", 1, "number of jobs running concurrently")
 	backlog := flag.Int("backlog", 64, "queued-job backlog bound (submissions beyond it get HTTP 503)")
+	classBudget := flag.String("class-budget", "", "per-priority-class backlog caps, e.g. background=8,sweep-leg=32,interactive=0 (0 = uncapped; over-budget submissions get HTTP 429 + Retry-After)")
 	history := flag.Int("history", 1024, "retained terminal job records (oldest evicted first)")
 	historyTTL := flag.Duration("history-ttl", time.Hour, "terminal job records expire after this age; polling them returns HTTP 410 (negative = never)")
 	sweepTTL := flag.Duration("sweep-ttl", 15*time.Minute, "terminal async sweep handles expire after this age (negative = never)")
@@ -47,12 +96,21 @@ func main() {
 	snapshot := flag.String("snapshot", "", "cache snapshot path: load at startup, save on shutdown and on POST /v1/snapshot")
 	seedFrom := flag.String("seed-from", "", "peer watosd address to pull a cache snapshot from at startup (shard warm join; mismatched snapshot versions are discarded)")
 	pprofOn := cliutil.PprofFlag()
+	injectDelay := flag.Duration("test-inject-delay", 0, "development fault: stall non-healthz requests by this much (0 = off); pair with -test-inject-first")
+	injectFirst := flag.Int("test-inject-first", 0, "development fault: only the first N non-healthz requests stall (0 = all while -test-inject-delay is set)")
 	flag.Parse()
+
+	budgets, err := parseClassBudgets(*classBudget)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "watosd: -class-budget:", err)
+		os.Exit(2)
+	}
 
 	srv := service.NewServer(service.Options{
 		EvalWorkers:  *workers,
 		JobWorkers:   *jobs,
 		Backlog:      *backlog,
+		ClassBudgets: budgets,
 		History:      *history,
 		HistoryTTL:   *historyTTL,
 		SweepTTL:     *sweepTTL,
@@ -105,9 +163,14 @@ func main() {
 	// forever: bound header and body reads and idle keep-alive. Responses
 	// can be large (canonical records), so writes stay unbounded — the
 	// handler bounds request bodies instead (service.MaxRequestBytes).
+	handler := cliutil.WithPprof(srv.Handler(), *pprofOn)
+	if *injectDelay > 0 {
+		log.Printf("fault injection armed: first %d non-healthz requests stall %v (0 = all)", *injectFirst, *injectDelay)
+		handler = withInjectedDelay(handler, *injectDelay, *injectFirst)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
-		Handler:           cliutil.WithPprof(srv.Handler(), *pprofOn),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       30 * time.Second,
 		IdleTimeout:       2 * time.Minute,
@@ -146,16 +209,16 @@ func main() {
 	// rest of the backlog is dropped and marked failed).
 	closed := make(chan error, 1)
 	go func() { closed <- srv.CloseGraceful() }()
-	var err error
+	var closeErr error
 	select {
-	case err = <-closed:
+	case closeErr = <-closed:
 	case <-forced:
 		log.Print("second signal: dropping the queued backlog")
 		srv.AbortDrain()
-		err = <-closed
+		closeErr = <-closed
 	}
-	if err != nil {
-		log.Printf("snapshot save: %v", err)
+	if closeErr != nil {
+		log.Printf("snapshot save: %v", closeErr)
 	} else if *snapshot != "" {
 		log.Printf("snapshot saved to %s", *snapshot)
 	}

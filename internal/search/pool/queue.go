@@ -1,8 +1,24 @@
 package pool
 
 import (
+	"errors"
 	"runtime"
 	"sync"
+	"time"
+)
+
+// Admission errors returned by TrySubmitTask. The service maps them to
+// distinct HTTP statuses: a full backlog is transient backpressure (503),
+// while a class over its budget or an infeasible deadline is load shedding
+// (429 with a Retry-After hint).
+var (
+	// ErrQueueClosed: the queue no longer accepts tasks.
+	ErrQueueClosed = errors.New("queue closed")
+	// ErrQueueFull: the global backlog (plus direct-handoff slots) is full.
+	ErrQueueFull = errors.New("queue full")
+	// ErrClassOverBudget: this priority class has exhausted its backlog
+	// budget while every worker is busy — the shedding signal.
+	ErrClassOverBudget = errors.New("class backlog budget exhausted")
 )
 
 // Class is a scheduling priority class. Higher classes dispatch strictly
@@ -61,11 +77,28 @@ func ParseClass(s string) (Class, bool) {
 // (priority-inversion avoidance). A Ticket is inert once its task has been
 // handed to a worker.
 type Ticket struct {
-	fn    func()
-	class Class
-	crit  int
-	seq   uint64
-	index int // position in the heap; -1 once dequeued
+	fn       func()
+	class    Class
+	crit     int
+	seq      uint64
+	index    int // position in the heap; -1 once dequeued
+	deadline time.Time
+	expire   func()
+}
+
+// Task is the full-fidelity submission form: a function plus its scheduling
+// class, criticality, and optionally an absolute deadline. A task whose
+// deadline has passed by the time a worker reaches it is never executed —
+// the worker calls Expire instead (cancelled-while-queued), so capacity is
+// not wasted on work whose caller has already given up. Expire must be
+// non-nil for the deadline to be enforced at dispatch, so a dropped task is
+// always observable by its owner.
+type Task struct {
+	Fn       func()
+	Class    Class
+	Crit     int
+	Deadline time.Time // zero = no deadline
+	Expire   func()    // called (off-lock) instead of Fn when Deadline passed
 }
 
 // Queue is a long-lived bounded priority job queue: a fixed set of workers
@@ -88,10 +121,13 @@ type Queue struct {
 	notFull  sync.Cond // blocking Submits wait here for backlog space
 	heap     []*Ticket
 	byClass  [NumClasses]int
+	budgets  [NumClasses]int // per-class backlog caps; 0 = uncapped
 	seq      uint64
 	backlog  int
+	nworkers int
 	waiting  int // workers parked in notEmpty — each is a free direct-handoff slot
 	inflight int
+	avgNs    float64 // EWMA of task execution time, the wait-estimate basis
 	closed   bool
 	discard  bool
 	workers  sync.WaitGroup
@@ -108,7 +144,7 @@ func NewQueue(workers, backlog int) *Queue {
 	if backlog < 0 {
 		backlog = 0
 	}
-	q := &Queue{backlog: backlog, done: make(chan struct{})}
+	q := &Queue{backlog: backlog, nworkers: workers, done: make(chan struct{})}
 	q.notEmpty.L = &q.mu
 	q.notFull.L = &q.mu
 	q.workers.Add(workers)
@@ -116,6 +152,18 @@ func NewQueue(workers, backlog int) *Queue {
 		go q.worker()
 	}
 	return q
+}
+
+// SetClassBudgets caps the queued backlog per priority class; 0 leaves a
+// class uncapped (bounded only by the global backlog). Budgets bite only
+// while every worker is busy — an idle fleet admits any class, since the
+// task hands off directly instead of queueing. Giving background a small
+// budget and interactive a large (or no) one makes overload shed bulk work
+// first and user-facing work last.
+func (q *Queue) SetClassBudgets(budgets [NumClasses]int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.budgets = budgets
 }
 
 // worker drains the heap until the queue is closed and empty. A parked
@@ -141,26 +189,50 @@ func (q *Queue) worker() {
 		if q.discard {
 			continue
 		}
+		// Deadline discipline: a task that expired while queued is never
+		// executed — its owner is notified instead, and the worker moves
+		// straight on to work that can still meet its deadline.
+		if t.expire != nil && !t.deadline.IsZero() && !time.Now().Before(t.deadline) {
+			q.mu.Unlock()
+			t.expire()
+			q.mu.Lock()
+			continue
+		}
 		q.inflight++
 		q.mu.Unlock()
+		start := time.Now()
 		t.fn()
+		elapsed := time.Since(start)
 		q.mu.Lock()
 		q.inflight--
+		q.observeLocked(elapsed)
 	}
+}
+
+// observeLocked folds one task execution time into the EWMA the admission
+// wait estimate is built on.
+func (q *Queue) observeLocked(d time.Duration) {
+	const alpha = 0.25
+	if q.avgNs <= 0 {
+		q.avgNs = float64(d)
+		return
+	}
+	q.avgNs += alpha * (float64(d) - q.avgNs)
 }
 
 // hasSpaceLocked reports whether one more task fits: the configured backlog
 // plus one direct-handoff slot per parked worker.
 func (q *Queue) hasSpaceLocked() bool { return len(q.heap) < q.backlog+q.waiting }
 
-func (q *Queue) pushLocked(fn func(), class Class, crit int) *Ticket {
+func (q *Queue) pushLocked(t Task) *Ticket {
 	q.seq++
-	t := &Ticket{fn: fn, class: class, crit: crit, seq: q.seq, index: len(q.heap)}
-	q.heap = append(q.heap, t)
-	q.byClass[class]++
-	q.up(t.index)
+	tk := &Ticket{fn: t.Fn, class: t.Class, crit: t.Crit, seq: q.seq,
+		index: len(q.heap), deadline: t.Deadline, expire: t.Expire}
+	q.heap = append(q.heap, tk)
+	q.byClass[tk.class]++
+	q.up(tk.index)
 	q.notEmpty.Signal()
-	return t
+	return tk
 }
 
 // TrySubmit enqueues fn at Interactive priority without blocking. It reports
@@ -172,12 +244,28 @@ func (q *Queue) TrySubmit(fn func()) bool { return q.TrySubmitClass(fn, Interact
 // TrySubmitClass is TrySubmit with an explicit class and criticality; it
 // returns the accepted task's Ticket, or nil on backpressure/closed.
 func (q *Queue) TrySubmitClass(fn func(), class Class, crit int) *Ticket {
+	tk, _ := q.TrySubmitTask(Task{Fn: fn, Class: class, Crit: crit})
+	return tk
+}
+
+// TrySubmitTask is the non-blocking admission point with full diagnostics:
+// it returns the accepted task's Ticket, or a typed error saying why the
+// task was refused (ErrQueueClosed, ErrClassOverBudget, ErrQueueFull) so the
+// service can answer shedding (429 + Retry-After) distinctly from plain
+// backpressure (503).
+func (q *Queue) TrySubmitTask(t Task) (*Ticket, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if q.closed || !q.hasSpaceLocked() {
-		return nil
+	if q.closed {
+		return nil, ErrQueueClosed
 	}
-	return q.pushLocked(fn, class, crit)
+	if b := q.budgets[t.Class]; b > 0 && q.waiting == 0 && q.byClass[t.Class] >= b {
+		return nil, ErrClassOverBudget
+	}
+	if !q.hasSpaceLocked() {
+		return nil, ErrQueueFull
+	}
+	return q.pushLocked(t), nil
 }
 
 // Submit enqueues fn at Interactive priority, blocking while the backlog is
@@ -201,7 +289,79 @@ func (q *Queue) SubmitClass(fn func(), class Class, crit int) *Ticket {
 	if q.closed {
 		return nil
 	}
-	return q.pushLocked(fn, class, crit)
+	return q.pushLocked(Task{Fn: fn, Class: class, Crit: crit})
+}
+
+// Cancel removes a still-queued task from the backlog without executing it,
+// freeing its admission slot. It reports false once the task has been handed
+// to a worker (or already cancelled) — in-flight work is never interrupted.
+// This is how a deadline timer cancels an expired job while it is still
+// queued, promptly and without leaking backlog capacity.
+func (q *Queue) Cancel(t *Ticket) bool {
+	if t == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t.index < 0 {
+		return false
+	}
+	q.removeLocked(t.index)
+	q.notFull.Signal()
+	return true
+}
+
+// SetDeadline replaces a queued task's deadline in place (zero clears it),
+// reporting false once the task has been handed to a worker. A coalescing
+// duplicate with a later — or no — deadline extends the queued task's
+// budget this way, the deadline analogue of Promote.
+func (q *Queue) SetDeadline(t *Ticket, deadline time.Time) bool {
+	if t == nil {
+		return false
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if t.index < 0 {
+		return false
+	}
+	t.deadline = deadline
+	return true
+}
+
+// EstimatedWait estimates how long a new arrival at (class, crit) would sit
+// in the backlog before reaching a worker: the tasks that would dispatch
+// ahead of it (everything queued at higher priority, FIFO within equal
+// priority, plus everything in flight) paced at the EWMA task duration
+// across the worker set. Zero means "would dispatch immediately" — also the
+// answer before any task has completed, since with no duration signal the
+// queue has no basis to refuse. Admission control rejects a request whose
+// estimated wait already exceeds its deadline budget.
+func (q *Queue) EstimatedWait(class Class, crit int) time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.avgNs <= 0 {
+		return 0
+	}
+	probe := Ticket{class: class, crit: crit, seq: q.seq + 1}
+	ahead := q.inflight
+	for _, t := range q.heap {
+		if before(t, &probe) {
+			ahead++
+		}
+	}
+	if ahead < q.nworkers {
+		return 0
+	}
+	rounds := float64(ahead-q.nworkers+1) / float64(q.nworkers)
+	return time.Duration(rounds * q.avgNs)
+}
+
+// AvgTaskDuration returns the EWMA task execution time the wait estimate is
+// paced by (zero until the first task completes) — a stats gauge.
+func (q *Queue) AvgTaskDuration() time.Duration {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return time.Duration(q.avgNs)
 }
 
 // Promote raises a queued task to at least (class, crit), resiting it in the
@@ -344,14 +504,20 @@ func (q *Queue) down(i int) {
 	}
 }
 
-func (q *Queue) popLocked() *Ticket {
-	t := q.heap[0]
+func (q *Queue) popLocked() *Ticket { return q.removeLocked(0) }
+
+// removeLocked detaches the ticket at heap position i, restoring the heap
+// invariant around the hole (down then up, since the swapped-in tail may
+// belong either direction when removing from the middle).
+func (q *Queue) removeLocked(i int) *Ticket {
+	t := q.heap[i]
 	last := len(q.heap) - 1
-	q.swap(0, last)
+	q.swap(i, last)
 	q.heap[last] = nil
 	q.heap = q.heap[:last]
-	if last > 0 {
-		q.down(0)
+	if i < last {
+		q.down(i)
+		q.up(i)
 	}
 	t.index = -1
 	q.byClass[t.class]--

@@ -396,3 +396,165 @@ func TestQueueDefaultWidth(t *testing.T) {
 	}
 	q.Close()
 }
+
+// TestQueueClassBudget checks per-class admission budgets: with the worker
+// busy, a class at its budget is refused with ErrClassOverBudget while other
+// classes (and the global backlog) still admit — background sheds first.
+func TestQueueClassBudget(t *testing.T) {
+	q := NewQueue(1, 8)
+	q.SetClassBudgets([NumClasses]int{Background: 1, SweepLeg: 0, Interactive: 0})
+	release := make(chan struct{})
+	started := make(chan struct{})
+	if !q.TrySubmit(func() { close(started); <-release }) {
+		t.Fatal("first TrySubmit refused")
+	}
+	<-started // the single worker is now busy
+	if _, err := q.TrySubmitTask(Task{Fn: func() {}, Class: Background}); err != nil {
+		t.Fatalf("background within budget refused: %v", err)
+	}
+	if _, err := q.TrySubmitTask(Task{Fn: func() {}, Class: Background}); err != ErrClassOverBudget {
+		t.Errorf("background beyond budget: err = %v, want ErrClassOverBudget", err)
+	}
+	if _, err := q.TrySubmitTask(Task{Fn: func() {}, Class: Interactive}); err != nil {
+		t.Errorf("interactive refused while only background is over budget: %v", err)
+	}
+	close(release)
+	q.Close()
+}
+
+// TestQueueClassBudgetIdleBypass checks budgets only bite under load: with a
+// parked worker the task hands off directly, so even a zero-headroom class
+// is admitted.
+func TestQueueClassBudgetIdleBypass(t *testing.T) {
+	q := NewQueue(1, 0)
+	q.SetClassBudgets([NumClasses]int{Background: 1})
+	done := make(chan struct{})
+	// Give the worker time to park so the direct-handoff slot exists.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tk, err := q.TrySubmitTask(Task{Fn: func() { close(done) }, Class: Background})
+		if tk != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("idle queue refused background task: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-done
+	q.Close()
+}
+
+// TestQueueCancel checks Cancel removes a queued task without executing it
+// and frees its admission slot, while an already-dispatched task reports
+// false.
+func TestQueueCancel(t *testing.T) {
+	q := NewQueue(1, 1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	first, err := q.TrySubmitTask(Task{Fn: func() { close(started); <-release }, Class: Interactive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var ran atomic.Bool
+	second, err := q.TrySubmitTask(Task{Fn: func() { ran.Store(true) }, Class: Interactive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Backlog is now full (bound 1).
+	if _, err := q.TrySubmitTask(Task{Fn: func() {}}); err != ErrQueueFull {
+		t.Fatalf("expected ErrQueueFull with full backlog, got %v", err)
+	}
+	if !q.Cancel(second) {
+		t.Fatal("Cancel refused a queued ticket")
+	}
+	if q.Cancel(second) {
+		t.Error("Cancel succeeded twice on the same ticket")
+	}
+	if q.Cancel(first) {
+		t.Error("Cancel succeeded on an in-flight task")
+	}
+	// The cancelled task's slot is free again: the backlog admits a new task.
+	if _, err := q.TrySubmitTask(Task{Fn: func() {}}); err != nil {
+		t.Fatalf("slot leaked: admission refused after Cancel: %v", err)
+	}
+	close(release)
+	q.Close()
+	if ran.Load() {
+		t.Error("cancelled task executed")
+	}
+}
+
+// TestQueueDeadlineExpiredAtDispatch checks a queued task whose deadline
+// passes before a worker reaches it is never executed: Expire runs instead,
+// and the worker slot moves on to live work.
+func TestQueueDeadlineExpiredAtDispatch(t *testing.T) {
+	q := NewQueue(1, 4)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-release })
+	<-started
+	var ran, expired atomic.Bool
+	next := make(chan struct{})
+	if _, err := q.TrySubmitTask(Task{
+		Fn:       func() { ran.Store(true) },
+		Class:    Interactive,
+		Deadline: time.Now().Add(10 * time.Millisecond),
+		Expire:   func() { expired.Store(true) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q.TrySubmit(func() { close(next) })
+	time.Sleep(30 * time.Millisecond) // let the deadline lapse while queued
+	close(release)
+	select {
+	case <-next:
+	case <-time.After(5 * time.Second):
+		t.Fatal("follow-up task never ran")
+	}
+	if ran.Load() {
+		t.Error("expired task executed")
+	}
+	if !expired.Load() {
+		t.Error("Expire callback not invoked for expired task")
+	}
+	q.Close()
+}
+
+// TestQueueEstimatedWait checks the wait estimate is zero on an idle queue,
+// grows with backlog depth once a duration sample exists, and respects
+// priority: an interactive probe does not wait behind queued background
+// work.
+func TestQueueEstimatedWait(t *testing.T) {
+	q := NewQueue(1, 16)
+	if w := q.EstimatedWait(Interactive, 0); w != 0 {
+		t.Fatalf("EstimatedWait on idle queue = %v, want 0", w)
+	}
+	// Produce one duration sample (~20ms).
+	done := make(chan struct{})
+	q.TrySubmit(func() { time.Sleep(20 * time.Millisecond); close(done) })
+	<-done
+	for q.AvgTaskDuration() == 0 { // worker records the sample after fn returns
+		time.Sleep(time.Millisecond)
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-release })
+	<-started
+	for i := 0; i < 4; i++ {
+		if _, err := q.TrySubmitTask(Task{Fn: func() {}, Class: Background}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bg := q.EstimatedWait(Background, 0)
+	ia := q.EstimatedWait(Interactive, 0)
+	if bg <= 0 {
+		t.Errorf("background EstimatedWait = %v behind 4 queued + 1 running, want > 0", bg)
+	}
+	if ia >= bg {
+		t.Errorf("interactive EstimatedWait %v not below background %v", ia, bg)
+	}
+	close(release)
+	q.Close()
+}

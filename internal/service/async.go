@@ -40,6 +40,13 @@ type SweepLeg struct {
 	// Result is the leg's completed record — the partial Table II row a
 	// poller can consume before the sweep finishes.
 	Result *Result `json:"result,omitempty"`
+	// Degraded marks a leg the router could not complete (every replica
+	// exhausted or the leg's deadline expired in flight) that was absorbed
+	// instead of failing the sweep: the merged record carries the leg's
+	// arch with a degraded status — or a cached prior result — and the
+	// sweep still answers. Always false on a single daemon, which has no
+	// replica set to degrade across.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SweepStatus is the durable, pollable handle of an async sweep.
@@ -54,6 +61,10 @@ type SweepStatus struct {
 	Error       string     `json:"error,omitempty"`
 	SubmittedAt time.Time  `json:"submitted_at"`
 	FinishedAt  time.Time  `json:"finished_at,omitzero"`
+	// Deadline is the sweep's absolute admission deadline (zero when the
+	// request carried no deadline_ms): all legs spend from this one budget,
+	// retries and failovers included.
+	Deadline time.Time `json:"deadline,omitzero"`
 	// Result is the merged record set, byte-identical (Canonical) to the
 	// same sweep run synchronously on a single daemon. Set on done.
 	Result *Result `json:"result,omitempty"`
@@ -87,7 +98,7 @@ func cloneSweepStatus(s SweepStatus) SweepStatus {
 // submit-and-wait path both use, so both render one representation.
 func (s SweepStatus) ToResult() (SweepResult, error) {
 	switch {
-	case s.State == StateFailed:
+	case s.State == StateFailed || s.State == StateExpired:
 		return SweepResult{}, errors.New("service: " + s.Error)
 	case s.State != StateDone:
 		return SweepResult{}, fmt.Errorf("service: sweep %s still %s", s.ID, s.State)
@@ -100,6 +111,7 @@ func (s SweepStatus) ToResult() (SweepResult, error) {
 			Fingerprint: leg.Fingerprint,
 			Shard:       leg.Shard,
 			Coalesced:   leg.Coalesced,
+			Degraded:    leg.Degraded,
 		})
 	}
 	return out, nil
@@ -167,7 +179,14 @@ func (s *Server) StartSweep(req Request) (SweepStatus, error) {
 
 	for _, i := range sweepDispatchOrder(legs) {
 		part := parts[i]
-		part.Priority = "sweep-leg"
+		// Legs ride the sweep's requested class end-to-end: an interactive
+		// sweep's legs overtake queued bulk work, a background sweep's legs
+		// yield to everything. Only an unlabelled sweep defaults to the
+		// bulk sweep-leg class — for legs, "no label" means batch work, not
+		// the somebody-is-waiting default a single job gets.
+		if part.Priority == "" {
+			part.Priority = "sweep-leg"
+		}
 		part.Criticality = legs[i].Criticality
 		j, coalesced, err := s.Submit(part)
 		if err != nil {
@@ -222,8 +241,16 @@ func (s *Server) legDone(id string, idx int, j Job) {
 		} else {
 			leg.Error = j.Error
 			if st.State == StateRunning {
-				st.State = StateFailed
-				st.Error = fmt.Sprintf("sweep part %s failed: %s", leg.Config, j.Error)
+				// A leg killed by its own deadline surfaces as
+				// deadline_exceeded on the sweep too — budget exhaustion,
+				// not a fault. Any other leg failure fails the sweep.
+				if j.State == StateExpired {
+					st.State = StateExpired
+					st.Error = fmt.Sprintf("sweep part %s deadline exceeded: %s", leg.Config, j.Error)
+				} else {
+					st.State = StateFailed
+					st.Error = fmt.Sprintf("sweep part %s failed: %s", leg.Config, j.Error)
+				}
 				st.FinishedAt = time.Now()
 			}
 		}

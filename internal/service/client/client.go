@@ -12,6 +12,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -45,6 +46,76 @@ type Client struct {
 	// under a burst, every client's budget would otherwise tick on the same
 	// deterministic schedule and re-dogpile the failover target in lockstep.
 	RetryDelay time.Duration
+	// Budget, when set, is a token-bucket retry budget shared across this
+	// client's calls: every retry (connection-level or backpressure) costs a
+	// token, and each success refills a fraction of one. It also unlocks
+	// backpressure retries — a 429/503 carrying Retry-After is retried after
+	// that delay while tokens last. nil keeps the legacy behavior: bounded
+	// connection retries, HTTP statuses never retried. The bucket shape makes
+	// the worst case additive: a healthy stream of successes earns back
+	// retries, but a browning-out service cannot be hammered with more than
+	// the initial burst.
+	Budget *RetryBudget
+}
+
+// RetryBudget is a token-bucket retry budget, safe for concurrent use and
+// shareable between clients (every retry anywhere draws from one bucket).
+type RetryBudget struct {
+	mu     sync.Mutex
+	tokens float64
+	max    float64
+	earn   float64 // tokens credited per successful request
+}
+
+// NewRetryBudget returns a budget holding (and capped at) max tokens, earning
+// earnPerSuccess tokens back per successful request (clamped to [0, 1]).
+func NewRetryBudget(max int, earnPerSuccess float64) *RetryBudget {
+	if max < 0 {
+		max = 0
+	}
+	if earnPerSuccess < 0 {
+		earnPerSuccess = 0
+	}
+	if earnPerSuccess > 1 {
+		earnPerSuccess = 1
+	}
+	return &RetryBudget{tokens: float64(max), max: float64(max), earn: earnPerSuccess}
+}
+
+// take consumes one retry token, reporting false when the budget is dry.
+func (b *RetryBudget) take() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// success credits the per-success earnings back into the bucket.
+func (b *RetryBudget) success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	if b.tokens += b.earn; b.tokens > b.max {
+		b.tokens = b.max
+	}
+	b.mu.Unlock()
+}
+
+// Remaining reports the whole tokens currently in the bucket.
+func (b *RetryBudget) Remaining() int {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return int(b.tokens)
 }
 
 // DefaultRetries is the connection-error retry budget of a fresh Client.
@@ -70,9 +141,28 @@ func New(addr string) *Client {
 type StatusError struct {
 	Code    int
 	Message string
+	// RetryAfter is the server's Retry-After hint (zero when absent). It is
+	// the retry-eligibility signal for backpressure statuses: a 429 (load
+	// shed) or 503 (queue full) carrying it invites one retry after the
+	// delay; a 503 without it (daemon draining) says to go elsewhere.
+	RetryAfter time.Duration
 }
 
 func (e *StatusError) Error() string { return e.Message }
+
+// retryAfter parses a Retry-After response header (delta-seconds form; the
+// HTTP-date form is not used by this service's servers).
+func retryAfter(resp *http.Response) time.Duration {
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
 
 // cancelBody releases a per-attempt timeout context when the response body
 // is closed. The context must outlive request() on the success path — the
@@ -129,7 +219,7 @@ func (c *Client) request(ctx context.Context, method, path string, in []byte, co
 		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
 			msg = fmt.Sprintf("watosd %s %s: %s (HTTP %d)", method, path, eb.Error, resp.StatusCode)
 		}
-		return nil, &StatusError{Code: resp.StatusCode, Message: msg}
+		return nil, &StatusError{Code: resp.StatusCode, Message: msg, RetryAfter: retryAfter(resp)}
 	}
 	resp.Body = &cancelBody{ReadCloser: resp.Body, cancel: cancel}
 	return resp, nil
@@ -165,11 +255,17 @@ func jitter(d time.Duration) time.Duration {
 	return time.Duration(jitterRand.Int63n(int64(d / 2)))
 }
 
-// openData runs one raw-body request with the bounded connection-error retry
-// loop. HTTP statuses (StatusError) and context cancellation are terminal;
-// only transport-level failures burn retry budget, backing off exponentially
-// with bounded jitter. A canceled context stops the loop immediately —
-// before the backoff sleep, and mid-sleep if it fires then.
+// openData runs one raw-body request with the bounded retry loop. Context
+// cancellation is always terminal — before the backoff sleep, and mid-sleep
+// if it fires then. Two failure classes retry:
+//
+//   - transport-level failures, bounded by Retries, backing off exponentially
+//     with bounded jitter;
+//   - with a Budget set, backpressure answers — a 429 (admission shed) or 503
+//     (queue full) carrying Retry-After — after honoring the server's delay.
+//
+// Every retry of either class draws a Budget token when a Budget is set; any
+// other HTTP status is the request's deterministic answer and never retried.
 func (c *Client) openData(ctx context.Context, method, path string, data []byte, contentType string) (*http.Response, error) {
 	delay := c.RetryDelay
 	if delay <= 0 {
@@ -179,19 +275,34 @@ func (c *Client) openData(ctx context.Context, method, path string, data []byte,
 	for attempt := 0; ; attempt++ {
 		resp, err := c.request(ctx, method, path, data, contentType)
 		if err == nil {
+			c.Budget.success()
 			return resp, nil
 		}
 		lastErr = err
-		var se *StatusError
-		if errors.As(err, &se) || ctx.Err() != nil || attempt >= c.Retries {
+		if ctx.Err() != nil {
 			return nil, lastErr
+		}
+		wait := delay + jitter(delay)
+		var se *StatusError
+		switch {
+		case errors.As(err, &se):
+			backpressure := se.RetryAfter > 0 &&
+				(se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable)
+			if !backpressure || c.Budget == nil || !c.Budget.take() {
+				return nil, lastErr
+			}
+			wait = se.RetryAfter
+		default: // transport-level
+			if attempt >= c.Retries || !c.Budget.take() {
+				return nil, lastErr
+			}
+			delay *= 2
 		}
 		select {
 		case <-ctx.Done():
 			return nil, lastErr
-		case <-time.After(delay + jitter(delay)):
+		case <-time.After(wait):
 		}
-		delay *= 2
 	}
 }
 

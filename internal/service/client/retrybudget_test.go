@@ -1,0 +1,122 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptedServer answers each request with the next scripted status; once the
+// script is exhausted it answers 200. Statuses < 0 mean "send Retry-After: 1
+// with the absolute value".
+func scriptedServer(t *testing.T, script ...int) (*httptest.Server, *atomic.Int32) {
+	t.Helper()
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(hits.Add(1)) - 1
+		if n >= len(script) {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		code := script[n]
+		if code < 0 {
+			code = -code
+			w.Header().Set("Retry-After", "1")
+		}
+		http.Error(w, `{"error":"overloaded"}`, code)
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+// TestClientParsesRetryAfter: the backoff hint lands on the StatusError, and
+// without a Budget a shed answer stays terminal — one attempt, no retry.
+func TestClientParsesRetryAfter(t *testing.T) {
+	ts, hits := scriptedServer(t, -429, -429)
+	c := New(ts.URL)
+	err := c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want StatusError 429", err)
+	}
+	if se.RetryAfter != time.Second {
+		t.Errorf("RetryAfter = %v, want 1s", se.RetryAfter)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server hit %d times without a budget, want 1", got)
+	}
+}
+
+// TestClientBudgetRetriesBackpressure: with a Budget, a 429 + Retry-After is
+// retried after the server's delay and the call succeeds.
+func TestClientBudgetRetriesBackpressure(t *testing.T) {
+	ts, hits := scriptedServer(t, -429)
+	c := New(ts.URL)
+	c.Budget = NewRetryBudget(4, 0.1)
+	start := time.Now()
+	if err := c.Health(context.Background()); err != nil {
+		t.Fatalf("Health through one shed: %v", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server hit %d times, want 2 (shed + retry)", got)
+	}
+	if waited := time.Since(start); waited < time.Second {
+		t.Errorf("retried after %v, want >= the 1s Retry-After", waited)
+	}
+	if rem := c.Budget.Remaining(); rem != 3 {
+		t.Errorf("budget remaining = %d, want 3 (4 - 1 retry + 0.1 earned)", rem)
+	}
+}
+
+// TestClientBudgetExhaustion: a dry budget ends the retry loop — the shed
+// answer surfaces after exactly budget+1 attempts, and a 503 without
+// Retry-After (draining) is never retried even with tokens left.
+func TestClientBudgetExhaustion(t *testing.T) {
+	ts, hits := scriptedServer(t, -429, -429, -429, -429)
+	c := New(ts.URL)
+	c.Budget = NewRetryBudget(1, 0)
+	err := c.Health(context.Background())
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want StatusError 429 after budget exhaustion", err)
+	}
+	if got := hits.Load(); got != 2 {
+		t.Errorf("server hit %d times, want 2 (1 + budget of 1)", got)
+	}
+
+	// Draining-style 503 (no Retry-After): terminal regardless of budget.
+	ts2, hits2 := scriptedServer(t, 503, 503)
+	c2 := New(ts2.URL)
+	c2.Budget = NewRetryBudget(4, 0)
+	if err := c2.Health(context.Background()); err == nil {
+		t.Fatal("503 without Retry-After succeeded")
+	}
+	if got := hits2.Load(); got != 1 {
+		t.Errorf("server hit %d times for a hintless 503, want 1", got)
+	}
+	if rem := c2.Budget.Remaining(); rem != 4 {
+		t.Errorf("hintless 503 burned budget: %d remaining, want 4", rem)
+	}
+}
+
+// TestClientBudgetGatesConnectionRetries: when a Budget is set, transport
+// retries draw from it too — a dry bucket stops the reconnect storm even
+// inside the Retries bound.
+func TestClientBudgetGatesConnectionRetries(t *testing.T) {
+	_, c := startDaemon(t)
+	dead := &flakyTransport{failures: 1 << 30, inner: http.DefaultTransport}
+	c.hc.Transport = dead
+	c.RetryDelay = time.Millisecond
+	c.Retries = 5
+	c.Budget = NewRetryBudget(2, 0)
+	if err := c.Health(context.Background()); err == nil {
+		t.Fatal("Health against a dead transport succeeded")
+	}
+	if got := dead.attempts.Load(); got != 3 {
+		t.Errorf("made %d attempts, want 3 (1 + budget of 2, inside Retries=5)", got)
+	}
+}

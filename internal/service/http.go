@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // API surface (all JSON):
@@ -68,6 +70,39 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 // client cannot pin handler memory.
 const MaxRequestBytes = 1 << 20
 
+// SetRetryAfter stamps the standard backoff hint (whole seconds, rounded
+// up, minimum 1 — zero reads as "immediately").
+func SetRetryAfter(w http.ResponseWriter, d time.Duration) {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+}
+
+// WriteSubmitError renders a submission error with the overload-protection
+// status split both daemons share: shedding is 429 + Retry-After (the class
+// budget or the request's own deadline refused it — back off and retry),
+// plain backpressure and draining are 503 (a full backlog also carries
+// Retry-After since it clears as the queue drains; draining does not — this
+// daemon is leaving and retries belong elsewhere), anything else is the
+// caller's 400.
+func WriteSubmitError(w http.ResponseWriter, err error) {
+	var shed *ShedError
+	switch {
+	case errors.As(err, &shed):
+		SetRetryAfter(w, shed.RetryAfter)
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrBusy):
+		SetRetryAfter(w, time.Second)
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.Is(err, ErrDraining):
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxRequestBytes))
@@ -79,10 +114,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, coalesced, err := s.Submit(req)
 	switch {
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
 	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		WriteSubmitError(w, err)
 	case coalesced:
 		writeJSON(w, http.StatusOK, j)
 	default:
@@ -127,9 +160,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") != "" {
 		// Synchronous compatibility flow: block until the merge.
 		res, err := s.Sweep(req)
+		var shed *ShedError
 		switch {
-		case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
-			writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+		case errors.As(err, &shed), errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
+			WriteSubmitError(w, err)
 		case err != nil:
 			writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
 		default:
@@ -138,14 +172,11 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st, err := s.StartSweep(req)
-	switch {
-	case errors.Is(err, ErrBusy), errors.Is(err, ErrDraining):
-		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
-	case err != nil:
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
-	default:
-		writeJSON(w, http.StatusAccepted, st)
+	if err != nil {
+		WriteSubmitError(w, err)
+		return
 	}
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleSweepList(w http.ResponseWriter, r *http.Request) {

@@ -87,6 +87,16 @@ type Request struct {
 	// gating the most downstream merge work carry the highest value).
 	// Like Priority it never enters the fingerprint.
 	Criticality int `json:"criticality,omitempty"`
+	// DeadlineMS is the caller's remaining time budget in milliseconds,
+	// converted to an absolute deadline when the request is admitted (a
+	// relative budget survives store-and-forward hops; each tier re-derives
+	// the remainder before forwarding). 0 = no deadline. A job whose
+	// deadline passes while it is still queued is cancelled without ever
+	// executing and reported as deadline_exceeded; a job whose estimated
+	// queue wait already exceeds the budget is refused at admission with
+	// 429 + Retry-After. Like Priority, a deadline is scheduling metadata
+	// and never part of the fingerprint.
+	DeadlineMS int64 `json:"deadline_ms,omitempty"`
 }
 
 // Normalize applies the CLI-equivalent defaults and validates the model
@@ -119,7 +129,19 @@ func (r Request) Normalize() (Request, error) {
 	if _, ok := pool.ParseClass(r.Priority); !ok {
 		return r, fmt.Errorf("unknown priority %q (want interactive, sweep-leg or background)", r.Priority)
 	}
+	if r.DeadlineMS < 0 {
+		return r, fmt.Errorf("negative deadline_ms %d", r.DeadlineMS)
+	}
 	return r, nil
+}
+
+// deadline converts the relative wire budget into an absolute deadline at
+// admission time (zero when the request carries none).
+func (r Request) deadline(now time.Time) time.Time {
+	if r.DeadlineMS <= 0 {
+		return time.Time{}
+	}
+	return now.Add(time.Duration(r.DeadlineMS) * time.Millisecond)
 }
 
 // class resolves the request's scheduling class (call after Normalize).
@@ -146,16 +168,22 @@ func (r Request) Fingerprint() string {
 // State is a job lifecycle state.
 type State string
 
-// Job lifecycle: queued → running → done | failed.
+// Job lifecycle: queued → running → done | failed | deadline_exceeded.
 const (
 	StateQueued  State = "queued"
 	StateRunning State = "running"
 	StateDone    State = "done"
 	StateFailed  State = "failed"
+	// StateExpired marks a job cancelled by its own deadline while still
+	// queued (it never executed). It is deliberately distinct from
+	// StateFailed: the work was fine, the caller's budget ran out — a
+	// client should not treat it as a server fault, and a retry with a
+	// larger budget may well succeed.
+	StateExpired State = "deadline_exceeded"
 )
 
 // Terminal reports whether the state is final.
-func (s State) Terminal() bool { return s == StateDone || s == StateFailed }
+func (s State) Terminal() bool { return s == StateDone || s == StateFailed || s == StateExpired }
 
 // ArchSummary is one architecture candidate's outcome inside a Result.
 type ArchSummary struct {
@@ -208,10 +236,13 @@ type Job struct {
 	// through in-flight dedup.
 	Coalesced   int       `json:"coalesced"`
 	SubmittedAt time.Time `json:"submitted_at"`
-	StartedAt   time.Time `json:"started_at,omitempty"`
-	FinishedAt  time.Time `json:"finished_at,omitempty"`
-	Result      *Result   `json:"result,omitempty"`
-	Error       string    `json:"error,omitempty"`
+	// Deadline is the absolute point the job's budget expires (zero = no
+	// deadline); it is the latest deadline across the coalesced submitters.
+	Deadline   time.Time `json:"deadline,omitzero"`
+	StartedAt  time.Time `json:"started_at,omitempty"`
+	FinishedAt time.Time `json:"finished_at,omitempty"`
+	Result     *Result   `json:"result,omitempty"`
+	Error      string    `json:"error,omitempty"`
 }
 
 // Summary is the listing form of a job (no result payload).
@@ -232,6 +263,13 @@ type Stats struct {
 	JobsDone      uint64 `json:"jobs_done"`
 	JobsFailed    uint64 `json:"jobs_failed"`
 	JobsRejected  uint64 `json:"jobs_rejected"`
+	// JobsExpired counts jobs cancelled by their own deadline while still
+	// queued (deadline_exceeded) — distinct from JobsFailed.
+	JobsExpired uint64 `json:"jobs_expired"`
+	// JobsShed counts admissions refused by overload protection: the class
+	// backlog budget was exhausted or the estimated queue wait already
+	// exceeded the request's deadline (HTTP 429 + Retry-After).
+	JobsShed uint64 `json:"jobs_shed"`
 	// JobsEvicted counts terminal job records dropped by the History cap
 	// or HistoryTTL; polling an evicted job ID returns 410 Gone.
 	JobsEvicted uint64 `json:"jobs_evicted"`
@@ -248,6 +286,12 @@ type Stats struct {
 	QueueInteractive int `json:"queue_interactive"`
 	QueueSweepLeg    int `json:"queue_sweep_leg"`
 	QueueBackground  int `json:"queue_background"`
+	// EstWaitMS estimates how long a new arrival of each class would queue
+	// before dispatch (EWMA job duration × slots ahead) — the signal
+	// admission control sheds on, exposed so operators and the routing
+	// tier can see shedding coming before it starts.
+	EstWaitInteractiveMS int64 `json:"est_wait_interactive_ms"`
+	EstWaitBackgroundMS  int64 `json:"est_wait_background_ms"`
 	// JobsPending and JobsRunning are job-store gauges over the retained
 	// records (pending = queued), complementing the JobsDone/JobsFailed
 	// counters above.
@@ -296,6 +340,13 @@ type Options struct {
 	// Backlog bounds the queued-job backlog (default 64); submissions
 	// beyond it are rejected with ErrBusy.
 	Backlog int
+	// ClassBudgets caps the queued backlog per priority class (indexed by
+	// pool.Class; 0 = uncapped). Budgets bite only while every job worker
+	// is busy, so an idle daemon still takes any class. A submission over
+	// its class budget is shed with a ShedError (HTTP 429 + Retry-After)
+	// rather than ErrBusy: background work is given the smallest budget so
+	// it sheds first, interactive the largest so it sheds last.
+	ClassBudgets [pool.NumClasses]int
 	// History bounds the retained terminal (done/failed) job records
 	// (default 1024). A resident daemon would otherwise grow without
 	// bound: every completed job pins its full canonical exploration
@@ -333,6 +384,30 @@ var ErrBusy = errors.New("service: job backlog full")
 // not take on jobs whose results nobody would route a poll to.
 var ErrDraining = errors.New("service: daemon is draining")
 
+// ShedError reports a submission refused by overload protection — the class
+// backlog budget is exhausted, or the estimated queue wait already exceeds
+// the request's deadline so accepting it would only burn capacity on work
+// destined to expire. It maps to HTTP 429 with RetryAfter as the Retry-After
+// hint (when the backlog should have drained enough to try again).
+type ShedError struct {
+	Reason     string
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("service: %s (retry after %s)", e.Reason, e.RetryAfter.Round(time.Millisecond))
+}
+
+// retryAfterHint turns an estimated queue wait into a usable Retry-After:
+// at least one second (the HTTP header has second granularity and a zero
+// hint reads as "immediately", which would re-trigger the same rejection).
+func retryAfterHint(wait time.Duration) time.Duration {
+	if wait < time.Second {
+		return time.Second
+	}
+	return wait.Round(time.Second)
+}
+
 // job is the internal record; all fields are guarded by Server.mu.
 type job struct {
 	Job
@@ -341,6 +416,10 @@ type job struct {
 	// handle an interactive duplicate uses to drag a queued sweep leg up
 	// to its own urgency. Inert once the job starts.
 	ticket *pool.Ticket
+	// expireTimer fires at the job's deadline to cancel it while queued;
+	// stopped when the job starts running or a coalescing submitter
+	// extends the deadline.
+	expireTimer *time.Timer
 }
 
 // Server is the evaluation service.
@@ -395,7 +474,7 @@ func NewServer(opts Options, pred predictor.Predictor) *Server {
 	if opts.HistoryTTL == 0 {
 		opts.HistoryTTL = time.Hour
 	}
-	return &Server{
+	s := &Server{
 		opts:  opts,
 		pred:  pred,
 		queue: pool.NewQueue(opts.JobWorkers, opts.Backlog),
@@ -409,6 +488,8 @@ func NewServer(opts Options, pred predictor.Predictor) *Server {
 		inflight:  make(map[string]*job),
 		sweepDone: make(map[string]chan struct{}),
 	}
+	s.queue.SetClassBudgets(opts.ClassBudgets)
+	return s
 }
 
 // Predictor returns the server's predictor — the cache-identity anchor a
@@ -426,6 +507,9 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 	}
 	fp := norm.Fingerprint()
 
+	now := time.Now()
+	deadline := norm.deadline(now)
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -441,7 +525,24 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 		// waiting user is served at interactive urgency while the sweep
 		// still gets the shared result.
 		s.queue.Promote(j.ticket, norm.class(), norm.Criticality)
+		// Deadline extension mirrors Promote (raise-only): a duplicate with
+		// a later deadline — or none — must not lose the shared result to
+		// the first submitter's tighter budget.
+		s.extendDeadlineLocked(j, deadline)
 		return j.Job, true, nil
+	}
+	// Estimated-wait admission: refuse a deadlined request whose queue wait
+	// alone would already blow its budget — accepting it wastes backlog
+	// space on work destined to expire, and the caller learns *now* (429 +
+	// Retry-After) instead of after the budget is gone.
+	if !deadline.IsZero() {
+		if wait := s.queue.EstimatedWait(norm.class(), norm.Criticality); now.Add(wait).After(deadline) {
+			s.stats.JobsShed++
+			return Job{}, false, &ShedError{
+				Reason:     fmt.Sprintf("estimated queue wait %s exceeds deadline budget %dms", wait.Round(time.Millisecond), norm.DeadlineMS),
+				RetryAfter: retryAfterHint(wait),
+			}
+		}
 	}
 	s.seq++
 	j := &job{
@@ -450,17 +551,42 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 			Fingerprint: fp,
 			State:       StateQueued,
 			Request:     norm,
-			SubmittedAt: time.Now(),
+			SubmittedAt: now,
+			Deadline:    deadline,
 		},
 		done: make(chan struct{}),
 	}
-	// Reserve the queue slot before the job becomes visible: TrySubmitClass
-	// is non-blocking, so holding the lock here is safe, and a backlog-full
-	// rejection leaves no half-registered state behind.
-	j.ticket = s.queue.TrySubmitClass(func() { s.run(j) }, norm.class(), norm.Criticality)
-	if j.ticket == nil {
+	// Reserve the queue slot before the job becomes visible: TrySubmitTask
+	// is non-blocking, so holding the lock here is safe, and a rejection
+	// leaves no half-registered state behind.
+	j.ticket, err = s.queue.TrySubmitTask(pool.Task{
+		Fn:       func() { s.run(j) },
+		Class:    norm.class(),
+		Crit:     norm.Criticality,
+		Deadline: deadline,
+		Expire:   func() { s.expire(j) },
+	})
+	if err != nil {
+		if errors.Is(err, pool.ErrClassOverBudget) {
+			s.stats.JobsShed++
+			return Job{}, false, &ShedError{
+				Reason:     fmt.Sprintf("%s backlog budget exhausted", norm.class()),
+				RetryAfter: retryAfterHint(s.queue.EstimatedWait(norm.class(), norm.Criticality)),
+			}
+		}
 		s.stats.JobsRejected++
 		return Job{}, false, ErrBusy
+	}
+	if !deadline.IsZero() {
+		// Cancel-while-queued: at the deadline, pull the job out of the
+		// backlog (if a worker has not taken it, it never executes) and
+		// report deadline_exceeded promptly — a waiting client must not
+		// discover the expiry only when a worker finally reaches the slot.
+		j.expireTimer = time.AfterFunc(time.Until(deadline), func() {
+			if s.queue.Cancel(j.ticket) {
+				s.expire(j)
+			}
+		})
 	}
 	s.jobs[j.ID] = j
 	s.order = append(s.order, j.ID)
@@ -469,9 +595,69 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 	return j.Job, false, nil
 }
 
+// extendDeadlineLocked raises (or clears) a queued job's deadline to a later
+// coalescing submitter's budget. Zero newDeadline means the duplicate has no
+// deadline: the job's own is cleared, since at least one waiter is patient.
+func (s *Server) extendDeadlineLocked(j *job, newDeadline time.Time) {
+	if j.State != StateQueued || j.Deadline.IsZero() {
+		return // running jobs finish regardless; no deadline to extend
+	}
+	if !newDeadline.IsZero() && !newDeadline.After(j.Deadline) {
+		return
+	}
+	if j.expireTimer != nil {
+		j.expireTimer.Stop()
+		j.expireTimer = nil
+	}
+	j.Deadline = newDeadline
+	s.queue.SetDeadline(j.ticket, newDeadline)
+	if !newDeadline.IsZero() {
+		j.expireTimer = time.AfterFunc(time.Until(newDeadline), func() {
+			if s.queue.Cancel(j.ticket) {
+				s.expire(j)
+			}
+		})
+	}
+}
+
+// expire marks a still-queued job deadline_exceeded. It is reached from the
+// deadline timer (after winning the queue.Cancel race) and from the queue
+// worker finding the deadline past at dispatch; both mean the job never
+// executed. A lost race (the job already running or expired) is a no-op.
+func (s *Server) expire(j *job) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j.State != StateQueued {
+		return
+	}
+	if j.expireTimer != nil {
+		j.expireTimer.Stop()
+		j.expireTimer = nil
+	}
+	j.State = StateExpired
+	j.Error = fmt.Sprintf("deadline exceeded: %dms budget elapsed while queued", j.Request.DeadlineMS)
+	j.FinishedAt = time.Now()
+	s.stats.JobsExpired++
+	delete(s.inflight, j.Fingerprint)
+	close(j.done)
+	s.evictHistoryLocked()
+}
+
 // run executes one job on a queue worker.
 func (s *Server) run(j *job) {
 	s.mu.Lock()
+	if j.State != StateQueued { // expired in the dispatch race; never execute
+		s.mu.Unlock()
+		return
+	}
+	if j.expireTimer != nil {
+		// Once running, the job finishes regardless of deadline: the work
+		// is not abandonable mid-simulation, and its result warms the
+		// shared caches either way. Deadline enforcement on in-flight work
+		// is the caller's side (the router abandons expired legs).
+		j.expireTimer.Stop()
+		j.expireTimer = nil
+	}
 	j.State = StateRunning
 	j.StartedAt = time.Now()
 	req := j.Request
@@ -727,11 +913,13 @@ func (s *Server) Stats() Stats {
 	st.QueueInteractive = depths[pool.Interactive]
 	st.QueueSweepLeg = depths[pool.SweepLeg]
 	st.QueueBackground = depths[pool.Background]
+	st.EstWaitInteractiveMS = s.queue.EstimatedWait(pool.Interactive, 0).Milliseconds()
+	st.EstWaitBackgroundMS = s.queue.EstimatedWait(pool.Background, 0).Milliseconds()
 	s.sweeps.Each(func(_ string, sw SweepStatus) {
 		switch sw.State {
 		case StateDone:
 			st.SweepsDone++
-		case StateFailed:
+		case StateFailed, StateExpired:
 			st.SweepsFailed++
 		default:
 			st.SweepsRunning++
@@ -766,6 +954,10 @@ func (s *Server) Close() error {
 		j := s.jobs[id]
 		if j.State.Terminal() {
 			continue
+		}
+		if j.expireTimer != nil {
+			j.expireTimer.Stop()
+			j.expireTimer = nil
 		}
 		j.State = StateFailed
 		j.Error = "service: daemon shut down before the job ran"

@@ -2,6 +2,7 @@ package service
 
 import (
 	"errors"
+	"fmt"
 
 	"repro/internal/cliutil"
 )
@@ -39,6 +40,11 @@ type SweepJobRef struct {
 	// Coalesced reports whether the part piggybacked on an identical
 	// in-flight job instead of starting a fresh execution.
 	Coalesced bool `json:"coalesced,omitempty"`
+	// Degraded marks a part the router absorbed instead of failing the
+	// sweep (replica set exhausted / in-flight deadline expiry): its row
+	// in the merged record is a degraded placeholder or a cached prior
+	// result. See MergeSweepDegraded.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 // SweepResult is the POST /v1/sweeps payload: the merged sweep outcome plus
@@ -98,6 +104,46 @@ func MergeSweep(parts []*Result) (*Result, error) {
 	out.PerArch = nil
 	out.Canonical = ""
 	for _, p := range parts {
+		out.PerArch = append(out.PerArch, p.PerArch...)
+		out.Canonical += p.Canonical
+	}
+	return &out, nil
+}
+
+// MergeSweepDegraded merges a partially-served sweep: parts is in sweep
+// order with nil entries where a leg could not be served (replica set
+// exhausted, in-flight deadline expiry), configs names every leg, and
+// degradedErr[i] says why part i is missing. Each missing leg contributes a
+// per-arch "degraded: ..." marker row — the same shape an in-process
+// core.Explore gives an infeasible architecture — instead of failing the
+// merge, so a sweep through a brownout still answers with every row it
+// could gather. The merged record is NOT byte-identical to a healthy sweep
+// and must never enter a completed-result cache; callers flag it through
+// the leg/job Degraded markers. A sweep with no servable part at all still
+// merges: all rows are markers and the summary fields stay zero.
+func MergeSweepDegraded(parts []*Result, configs, degradedErr []string) (*Result, error) {
+	if len(parts) == 0 {
+		return nil, errors.New("service: empty sweep")
+	}
+	var best *Result
+	for _, p := range parts {
+		if p != nil && (best == nil || p.Throughput > best.Throughput) {
+			best = p
+		}
+	}
+	var out Result
+	if best != nil {
+		out = *best
+	}
+	out.PerArch = nil
+	out.Canonical = ""
+	for i, p := range parts {
+		if p == nil {
+			msg := "degraded: " + degradedErr[i]
+			out.PerArch = append(out.PerArch, ArchSummary{Name: configs[i], Status: msg})
+			out.Canonical += fmt.Sprintf("arch=%s err=%s\n", configs[i], msg)
+			continue
+		}
 		out.PerArch = append(out.PerArch, p.PerArch...)
 		out.Canonical += p.Canonical
 	}

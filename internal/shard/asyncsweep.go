@@ -2,6 +2,7 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"sort"
 	"time"
 
@@ -64,6 +65,9 @@ func (r *Router) StartSweep(req service.Request) (service.SweepStatus, error) {
 			State:       service.StateQueued,
 		}
 	}
+	// The sweep's deadline budget is absolute from here: every leg shares it,
+	// and retries/failovers spend from it rather than restarting it.
+	deadline := requestDeadline(norm, time.Now())
 	id, _ := r.sweeps.Create(func(id string) service.SweepStatus {
 		return service.SweepStatus{
 			ID:          id,
@@ -72,6 +76,7 @@ func (r *Router) StartSweep(req service.Request) (service.SweepStatus, error) {
 			Total:       len(parts),
 			Legs:        legs,
 			SubmittedAt: time.Now(),
+			Deadline:    deadline,
 		}
 	})
 	r.mu.Lock()
@@ -98,39 +103,77 @@ func (r *Router) StartSweep(req service.Request) (service.SweepStatus, error) {
 			continue
 		}
 		part := parts[i]
-		part.Priority = "sweep-leg"
+		if part.Priority == "" {
+			// Legs default to the sweep-leg class, but a sweep submitted with
+			// an explicit priority keeps it end to end: a background sweep's
+			// legs must not overtake interactive traffic on the shard queues.
+			part.Priority = "sweep-leg"
+		}
 		part.Criticality = legs[i].Criticality
-		go r.runSweepLeg(id, i, part)
+		go r.runSweepLeg(id, i, part, deadline)
 	}
 	return r.sweeps.Get(id)
 }
 
 // runSweepLeg drives one scattered leg through runLeg (bounded retries,
 // replica failover, optional per-attempt deadline) and folds the outcome
-// into the handle.
-func (r *Router) runSweepLeg(id string, idx int, part service.Request) {
-	res, ref, err := r.runLeg(context.Background(), part)
+// into the handle. Failure handling degrades rather than fails where it can:
+//
+//   - deadline exhaustion (errLegDeadline) expires the sweep, distinctly
+//     from failure — the budget ran out, nothing broke;
+//   - a retryable-class exhaustion (every replica down or refusing) is
+//     absorbed: the leg folds in Degraded, served from the fleet result
+//     cache when a prior terminal result exists, as a marker row otherwise,
+//     and the sweep still answers with every row it could gather;
+//   - only a deterministic execution failure fails the sweep (the
+//     infeasible-architecture contract is unchanged).
+func (r *Router) runSweepLeg(id string, idx int, part service.Request, deadline time.Time) {
+	res, ref, err := r.runLeg(context.Background(), part, deadline)
 	leg := service.SweepLeg{
 		JobID:     ref.JobID,
 		Shard:     ref.Shard,
 		Coalesced: ref.Coalesced,
 	}
-	if err != nil {
-		leg.State = service.StateFailed
-		leg.Error = err.Error()
-	} else {
+	switch {
+	case err == nil:
 		leg.State = service.StateDone
 		leg.Result = res
 		r.Cache.Put(ref.Fingerprint, res)
+	case errors.Is(err, errLegDeadline):
+		leg.State = service.StateExpired
+		leg.Error = err.Error()
+	case legRetryable(err):
+		// The replica set is exhausted, not wrong: absorb the leg instead of
+		// failing the gathered rows of every healthy shard.
+		leg.Degraded = true
+		leg.Error = err.Error()
+		if cached, ok := r.Cache.Get(part.Fingerprint()); ok {
+			// A prior terminal result for this fingerprint: serve the row
+			// from the cache tier and the merge stays byte-complete.
+			leg.State = service.StateDone
+			leg.Result = cached
+			leg.Shard = "cache"
+		} else {
+			leg.State = service.StateFailed
+		}
+		r.count(func(c *RouterCounters) { c.LegsDegraded++ })
+	default:
+		leg.State = service.StateFailed
+		leg.Error = err.Error()
 	}
 	r.legDone(id, idx, leg)
 }
 
 // legDone folds a terminal leg into the sweep handle; the last successful
 // leg triggers the merge, exactly as on a daemon (service.Server.legDone).
+// Degraded legs are terminal without failing the sweep; when any of them
+// carries no result, the merge runs through MergeSweepDegraded, whose output
+// carries marker rows and is never byte-identical — which is why degraded
+// merges (unlike per-leg results) never enter the result cache.
 func (r *Router) legDone(id string, idx int, leg service.SweepLeg) {
-	var complete bool
+	var complete, degraded bool
 	var results []*service.Result
+	var configs, degradedErrs []string
 	err := r.sweeps.Update(id, func(st *service.SweepStatus) {
 		dst := &st.Legs[idx]
 		if dst.State.Terminal() {
@@ -142,22 +185,38 @@ func (r *Router) legDone(id string, idx int, leg service.SweepLeg) {
 		}
 		dst.Shard = leg.Shard
 		dst.Coalesced = leg.Coalesced
-		st.Completed++
-		if leg.State == service.StateDone {
-			dst.Result = leg.Result
-		} else {
+		dst.Degraded = leg.Degraded
+		if leg.Error != "" {
 			dst.Error = leg.Error
-			if st.State == service.StateRunning {
+		}
+		st.Completed++
+		switch {
+		case leg.State == service.StateDone:
+			dst.Result = leg.Result
+		case leg.Degraded:
+			// Absorbed: the sweep keeps running and merges around this leg.
+		case st.State == service.StateRunning:
+			if leg.State == service.StateExpired {
+				st.State = service.StateExpired
+				st.Error = "sweep part " + dst.Config + " deadline exceeded: " + leg.Error
+			} else {
 				st.State = service.StateFailed
 				st.Error = "sweep part " + dst.Config + " failed: " + leg.Error
-				st.FinishedAt = time.Now()
 			}
+			st.FinishedAt = time.Now()
 		}
 		if st.State == service.StateRunning && st.Completed == st.Total {
 			complete = true
 			results = make([]*service.Result, st.Total)
+			configs = make([]string, st.Total)
+			degradedErrs = make([]string, st.Total)
 			for i := range st.Legs {
 				results[i] = st.Legs[i].Result
+				configs[i] = st.Legs[i].Config
+				if st.Legs[i].Degraded && st.Legs[i].Result == nil {
+					degraded = true
+					degradedErrs[i] = st.Legs[i].Error
+				}
 			}
 		}
 	})
@@ -165,7 +224,13 @@ func (r *Router) legDone(id string, idx int, leg service.SweepLeg) {
 		return // handle evicted mid-flight
 	}
 	if complete {
-		merged, mergeErr := service.MergeSweep(results)
+		var merged *service.Result
+		var mergeErr error
+		if degraded {
+			merged, mergeErr = service.MergeSweepDegraded(results, configs, degradedErrs)
+		} else {
+			merged, mergeErr = service.MergeSweep(results)
+		}
 		r.sweeps.Update(id, func(st *service.SweepStatus) {
 			if mergeErr != nil {
 				st.State = service.StateFailed

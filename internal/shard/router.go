@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -89,6 +90,9 @@ type RouterCounters struct {
 	// LegRetries counts sweep legs re-dispatched after a retryable failure —
 	// the mid-sweep failover signal.
 	LegRetries uint64 `json:"leg_retries"`
+	// LegsDegraded counts sweep legs the router absorbed as degraded rows
+	// (replica set exhausted) instead of failing the whole sweep.
+	LegsDegraded uint64 `json:"legs_degraded"`
 	// ShardsDrained counts shards removed with a completed snapshot handoff
 	// to their inheritors.
 	ShardsDrained uint64 `json:"shards_drained"`
@@ -143,6 +147,37 @@ func forwardStatus(err error) int {
 	return http.StatusBadGateway
 }
 
+// relayRetryAfter copies a shard's Retry-After hint through the router, so a
+// shed (429) or backpressure (503) answer keeps its retry-eligibility signal
+// across the tier. Must run before the status line is written.
+func relayRetryAfter(w http.ResponseWriter, err error) {
+	var se *client.StatusError
+	if errors.As(err, &se) && se.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.FormatInt(int64((se.RetryAfter+time.Second-1)/time.Second), 10))
+	}
+}
+
+// drainingAnswer reports a 503 from a daemon that is draining out of the
+// fleet (service.ErrDraining rendered over HTTP). Distinct from a busy 503:
+// a full backlog clears, but a draining shard never takes the work — its
+// replica chain is the answer.
+func drainingAnswer(err error) bool {
+	var se *client.StatusError
+	return errors.As(err, &se) && se.Code == http.StatusServiceUnavailable &&
+		strings.Contains(se.Message, "draining")
+}
+
+// requestDeadline converts a request's relative deadline budget to the
+// absolute admission deadline (zero when the request carries none). Computed
+// once where the router takes ownership of the request, then threaded —
+// recomputing it per retry would silently restart the budget.
+func requestDeadline(req service.Request, now time.Time) time.Time {
+	if req.DeadlineMS <= 0 {
+		return time.Time{}
+	}
+	return now.Add(time.Duration(req.DeadlineMS) * time.Millisecond)
+}
+
 type errorBody struct {
 	Error string `json:"error"`
 }
@@ -179,7 +214,14 @@ func (r *Router) Handler() http.Handler {
 // changed the healthy set, so one re-pick walks the post-exclusion chain
 // before giving up — a fleet losing R shards at once still costs a
 // submission only the failover hops.
-func (r *Router) submitRouted(ctx context.Context, req service.Request) (service.Job, *Backend, bool, error) {
+//
+// deadline is the request's absolute admission deadline (zero = none): each
+// forwarded attempt re-derives the remaining relative budget — the shard's
+// own queue-wait admission check must see the time failover hops already
+// spent — and an exhausted budget is refused here (a shed, 429) instead of
+// burning a shard round-trip on work the caller has already abandoned. Every
+// submit round-trip also feeds the target's circuit breaker.
+func (r *Router) submitRouted(ctx context.Context, req service.Request, deadline time.Time) (service.Job, *Backend, bool, error) {
 	norm, err := req.Normalize()
 	if err != nil {
 		return service.Job{}, nil, false, err
@@ -195,7 +237,23 @@ func (r *Router) submitRouted(ctx context.Context, req service.Request) (service
 			return service.Job{}, nil, false, err
 		}
 		for i, b := range replicas {
+			if !deadline.IsZero() {
+				rem := time.Until(deadline)
+				if rem <= 0 {
+					return service.Job{}, nil, false, &service.ShedError{
+						Reason: "deadline budget exhausted before dispatch"}
+				}
+				norm.DeadlineMS = int64((rem + time.Millisecond - 1) / time.Millisecond)
+			}
+			// PickReplicas filtered on breaker state, but the half-open trial
+			// slot is claimed here, at the send: at most one request probes a
+			// recovering shard at a time.
+			if !b.breaker.Allow() {
+				continue
+			}
+			start := time.Now()
 			j, coalesced, err := b.Client.SubmitJob(ctx, norm)
+			b.breaker.Observe(time.Since(start), err)
 			if err == nil {
 				j.ID = b.Addr + "/" + j.ID
 				failedOver := i > 0 || pass > 0
@@ -212,6 +270,14 @@ func (r *Router) submitRouted(ctx context.Context, req service.Request) (service
 			}
 			r.count(func(c *RouterCounters) { c.RouteErrors++ })
 			if !connectionError(err) {
+				if drainingAnswer(err) {
+					// A draining daemon is leaving the fleet: its refusal is a
+					// routing fact, not the request's answer — exclude it and
+					// walk the chain, exactly as the drain flow is about to.
+					lastErr = err
+					b.MarkFailed(err)
+					continue
+				}
 				// A live shard answered with an HTTP status: that is the
 				// request's answer, not a reason to try its replica.
 				return service.Job{}, b, false, err
@@ -219,6 +285,11 @@ func (r *Router) submitRouted(ctx context.Context, req service.Request) (service
 			lastErr = err
 			b.MarkFailed(err)
 		}
+	}
+	if lastErr == nil {
+		// Every replica was skipped without an attempt (breaker trial slots
+		// claimed elsewhere): no shard is admitting this fingerprint right now.
+		lastErr = ErrNoShards
 	}
 	return service.Job{}, nil, false, lastErr
 }
@@ -242,11 +313,19 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusOK, j)
 		return
 	}
-	j, _, coalesced, err := r.submitRouted(req.Context(), jr)
+	j, _, coalesced, err := r.submitRouted(req.Context(), jr, requestDeadline(norm, time.Now()))
+	var shed *service.ShedError
 	switch {
 	case errors.Is(err, ErrNoShards):
 		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	case errors.As(err, &shed):
+		// Router-side shed (deadline budget spent walking the chain): same
+		// 429 contract the shards answer with.
+		service.WriteSubmitError(w, err)
 	case err != nil:
+		// A shard's own answer passes through with its Retry-After hint
+		// intact, so end-client retry budgets see the same signal either way.
+		relayRetryAfter(w, err)
 		writeJSON(w, forwardStatus(err), errorBody{Error: err.Error()})
 	case coalesced:
 		writeJSON(w, http.StatusOK, j)
@@ -301,7 +380,9 @@ func (r *Router) handleJob(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorBody{Error: "unknown shard " + shardAddr})
 		return
 	}
+	start := time.Now()
 	j, err := b.Client.Job(req.Context(), rest)
+	b.breaker.Observe(time.Since(start), err)
 	if err != nil {
 		if connectionError(err) {
 			b.MarkFailed(err)
@@ -337,12 +418,13 @@ func (r *Router) handleList(w http.ResponseWriter, req *http.Request) {
 }
 
 // legRetryable classifies a sweep-leg failure. Transport failures and the
-// failure modes a shard crash, restart or drain produces — the job vanished
-// (404), the daemon refused it (503), a bad gateway in a chained tier (502)
-// — are retryable: results are canonical and deterministic, so re-running
-// the leg on a surviving replica is byte-identical to the lost original.
-// Any other HTTP status is a deterministic answer and re-dispatching would
-// only repeat it.
+// failure modes a shard crash, restart, drain or overload produces — the job
+// vanished (404), the daemon refused it (503), a bad gateway in a chained
+// tier (502), an admission shed (429: replica queues differ, so another
+// replica or a later walk may admit) — are retryable: results are canonical
+// and deterministic, so re-running the leg on a surviving replica is
+// byte-identical to the lost original. Any other HTTP status is a
+// deterministic answer and re-dispatching would only repeat it.
 func legRetryable(err error) bool {
 	if connectionError(err) {
 		return true
@@ -350,18 +432,33 @@ func legRetryable(err error) bool {
 	var se *client.StatusError
 	if errors.As(err, &se) {
 		switch se.Code {
-		case http.StatusNotFound, http.StatusBadGateway, http.StatusServiceUnavailable:
+		case http.StatusNotFound, http.StatusBadGateway,
+			http.StatusServiceUnavailable, http.StatusTooManyRequests:
 			return true
 		}
 	}
 	return false
 }
 
+// errLegDeadline marks a sweep leg whose deadline budget ran out — while
+// queued at the router or abandoned in flight. Distinct from failure: the
+// work was refused or walked away from, not attempted and broken.
+var errLegDeadline = errors.New("sweep leg deadline exceeded")
+
 // tryLeg runs one dispatch+wait attempt of a sweep leg and reports whether
-// a failure is worth re-dispatching.
-func (r *Router) tryLeg(ctx context.Context, part service.Request) (*service.Result, service.SweepJobRef, bool, error) {
-	j, b, coalesced, err := r.submitRouted(ctx, part)
+// a failure is worth re-dispatching. A non-zero deadline bounds the whole
+// attempt: an exhausted budget surfaces as errLegDeadline — the in-flight
+// job is abandoned (the shard finishes it and warms the caches; the sweep
+// walks away), never retried.
+func (r *Router) tryLeg(ctx context.Context, part service.Request, deadline time.Time) (*service.Result, service.SweepJobRef, bool, error) {
+	j, b, coalesced, err := r.submitRouted(ctx, part, deadline)
 	if err != nil {
+		var shed *service.ShedError
+		if errors.As(err, &shed) && !deadline.IsZero() && !time.Now().Before(deadline) {
+			// The router's own admission check spent the budget: expired, not
+			// failed, and retrying cannot un-spend it.
+			return nil, service.SweepJobRef{}, false, fmt.Errorf("%w: %v", errLegDeadline, err)
+		}
 		return nil, service.SweepJobRef{}, legRetryable(err), err
 	}
 	ref := service.SweepJobRef{
@@ -371,16 +468,32 @@ func (r *Router) tryLeg(ctx context.Context, part service.Request) (*service.Res
 		Shard:       b.Name,
 		Coalesced:   coalesced,
 	}
-	done, err := b.Client.Wait(ctx, strings.TrimPrefix(j.ID, b.Addr+"/"))
+	waitCtx, cancel := ctx, context.CancelFunc(func() {})
+	if !deadline.IsZero() {
+		waitCtx, cancel = context.WithDeadline(ctx, deadline)
+	}
+	done, err := b.Client.Wait(waitCtx, strings.TrimPrefix(j.ID, b.Addr+"/"))
+	cancel()
 	if err != nil {
+		if waitCtx.Err() != nil && ctx.Err() == nil && !deadline.IsZero() {
+			// The leg's own deadline fired mid-flight (not the caller's
+			// context, not the shard): abandon the job where it runs.
+			return nil, ref, false, fmt.Errorf("%w: job %s abandoned in flight", errLegDeadline, j.ID)
+		}
 		// Only a transport failure with the caller's context still live
 		// indicts the shard; our own per-leg deadline firing does not.
 		if connectionError(err) && ctx.Err() == nil {
 			b.MarkFailed(err)
+			b.breaker.ObserveOutcome(err)
 		}
 		return nil, ref, legRetryable(err), err
 	}
+	b.breaker.ObserveOutcome(nil)
 	if done.State != service.StateDone {
+		if done.State == service.StateExpired {
+			// The shard's own admission timer expired the job while queued.
+			return nil, ref, false, fmt.Errorf("%w on shard %s: %s", errLegDeadline, b.Name, done.Error)
+		}
 		// A daemon shutting down marks its unstarted backlog failed with a
 		// distinctive error; that work never ran and re-dispatches safely.
 		retry := strings.Contains(done.Error, "daemon shut down")
@@ -395,7 +508,7 @@ func (r *Router) tryLeg(ctx context.Context, part service.Request) (*service.Res
 // attempt's in-band exclusions have already steered away from the dead
 // shard — this is what lets a scatter-gather complete byte-identically
 // through a mid-sweep crash.
-func (r *Router) runLeg(ctx context.Context, part service.Request) (*service.Result, service.SweepJobRef, error) {
+func (r *Router) runLeg(ctx context.Context, part service.Request, deadline time.Time) (*service.Result, service.SweepJobRef, error) {
 	retries := r.SweepRetries
 	if retries < 0 {
 		retries = 0
@@ -410,13 +523,18 @@ func (r *Router) runLeg(ctx context.Context, part service.Request) (*service.Res
 		if r.LegTimeout > 0 {
 			legCtx, cancel = context.WithTimeout(ctx, r.LegTimeout)
 		}
-		res, ref, retryable, err := r.tryLeg(legCtx, part)
+		res, ref, retryable, err := r.tryLeg(legCtx, part, deadline)
 		cancel()
 		if err == nil {
 			return res, ref, nil
 		}
 		lastErr, lastRef = err, ref
 		if !retryable || ctx.Err() != nil {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			// The budget ran out between attempts: expired, not failed.
+			lastErr = fmt.Errorf("%w: retry budget outlived the deadline: %v", errLegDeadline, err)
 			break
 		}
 	}
@@ -499,7 +617,9 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		if !ok {
 			continue
 		}
+		statStart := time.Now()
 		ss, err := b.Client.Stats(ctx)
+		b.breaker.Observe(time.Since(statStart), err)
 		if err != nil {
 			// A shard that stopped answering mid-pass is not healthy in
 			// this snapshot: flip its status line so the Healthy flags,
@@ -518,6 +638,8 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		agg.JobsDone += ss.JobsDone
 		agg.JobsFailed += ss.JobsFailed
 		agg.JobsRejected += ss.JobsRejected
+		agg.JobsExpired += ss.JobsExpired
+		agg.JobsShed += ss.JobsShed
 		agg.JobsEvicted += ss.JobsEvicted
 		agg.SweepsRun += ss.SweepsRun
 		agg.QueueDepth += ss.QueueDepth
@@ -551,7 +673,7 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 				agg.SweepsRunning++
 			case service.StateDone:
 				agg.SweepsDone++
-			case service.StateFailed:
+			case service.StateFailed, service.StateExpired:
 				agg.SweepsFailed++
 			}
 			if st.State.Terminal() {

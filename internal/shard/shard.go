@@ -45,6 +45,12 @@ type Options struct {
 	// rendezvous chain — so routing can fail over in-band without a
 	// re-pick. 1 disables replication (primary only).
 	Replicas int
+	// Breaker tunes the per-shard circuit breakers (see breaker.go): routing
+	// also skips shards whose breaker is open, which catches the
+	// slow-but-alive and erroring-but-alive failure modes the health probe
+	// cannot see. Zero value = breakers on with defaults; set
+	// Breaker.Disabled to turn them off.
+	Breaker BreakerOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +72,7 @@ func (o Options) withDefaults() Options {
 	if o.Replicas <= 0 {
 		o.Replicas = 2
 	}
+	o.Breaker = o.Breaker.withDefaults()
 	return o
 }
 
@@ -84,6 +91,9 @@ type Backend struct {
 	// probeClient is a retry-free client for health checks: a probe is
 	// itself the retry mechanism, so one failed attempt is the answer.
 	probeClient *client.Client
+	// breaker is the shard's data-path circuit breaker (nil when disabled).
+	// It is fed by the router's round-trips, never by health probes.
+	breaker *Breaker
 
 	mu        sync.Mutex
 	healthy   bool
@@ -104,6 +114,10 @@ type Status struct {
 	// Stats is the shard's own /v1/stats (queue occupancy gauges included),
 	// filled by the router's stats aggregation; nil when unreachable.
 	Stats *service.Stats `json:"stats,omitempty"`
+	// Breaker is the shard's circuit-breaker state (nil when breakers are
+	// disabled). A shard can be probe-healthy with an open breaker: alive to
+	// healthz but failing or slow on the data path.
+	Breaker *BreakerStatus `json:"breaker,omitempty"`
 }
 
 // Map is the live shard map: a fixed-at-a-time set of backends, a
@@ -145,6 +159,7 @@ func (m *Map) add(addr string) *Backend {
 		Addr:        addr,
 		Client:      client.New(addr),
 		probeClient: client.New(addr),
+		breaker:     newBreaker(m.opts.Breaker),
 		healthy:     true,
 	}
 	b.Client.Timeout = m.opts.RequestTimeout
@@ -326,10 +341,10 @@ func (m *Map) PickReplicas(fingerprint string) ([]*Backend, error) {
 	out := make([]*Backend, 0, r)
 	for _, addr := range chain {
 		b := byAddr[addr]
-		b.mu.Lock()
-		ok := b.healthy
-		b.mu.Unlock()
-		if !ok {
+		// Admitted to routing = probe-healthy AND breaker not blocking. The
+		// breaker side catches shards the probe cannot indict: healthz green
+		// but the data path erroring or slow.
+		if !b.Healthy() || !b.breaker.Routable() {
 			continue
 		}
 		out = append(out, b)
@@ -343,11 +358,18 @@ func (m *Map) PickReplicas(fingerprint string) ([]*Backend, error) {
 	return out, nil
 }
 
-// Healthy reports whether the backend is currently admitted to routing.
+// Healthy reports whether the backend is currently probe-healthy. Routing
+// admission additionally consults the circuit breaker (see PickReplicas).
 func (b *Backend) Healthy() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	return b.healthy
+}
+
+// Breaker returns the backend's circuit breaker (nil when disabled; every
+// Breaker method is nil-safe).
+func (b *Backend) Breaker() *Breaker {
+	return b.breaker
 }
 
 // MarkFailed records an in-band connection failure observed while
@@ -461,6 +483,10 @@ func (m *Map) Statuses() []Status {
 			LastProbe: b.lastProbe,
 		}
 		b.mu.Unlock()
+		if b.breaker != nil {
+			bs := b.breaker.Snapshot()
+			out[i].Breaker = &bs
+		}
 	}
 	return out
 }
