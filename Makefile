@@ -1,4 +1,4 @@
-.PHONY: build test race bench bench-smoke bench-compare router-smoke chaos-smoke async-smoke overload-smoke figures
+.PHONY: build test race bench bench-smoke bench-compare router-smoke chaos-smoke async-smoke overload-smoke prefetch-smoke figures
 
 build:
 	go build ./...
@@ -16,12 +16,14 @@ race:
 # resilience numbers, the async-sweep time-to-first-row /
 # priority-latency / result-cache-repeat entries, the 2x-saturation
 # goodput + interactive-p95 pair with overload protection on vs off —
-# which fails the run if protection does not win both — plus the
-# speedups vs the recorded PR-1..PR-8 baselines, the in-run PR3-era
-# annealer full-re-evaluation baseline, and the in-run scalar references
-# of the batched annealer and GA paths).
+# which fails the run if protection does not win both — the trace-replay
+# prefetch pair (warm-hit rate + mean demand latency with the speculative
+# lane on vs off, failing the run unless prefetch wins the hit rate) —
+# plus the speedups vs the recorded PR-1..PR-9 baselines, the in-run
+# PR3-era annealer full-re-evaluation baseline, and the in-run scalar
+# references of the batched annealer and GA paths).
 bench:
-	go run ./cmd/bench -out BENCH_pr9.json
+	go run ./cmd/bench -out BENCH_pr10.json
 
 # Fast regression gate for the search inner loops: the zero-alloc
 # assertions of the scalar annealer swap path and the batched ScorerBatch
@@ -35,9 +37,9 @@ bench-smoke:
 
 # Compare two recorded perf trajectories (ns/op + allocs/op ratios, with a
 # regression threshold). Usage:
-#   make bench-compare OLD=BENCH_pr8.json NEW=BENCH_pr9.json
-OLD ?= BENCH_pr8.json
-NEW ?= BENCH_pr9.json
+#   make bench-compare OLD=BENCH_pr9.json NEW=BENCH_pr10.json
+OLD ?= BENCH_pr9.json
+NEW ?= BENCH_pr10.json
 bench-compare:
 	bash scripts/bench_compare.sh $(OLD) $(NEW)
 
@@ -74,6 +76,15 @@ async-smoke:
 # fast shard, and be readmitted by a half-open trial once the stall clears.
 overload-smoke:
 	bash scripts/overload_smoke.sh
+
+# Prefetch smoke: a real watosd with the speculative cache-warming lane on.
+# Demand submissions must land in the request trace with decoded sweep
+# coordinates, an idle daemon must pre-evaluate the predicted sweep neighbor
+# so its later demand submission is a prefetch-attributed warm hit
+# (byte-identical to a lane-off evaluation), and a demand burst must cancel
+# queued speculation instantly.
+prefetch-smoke:
+	bash scripts/prefetch_smoke.sh
 
 figures:
 	go run ./cmd/figures

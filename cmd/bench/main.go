@@ -43,7 +43,12 @@
 // the interactive p95; the run fails outright if protection does not win
 // both.
 //
-//	go run ./cmd/bench                # writes BENCH_pr9.json
+// The prefetch-replay pair records a sweep trajectory on a throwaway
+// daemon, pulls it back over GET /v1/trace, and replays it against fresh
+// daemons with the speculative prefetch lane on vs off; the run fails
+// outright unless prefetch wins the warm-hit rate strictly.
+//
+//	go run ./cmd/bench                # writes BENCH_pr10.json
 //	go run ./cmd/bench -out perf.json # custom output path
 package main
 
@@ -54,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -127,6 +133,16 @@ type serviceEntry struct {
 	// admission (429) vs cancelled by their own deadline while queued.
 	ShedJobs    int `json:"shed_jobs,omitempty"`
 	ExpiredJobs int `json:"expired_jobs,omitempty"`
+	// WarmHitRate is the fraction of fresh demand submissions that found
+	// their caches already warm (prefetch-replay benchmarks only).
+	WarmHitRate float64 `json:"warm_hit_rate,omitempty"`
+	// MeanLatencyMs is the mean submit-to-done latency of the demand steps
+	// (prefetch-replay benchmarks only).
+	MeanLatencyMs float64 `json:"mean_latency_ms,omitempty"`
+	// PrefetchIssued / PrefetchUseful count speculative evaluations admitted
+	// and the distinct prefetched fingerprints demand later used.
+	PrefetchIssued int `json:"prefetch_issued,omitempty"`
+	PrefetchUseful int `json:"prefetch_useful,omitempty"`
 }
 
 // report is the BENCH_*.json schema.
@@ -155,7 +171,7 @@ type report struct {
 // PR 5 the sharded-tier tree (from BENCH_pr5.json), PR 6 the
 // batched-evaluator tree (from BENCH_pr6.json), PR 7 the fleet-resilience
 // tree (from BENCH_pr7.json), PR 8 the async-job-subsystem tree (from
-// BENCH_pr8.json).
+// BENCH_pr8.json), PR 9 the overload-protection tree (from BENCH_pr9.json).
 // The pr3-full-reeval annealer baseline is measured live
 // in this run (the full-evaluation path still exists as
 // placement.EvalAnchors), so its speedup factor is machine-exact.
@@ -215,6 +231,13 @@ var priorBaselines = []taggedEntry{
 		NsPerOp:     36608750.82608695,
 		AllocsPerOp: 57986,
 		BytesPerOp:  9165693,
+	}},
+	{Tag: "pr9", entry: entry{
+		Name:        "search-sequential-nocache",
+		Iterations:  21,
+		NsPerOp:     42697981.71428572,
+		AllocsPerOp: 57986,
+		BytesPerOp:  9165726,
 	}},
 }
 
@@ -786,6 +809,127 @@ func saturationBurst(name string, protect bool, pred predictor.Predictor) servic
 	return e
 }
 
+// sweepTrail is the demand trajectory of the prefetch-replay pair: a client
+// stepping through adjacent TP points of a fixed-config sweep at two batch
+// sizes — exactly the spatial locality the neighbor predictor mines (each
+// step's successor is the step's own TP-doubling neighbor).
+func sweepTrail() []service.Request {
+	var trail []service.Request
+	for _, batch := range []int{64, 128} {
+		for _, tp := range []int{1, 2, 4} {
+			trail = append(trail, service.Request{
+				Model: "Llama2-30B", Config: "config3", Seq: 2048, Batch: batch, FixedTP: tp,
+			})
+		}
+	}
+	return trail
+}
+
+// recordTrail drives the sweep trajectory against a throwaway recorder
+// daemon and pulls it back over GET /v1/trace, rebuilding the demand
+// requests from the traced coordinates — the replay below runs off the
+// recorded trace, not the generator, so the trace endpoint itself is under
+// test.
+func recordTrail(pred predictor.Predictor, fail func(error)) []service.Request {
+	srv := service.NewServer(service.Options{EvalWorkers: 2, JobWorkers: 1, Backlog: 64}, pred)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	c := client.New(ts.URL)
+	c.PollInterval = time.Millisecond
+	ctx := context.Background()
+	for _, req := range sweepTrail() {
+		j, err := c.Run(ctx, req)
+		if err == nil && j.State != service.StateDone {
+			err = fmt.Errorf("trail job %s: %s", j.ID, j.State)
+		}
+		fail(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/trace")
+	fail(err)
+	defer resp.Body.Close()
+	var info service.TraceInfo
+	fail(json.NewDecoder(resp.Body).Decode(&info))
+	if len(info.Entries) != len(sweepTrail()) {
+		fail(fmt.Errorf("trace recorded %d entries, want %d", len(info.Entries), len(sweepTrail())))
+	}
+	trail := make([]service.Request, len(info.Entries))
+	for i, e := range info.Entries {
+		p := e.Req
+		trail[i] = service.Request{
+			Model: p.Model, Config: p.Config, Seq: p.Seq, Batch: p.Batch,
+			FixedTP: p.TP, FixedPP: p.PP, UseGA: p.GA,
+		}
+	}
+	return trail
+}
+
+// prefetchReplay replays the recorded trajectory against a fresh
+// single-worker daemon, pausing after each demand step until the daemon is
+// fully idle — the window the speculative lane fills. With prefetchOn the
+// daemon predicts each step's sweep neighbors and pre-evaluates the best
+// one into the shared caches, so the next step arrives warm; off is the
+// demand-only reference. Reported per variant: warm-hit rate (the
+// acceptance metric), mean demand latency, and the prefetch counters.
+func prefetchReplay(name string, prefetchOn bool, trail []service.Request, pred predictor.Predictor) serviceEntry {
+	srv := service.NewServer(service.Options{
+		EvalWorkers: 2, JobWorkers: 1, Backlog: 64,
+		Prefetch: prefetchOn, PrefetchFanout: 1,
+	}, pred)
+	ts := httptest.NewServer(srv.Handler())
+	defer func() { ts.Close(); srv.Close() }()
+	c := client.New(ts.URL)
+	c.PollInterval = time.Millisecond
+	ctx := context.Background()
+
+	// Wait for queue and workers to go fully idle — queued and in-flight
+	// speculation included — so every step's prefetch completes before the
+	// next demand arrival, and the off-variant measures the same cadence.
+	// Speculation launches on its own goroutine after the demand job
+	// completes, so idle must hold stably, not just once — a single
+	// idle observation can land before the prediction is even submitted.
+	idle := func() {
+		deadline := time.Now().Add(30 * time.Second)
+		stable := 0
+		for time.Now().Before(deadline) {
+			if st := srv.Stats(); st.QueueDepth == 0 && st.JobsInFlight == 0 {
+				if stable++; stable >= 10 {
+					return
+				}
+			} else {
+				stable = 0
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	start := time.Now()
+	var demand time.Duration
+	for _, req := range trail {
+		t0 := time.Now()
+		j, err := c.Run(ctx, req)
+		if err != nil || j.State != service.StateDone {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v (%s)\n", name, err, j.State)
+			os.Exit(1)
+		}
+		demand += time.Since(t0)
+		idle()
+	}
+	wall := time.Since(start)
+	st := srv.Stats()
+	e := serviceEntry{
+		Name: name, Jobs: len(trail),
+		WallSeconds:    wall.Seconds(),
+		JobsPerSec:     float64(len(trail)) / wall.Seconds(),
+		WarmHitRate:    float64(st.HitsDemand+st.HitsPrefetch) / float64(st.JobsSubmitted),
+		MeanLatencyMs:  demand.Seconds() * 1e3 / float64(len(trail)),
+		PrefetchIssued: int(st.PrefetchIssued),
+		PrefetchUseful: int(st.PrefetchUseful),
+	}
+	fmt.Printf("%-32s %11.0f%% warm-hit %9.1f ms mean %10.3f s wall   (%d steps, %d prefetched, %d useful)\n",
+		name, e.WarmHitRate*100, e.MeanLatencyMs, e.WallSeconds, len(trail), e.PrefetchIssued, e.PrefetchUseful)
+	return e
+}
+
 // gaGenerationBench runs a fixed-generation GA optimize and reports
 // per-generation cost (total metrics divided by the generation count).
 // placementBatch 0 is the batched default (one ScorerBatch pass per chunk
@@ -810,7 +954,7 @@ func gaGenerationBench(name string, placementBatch int, fail func(error)) entry 
 }
 
 func main() {
-	out := flag.String("out", "BENCH_pr9.json", "output JSON path")
+	out := flag.String("out", "BENCH_pr10.json", "output JSON path")
 	reps := flag.Int("reps", benchReps, "timed-loop repetitions per benchmark (best is recorded)")
 	flag.Parse()
 	benchReps = *reps
@@ -822,7 +966,7 @@ func main() {
 	work := model.Workload{GlobalBatch: 64, MicroBatch: 1, SeqLen: 2048}
 
 	rep := report{
-		Tag:       "pr9",
+		Tag:       "pr10",
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -1096,6 +1240,26 @@ func main() {
 	}
 	rep.SpeedupNs["goodput(shedding/no-shedding)"] = protected.GoodputRate / unprotected.GoodputRate
 	rep.SpeedupNs["interactive-p95(no-shedding/shedding)"] = unprotected.InteractiveP95Ms / protected.InteractiveP95Ms
+
+	// Speculative prefetch: record the sweep trajectory once (and read it
+	// back over GET /v1/trace), then replay it against fresh daemons with
+	// the idle-capacity prefetch lane on vs off. Prefetch must strictly win
+	// the warm-hit rate, or the run fails — the PR's acceptance measurement.
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	trail := recordTrail(pred, fail)
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	pfOn := prefetchReplay("prefetch-replay-on", true, trail, pred)
+	search.DefaultCache().Reset()
+	sched.ResetCache()
+	pfOff := prefetchReplay("prefetch-replay-off", false, trail, pred)
+	rep.Service = append(rep.Service, pfOn, pfOff)
+	if pfOn.WarmHitRate <= pfOff.WarmHitRate {
+		fail(fmt.Errorf("prefetch lost on warm-hit rate: %.2f on vs %.2f off",
+			pfOn.WarmHitRate, pfOff.WarmHitRate))
+	}
+	rep.SpeedupNs["mean-latency(no-prefetch/prefetch)"] = pfOff.MeanLatencyMs / pfOn.MeanLatencyMs
 
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

@@ -44,6 +44,8 @@ func main() {
 	sweepRetries := flag.Int("sweep-retries", 2, "re-dispatches per sweep leg after a retryable failure (shard crash mid-sweep)")
 	legTimeout := flag.Duration("sweep-leg-timeout", 0, "per-attempt deadline for one sweep leg (0 = only the request's deadline)")
 	resultCache := flag.Int("result-cache", 4096, "completed-result cache entries: repeat submissions of an answered fingerprint are served at the router (0 disables)")
+	prefetchOn := flag.Bool("prefetch", false, "speculative cache warming: accepted demand jobs predict their sweep neighbors and pre-evaluate them through idle shard capacity into the result cache")
+	prefetchFanout := flag.Int("prefetch-fanout", 3, "speculative evaluations issued per accepted demand job (with -prefetch)")
 	sweepTTL := flag.Duration("sweep-ttl", 15*time.Minute, "terminal async sweep handles expire after this age (negative = never)")
 	sweepHistory := flag.Int("sweep-history", 256, "retained async sweep handles (oldest finished evicted first)")
 	breakerOff := flag.Bool("breaker-off", false, "disable per-shard circuit breakers (routing then trusts the health probe alone)")
@@ -97,6 +99,8 @@ func main() {
 	router.Cache = shard.NewResultCache(*resultCache)
 	router.SweepTTL = *sweepTTL
 	router.SweepHistory = *sweepHistory
+	router.Prefetch = *prefetchOn
+	router.PrefetchFanout = *prefetchFanout
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           cliutil.WithPprof(router.Handler(), *pprofOn),

@@ -95,6 +95,9 @@ func main() {
 	sweepHistory := flag.Int("sweep-history", 256, "retained async sweep handles (oldest finished evicted first)")
 	snapshot := flag.String("snapshot", "", "cache snapshot path: load at startup, save on shutdown and on POST /v1/snapshot")
 	seedFrom := flag.String("seed-from", "", "peer watosd address to pull a cache snapshot from at startup (shard warm join; mismatched snapshot versions are discarded)")
+	prefetchOn := flag.Bool("prefetch", false, "speculative cache warming: completed demand jobs predict their sweep neighbors and pre-evaluate them through idle capacity")
+	prefetchFanout := flag.Int("prefetch-fanout", 3, "speculative evaluations issued per completed demand job (with -prefetch)")
+	traceCap := flag.Int("trace-capacity", 0, "request-trace ring entries retained for GET /v1/trace and neighbor prediction (0 = default 256)")
 	pprofOn := cliutil.PprofFlag()
 	injectDelay := flag.Duration("test-inject-delay", 0, "development fault: stall non-healthz requests by this much (0 = off); pair with -test-inject-first")
 	injectFirst := flag.Int("test-inject-first", 0, "development fault: only the first N non-healthz requests stall (0 = all while -test-inject-delay is set)")
@@ -107,15 +110,18 @@ func main() {
 	}
 
 	srv := service.NewServer(service.Options{
-		EvalWorkers:  *workers,
-		JobWorkers:   *jobs,
-		Backlog:      *backlog,
-		ClassBudgets: budgets,
-		History:      *history,
-		HistoryTTL:   *historyTTL,
-		SweepTTL:     *sweepTTL,
-		SweepHistory: *sweepHistory,
-		SnapshotPath: *snapshot,
+		EvalWorkers:    *workers,
+		JobWorkers:     *jobs,
+		Backlog:        *backlog,
+		ClassBudgets:   budgets,
+		History:        *history,
+		HistoryTTL:     *historyTTL,
+		SweepTTL:       *sweepTTL,
+		SweepHistory:   *sweepHistory,
+		SnapshotPath:   *snapshot,
+		Prefetch:       *prefetchOn,
+		PrefetchFanout: *prefetchFanout,
+		TraceCapacity:  *traceCap,
 	}, nil)
 
 	if *snapshot != "" {

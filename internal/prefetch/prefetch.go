@@ -1,0 +1,245 @@
+// Package prefetch mines the request stream for spatial locality. It is the
+// model half of the speculative cache-warming subsystem: a bounded ring of
+// recently observed canonical requests (the trace) plus a recency-weighted
+// co-occurrence table ("how often did fingerprint B follow A"), from which
+// a caller ranks candidate neighbor requests for idle-capacity
+// pre-evaluation. The package is deliberately dependency-free and generic
+// over the request payload, so both watosd (service.Request coordinates)
+// and watos-router can embed one without an import cycle; the execution
+// half — the idle-gated prefetch lane — lives with each daemon's queue.
+//
+// Everything here is deterministic given the observation order: eviction
+// ties break on fingerprint byte order, ranking ties break on candidate
+// enumeration order, and a restored trace replays its ring through the same
+// update path that built it, so a daemon restarted from a snapshot ranks
+// exactly as it did before the restart.
+package prefetch
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Entry is one observed request in the trace ring: the canonical
+// fingerprint (the cache identity — byte-identical to the fingerprint the
+// evaluation caches key on), the decoded request coordinates for human
+// consumption on /v1/trace, and the observation time.
+type Entry[R any] struct {
+	Fingerprint string    `json:"fingerprint"`
+	At          time.Time `json:"at"`
+	Req         R         `json:"req"`
+}
+
+// Defaults for NewTrace. The ring capacity bounds both the trace endpoint
+// payload and snapshot growth; the row/successor caps bound the
+// co-occurrence table independently of fingerprint cardinality.
+const (
+	DefaultCapacity   = 256
+	DefaultDecay      = 0.9
+	defaultRowCap     = 512
+	defaultSuccessors = 16
+)
+
+// row is one co-occurrence table row: the recency-weighted successor
+// weights of a single predecessor fingerprint. Weights decay lazily — by
+// decay^(ticks since the row was last touched) — so an update costs
+// O(successors), not O(table).
+type row struct {
+	succ     map[string]float64
+	lastTick uint64
+}
+
+// Trace is the bounded request-trace recorder and neighbor-locality model.
+// All methods are safe for concurrent use.
+type Trace[R any] struct {
+	mu    sync.Mutex
+	ring  []Entry[R] // fixed-capacity circular buffer
+	head  int        // index of the oldest entry
+	n     int        // occupied slots
+	tick  uint64     // one per observation; the decay clock
+	last  string     // previous observation's fingerprint
+	co    map[string]*row
+	decay float64
+}
+
+// NewTrace returns a Trace holding the most recent capacity observations
+// (<=0 = DefaultCapacity) with the default recency decay.
+func NewTrace[R any](capacity int) *Trace[R] {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Trace[R]{
+		ring:  make([]Entry[R], capacity),
+		co:    make(map[string]*row),
+		decay: DefaultDecay,
+	}
+}
+
+// Observe records a demand request at time now. Consecutive observations
+// form the co-occurrence pairs: Observe(A) then Observe(B) strengthens the
+// prediction "B follows A". Speculative (prefetch-lane) executions must not
+// be observed, or the predictor would learn its own guesses.
+func (t *Trace[R]) Observe(fp string, at time.Time, req R) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	// Ring append, overwriting the oldest entry when full.
+	pos := (t.head + t.n) % len(t.ring)
+	t.ring[pos] = Entry[R]{Fingerprint: fp, At: at, Req: req}
+	if t.n < len(t.ring) {
+		t.n++
+	} else {
+		t.head = (t.head + 1) % len(t.ring)
+	}
+	t.tick++
+	if t.last != "" && t.last != fp {
+		t.creditLocked(t.last, fp)
+	}
+	t.last = fp
+}
+
+// creditLocked adds one observation of "next followed prev", decaying the
+// row's existing weights by the ticks elapsed since its last update.
+func (t *Trace[R]) creditLocked(prev, next string) {
+	r := t.co[prev]
+	if r == nil {
+		if len(t.co) >= defaultRowCap {
+			t.evictRowLocked()
+		}
+		r = &row{succ: make(map[string]float64)}
+		t.co[prev] = r
+	}
+	if elapsed := t.tick - r.lastTick; r.lastTick != 0 && elapsed > 0 {
+		factor := pow(t.decay, elapsed)
+		for k, w := range r.succ {
+			r.succ[k] = w * factor
+		}
+	}
+	r.lastTick = t.tick
+	r.succ[next]++
+	if len(r.succ) > defaultSuccessors {
+		t.evictSuccessorLocked(r)
+	}
+}
+
+// evictRowLocked drops the least recently touched row; ties break on
+// fingerprint byte order so eviction is deterministic.
+func (t *Trace[R]) evictRowLocked() {
+	var victim string
+	var victimTick uint64
+	for fp, r := range t.co {
+		if victim == "" || r.lastTick < victimTick ||
+			(r.lastTick == victimTick && fp < victim) {
+			victim, victimTick = fp, r.lastTick
+		}
+	}
+	delete(t.co, victim)
+}
+
+// evictSuccessorLocked drops the lowest-weighted successor from a row; ties
+// break on fingerprint byte order.
+func (t *Trace[R]) evictSuccessorLocked(r *row) {
+	var victim string
+	var victimW float64
+	for fp, w := range r.succ {
+		if victim == "" || w < victimW || (w == victimW && fp < victim) {
+			victim, victimW = fp, w
+		}
+	}
+	delete(r.succ, victim)
+}
+
+// pow is x**n for a uint64 exponent (square-and-multiply; avoids math.Pow's
+// platform-dependent corner semantics for a hot, exact-enough path).
+func pow(x float64, n uint64) float64 {
+	out := 1.0
+	for ; n > 0; n >>= 1 {
+		if n&1 == 1 {
+			out *= x
+		}
+		x *= x
+	}
+	return out
+}
+
+// Score returns the current recency-weighted count of "next followed prev";
+// zero when the pair has never been observed. The absolute value is only
+// meaningful relative to other successors of the same prev.
+func (t *Trace[R]) Score(prev, next string) float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.co[prev]
+	if r == nil {
+		return 0
+	}
+	w := r.succ[next]
+	if elapsed := t.tick - r.lastTick; elapsed > 0 {
+		w *= pow(t.decay, elapsed)
+	}
+	return w
+}
+
+// Rank orders candidate fingerprints by descending locality score given
+// that prev just completed. Candidates the table has never seen score zero
+// and keep their input (enumeration) order — the caller enumerates
+// neighbors nearest-first, so the cold-start ranking is the geometric one
+// and learned history only ever re-orders it. The input slice is not
+// modified.
+func (t *Trace[R]) Rank(prev string, candidates []string) []string {
+	t.mu.Lock()
+	r := t.co[prev]
+	scores := make([]float64, len(candidates))
+	if r != nil {
+		for i, c := range candidates {
+			scores[i] = r.succ[c] // common decay factor cancels in the ordering
+		}
+	}
+	t.mu.Unlock()
+	out := make([]string, len(candidates))
+	copy(out, candidates)
+	idx := make([]int, len(candidates))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	for i, j := range idx {
+		out[i] = candidates[j]
+	}
+	return out
+}
+
+// Len returns the number of entries currently in the ring.
+func (t *Trace[R]) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Entries returns the ring oldest-first — the /v1/trace payload and the
+// snapshot form.
+func (t *Trace[R]) Entries() []Entry[R] {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Entry[R], t.n)
+	for i := 0; i < t.n; i++ {
+		out[i] = t.ring[(t.head+i)%len(t.ring)]
+	}
+	return out
+}
+
+// Restore resets the trace and replays entries oldest-first through the
+// normal observation path, rebuilding the co-occurrence table exactly as
+// live traffic would have. Entries beyond the ring capacity contribute to
+// the table but age out of the ring, same as live. Restoring the slice a
+// Snapshot/Entries call returned reproduces both ring and ranking.
+func (t *Trace[R]) Restore(entries []Entry[R]) {
+	t.mu.Lock()
+	capacity := len(t.ring)
+	t.ring = make([]Entry[R], capacity)
+	t.head, t.n, t.tick, t.last = 0, 0, 0, ""
+	t.co = make(map[string]*row)
+	t.mu.Unlock()
+	for _, e := range entries {
+		t.Observe(e.Fingerprint, e.At, e.Req)
+	}
+}

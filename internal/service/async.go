@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cliutil"
 	"repro/internal/jobs"
+	"repro/internal/search/pool"
 )
 
 // Async sweeps: a sweep is a first-class job with a durable handle. POST
@@ -183,9 +184,14 @@ func (s *Server) StartSweep(req Request) (SweepStatus, error) {
 		// sweep's legs overtake queued bulk work, a background sweep's legs
 		// yield to everything. Only an unlabelled sweep defaults to the
 		// bulk sweep-leg class — for legs, "no label" means batch work, not
-		// the somebody-is-waiting default a single job gets.
-		if part.Priority == "" {
-			part.Priority = "sweep-leg"
+		// the somebody-is-waiting default a single job gets. The class is
+		// clamped to the demand range: a "prefetch"-labelled sweep would
+		// put its legs in the speculative class, where demand arrival
+		// cancels them and breaks the merge barrier — legs raise to
+		// sweep-leg instead (and nothing above interactive exists to raise
+		// to).
+		if part.Priority == "" || part.Priority == pool.Prefetch.String() {
+			part.Priority = pool.SweepLeg.String()
 		}
 		part.Criticality = legs[i].Criticality
 		j, coalesced, err := s.Submit(part)

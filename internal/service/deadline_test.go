@@ -4,6 +4,8 @@ import (
 	"errors"
 	"testing"
 	"time"
+
+	"repro/internal/search/pool"
 )
 
 // occupyWorker parks the single job worker on a blocking task and returns
@@ -207,10 +209,11 @@ func TestClassBudgetShedsBackgroundFirst(t *testing.T) {
 	}
 }
 
-// classBudgets builds the [background, sweep-leg, interactive] budget array
-// readably.
-func classBudgets(background, sweepLeg, interactive int) (b [3]int) {
-	b[0], b[1], b[2] = background, sweepLeg, interactive
+// classBudgets builds the per-class budget array readably. The prefetch
+// class has no budget — speculation is admitted by the idle gate, not by
+// backlog share.
+func classBudgets(background, sweepLeg, interactive int) (b [pool.NumClasses]int) {
+	b[pool.Background], b[pool.SweepLeg], b[pool.Interactive] = background, sweepLeg, interactive
 	return b
 }
 

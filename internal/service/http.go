@@ -45,6 +45,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleSweepStatus)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
 	mux.HandleFunc("POST /v1/snapshot", s.handleSnapshot)
 	mux.HandleFunc("GET /v1/snapshot", s.handleSnapshotPull)
 	mux.HandleFunc("PUT /v1/snapshot", s.handleSnapshotPush)
@@ -199,6 +200,10 @@ func (s *Server) handleSweepStatus(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Trace())
 }
 
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {

@@ -43,6 +43,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/model"
 	"repro/internal/predictor"
+	"repro/internal/prefetch"
 	"repro/internal/sched"
 	"repro/internal/search"
 	"repro/internal/search/pool"
@@ -76,8 +77,10 @@ type Request struct {
 	Seed int64 `json:"seed,omitempty"`
 
 	// Priority selects the scheduling class: "interactive" (the default —
-	// an unlabelled request is somebody waiting), "sweep-leg", or
-	// "background". It is server-side scheduling metadata, deliberately
+	// an unlabelled request is somebody waiting), "sweep-leg",
+	// "background", or "prefetch" (speculative cache warming: admitted
+	// only into idle capacity and cancelled the moment demand work
+	// arrives). It is server-side scheduling metadata, deliberately
 	// NOT part of the fingerprint: identical work submitted at different
 	// priorities still coalesces onto one execution, and a higher-priority
 	// duplicate promotes the queued job instead of waiting behind it.
@@ -127,7 +130,7 @@ func (r Request) Normalize() (Request, error) {
 		return r, err
 	}
 	if _, ok := pool.ParseClass(r.Priority); !ok {
-		return r, fmt.Errorf("unknown priority %q (want interactive, sweep-leg or background)", r.Priority)
+		return r, fmt.Errorf("unknown priority %q (want interactive, sweep-leg, background or prefetch)", r.Priority)
 	}
 	if r.DeadlineMS < 0 {
 		return r, fmt.Errorf("negative deadline_ms %d", r.DeadlineMS)
@@ -180,10 +183,18 @@ const (
 	// client should not treat it as a server fault, and a retry with a
 	// larger budget may well succeed.
 	StateExpired State = "deadline_exceeded"
+	// StateCancelled marks a speculative prefetch job evicted from the
+	// queue by demand arrival: it never executed, and nothing was lost —
+	// the work was the daemon's own guess. Distinct from both StateFailed
+	// (no fault) and StateExpired (no budget was exhausted); only
+	// prefetch-class jobs ever reach it.
+	StateCancelled State = "cancelled"
 )
 
 // Terminal reports whether the state is final.
-func (s State) Terminal() bool { return s == StateDone || s == StateFailed || s == StateExpired }
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateExpired || s == StateCancelled
+}
 
 // ArchSummary is one architecture candidate's outcome inside a Result.
 type ArchSummary struct {
@@ -286,6 +297,23 @@ type Stats struct {
 	QueueInteractive int `json:"queue_interactive"`
 	QueueSweepLeg    int `json:"queue_sweep_leg"`
 	QueueBackground  int `json:"queue_background"`
+	QueuePrefetch    int `json:"queue_prefetch"`
+	// Warm-hit attribution: demand submissions whose fingerprint had
+	// already been executed to completion on this daemon, split by who
+	// warmed it — earlier demand work (HitsDemand) or the speculative
+	// prefetch lane (HitsPrefetch). HitsPrefetch is the prefetcher's
+	// payoff gauge.
+	HitsDemand   uint64 `json:"hits_demand"`
+	HitsPrefetch uint64 `json:"hits_prefetch"`
+	// Prefetch-lane counters: jobs admitted into the speculative lane,
+	// queued speculative jobs evicted by demand arrival, and distinct
+	// prefetched fingerprints later served to at least one demand request
+	// (useful <= issued; useful/issued is the predictor's precision).
+	PrefetchIssued    uint64 `json:"prefetch_issued"`
+	PrefetchCancelled uint64 `json:"prefetch_cancelled"`
+	PrefetchUseful    uint64 `json:"prefetch_useful"`
+	// TraceLen is the request-trace ring occupancy (see GET /v1/trace).
+	TraceLen int `json:"trace_len"`
 	// EstWaitMS estimates how long a new arrival of each class would queue
 	// before dispatch (EWMA job duration × slots ahead) — the signal
 	// admission control sheds on, exposed so operators and the routing
@@ -374,6 +402,20 @@ type Options struct {
 	SweepHistory int
 	// SnapshotPath enables cache snapshot persistence when non-empty.
 	SnapshotPath string
+	// Prefetch enables the speculative cache-warming lane: after each
+	// completed demand job the daemon predicts its sweep neighbors from
+	// the request trace and pre-evaluates the top PrefetchFanout of them
+	// at prefetch priority whenever the queue is idle. Off by default —
+	// speculation costs CPU a single-tenant batch run may not want to
+	// spend. The trace itself is always recorded (it is cheap and powers
+	// GET /v1/trace even with the lane off).
+	Prefetch bool
+	// PrefetchFanout bounds the predictions issued per completed demand
+	// job (default 3).
+	PrefetchFanout int
+	// TraceCapacity bounds the request-trace ring (default
+	// prefetch.DefaultCapacity).
+	TraceCapacity int
 }
 
 // ErrBusy reports a submission rejected because the job backlog is full.
@@ -429,6 +471,7 @@ type Server struct {
 	queue  *pool.Queue
 	start  time.Time
 	sweeps *jobs.Store[SweepStatus]
+	trace  *prefetch.Trace[TracePoint]
 
 	mu        sync.Mutex
 	jobs      map[string]*job
@@ -438,7 +481,27 @@ type Server struct {
 	stats     Stats
 	draining  bool
 	sweepDone map[string]chan struct{} // closed when a sweep handle goes terminal
+	// warmed tracks fingerprints executed to completion on this daemon and
+	// which lane warmed them — the warm-hit attribution table and the
+	// prefetcher's already-warm filter. Bounded FIFO (warmOrder).
+	warmed    map[string]*warmRecord
+	warmOrder []string
 }
+
+// warmRecord attributes one completed fingerprint to the lane that executed
+// it. usedByDemand flips on the first demand submission served warm from a
+// prefetched entry, so PrefetchUseful counts distinct useful predictions
+// while HitsPrefetch counts every warm serve.
+type warmRecord struct {
+	byPrefetch   bool
+	usedByDemand bool
+}
+
+// warmedCap bounds the warm-fingerprint attribution table; far above any
+// realistic working set (the eval caches behind it hold fewer entries), so
+// FIFO eviction only guards against unbounded growth on a very long-lived
+// daemon.
+const warmedCap = 4096
 
 // defaultPredictor is the shared predictor identity of every server built
 // with a nil predictor. It must be one instance, not one per server: the
@@ -474,6 +537,9 @@ func NewServer(opts Options, pred predictor.Predictor) *Server {
 	if opts.HistoryTTL == 0 {
 		opts.HistoryTTL = time.Hour
 	}
+	if opts.PrefetchFanout <= 0 {
+		opts.PrefetchFanout = 3
+	}
 	s := &Server{
 		opts:  opts,
 		pred:  pred,
@@ -484,9 +550,11 @@ func NewServer(opts Options, pred predictor.Predictor) *Server {
 			TTL:        opts.SweepTTL,
 			MaxEntries: opts.SweepHistory,
 		}, cloneSweepStatus),
+		trace:     prefetch.NewTrace[TracePoint](opts.TraceCapacity),
 		jobs:      make(map[string]*job),
 		inflight:  make(map[string]*job),
 		sweepDone: make(map[string]chan struct{}),
+		warmed:    make(map[string]*warmRecord),
 	}
 	s.queue.SetClassBudgets(opts.ClassBudgets)
 	return s
@@ -516,6 +584,17 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 		s.stats.JobsRejected++
 		return Job{}, false, ErrDraining
 	}
+	if norm.class() == pool.Prefetch {
+		// Speculative submissions take the gated side entrance: admitted
+		// only into idle capacity, evicted on demand arrival, and invisible
+		// to the demand counters and trace.
+		return s.submitPrefetchLocked(norm, fp, now)
+	}
+	// Record the demand request in the locality trace. Coalesced and fresh
+	// submissions both count — each is a real arrival the predictor should
+	// learn from — while speculative (prefetch-lane) traffic never does, or
+	// the predictor would learn its own guesses.
+	s.trace.Observe(fp, now, norm.TracePoint())
 	if j, ok := s.inflight[fp]; ok {
 		j.Coalesced++
 		s.stats.JobsCoalesced++
@@ -531,6 +610,10 @@ func (s *Server) Submit(req Request) (Job, bool, error) {
 		s.extendDeadlineLocked(j, deadline)
 		return j.Job, true, nil
 	}
+	// Warm-hit attribution: this fingerprint has already been executed to
+	// completion here, so the job about to run will be served from the warm
+	// caches — credit whichever lane warmed it.
+	s.noteWarmHitLocked(fp)
 	// Estimated-wait admission: refuse a deadlined request whose queue wait
 	// alone would already blow its budget — accepting it wastes backlog
 	// space on work destined to expire, and the caller learns *now* (429 +
@@ -665,21 +748,35 @@ func (s *Server) run(j *job) {
 
 	res, err := s.execute(req)
 
+	speculative := req.class() == pool.Prefetch
 	s.mu.Lock()
 	j.FinishedAt = time.Now()
 	if err != nil {
 		j.State = StateFailed
 		j.Error = err.Error()
-		s.stats.JobsFailed++
+		// A failed speculation (e.g. an infeasible predicted neighbor) is
+		// not a demand fault; it stays out of JobsFailed.
+		if !speculative {
+			s.stats.JobsFailed++
+		}
 	} else {
 		j.State = StateDone
 		j.Result = res
-		s.stats.JobsDone++
+		if !speculative {
+			s.stats.JobsDone++
+		}
+		s.markWarmedLocked(j.Fingerprint, speculative)
 	}
 	delete(s.inflight, j.Fingerprint)
 	close(j.done)
 	s.evictHistoryLocked()
+	prefetchNext := err == nil && !speculative && s.opts.Prefetch && !s.draining
 	s.mu.Unlock()
+	if prefetchNext {
+		// Prediction rides its own goroutine: it submits into the queue,
+		// and this worker slot should go back to draining demand work.
+		go s.predictAndPrefetch(req, j.Fingerprint)
+	}
 }
 
 // evictHistoryLocked bounds the retained terminal job records two ways: the
@@ -913,6 +1010,8 @@ func (s *Server) Stats() Stats {
 	st.QueueInteractive = depths[pool.Interactive]
 	st.QueueSweepLeg = depths[pool.SweepLeg]
 	st.QueueBackground = depths[pool.Background]
+	st.QueuePrefetch = depths[pool.Prefetch]
+	st.TraceLen = s.trace.Len()
 	st.EstWaitInteractiveMS = s.queue.EstimatedWait(pool.Interactive, 0).Milliseconds()
 	st.EstWaitBackgroundMS = s.queue.EstimatedWait(pool.Background, 0).Milliseconds()
 	s.sweeps.Each(func(_ string, sw SweepStatus) {

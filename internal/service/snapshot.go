@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/predictor"
+	"repro/internal/prefetch"
 	"repro/internal/sched"
 	"repro/internal/search"
 )
@@ -51,12 +52,22 @@ type snapshotBody struct {
 	Candidates []sched.SnapshotEntry
 }
 
+// snapshotTrace is the optional third gob section: the request-trace ring at
+// save time. Snapshots predating the section simply end after the body, and
+// the decoder treats EOF there as an empty trace, so format 1 files remain
+// loadable in both directions (old daemon reading a new file stops after the
+// body; new daemon reading an old file gets no trace).
+type snapshotTrace struct {
+	Entries []prefetch.Entry[TracePoint]
+}
+
 // SnapshotInfo describes a saved or loaded snapshot.
 type SnapshotInfo struct {
-	Path       string    `json:"path"`
-	Eval       int       `json:"eval_entries"`
-	Candidates int       `json:"candidate_entries"`
-	SavedAt    time.Time `json:"saved_at"`
+	Path         string    `json:"path"`
+	Eval         int       `json:"eval_entries"`
+	Candidates   int       `json:"candidate_entries"`
+	TraceEntries int       `json:"trace_entries"`
+	SavedAt      time.Time `json:"saved_at"`
 }
 
 // ErrNoSnapshot reports a missing snapshot file on load.
@@ -85,6 +96,7 @@ func (s *Server) WriteSnapshotTo(w io.Writer) (SnapshotInfo, error) {
 		Eval:       search.DefaultCache().Snapshot(),
 		Candidates: sched.CacheSnapshot(),
 	}
+	trace := snapshotTrace{Entries: s.trace.Entries()}
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(hdr); err != nil {
 		return SnapshotInfo{}, fmt.Errorf("service: snapshot encode: %w", err)
@@ -92,7 +104,15 @@ func (s *Server) WriteSnapshotTo(w io.Writer) (SnapshotInfo, error) {
 	if err := enc.Encode(body); err != nil {
 		return SnapshotInfo{}, fmt.Errorf("service: snapshot encode: %w", err)
 	}
-	return SnapshotInfo{Eval: len(body.Eval), Candidates: len(body.Candidates), SavedAt: now}, nil
+	if err := enc.Encode(trace); err != nil {
+		return SnapshotInfo{}, fmt.Errorf("service: snapshot encode: %w", err)
+	}
+	return SnapshotInfo{
+		Eval:         len(body.Eval),
+		Candidates:   len(body.Candidates),
+		TraceEntries: len(trace.Entries),
+		SavedAt:      now,
+	}, nil
 }
 
 // RestoreSnapshotFrom decodes a snapshot stream, validates its versioned
@@ -118,12 +138,22 @@ func (s *Server) RestoreSnapshotFrom(r io.Reader) (SnapshotInfo, error) {
 	if err := dec.Decode(&body); err != nil {
 		return SnapshotInfo{}, fmt.Errorf("service: snapshot body: %w", err)
 	}
+	// The trace section is optional: a snapshot written before the trace
+	// existed ends at the body, which decodes as a clean EOF here. The caches
+	// above are the valuable part, so a malformed trailing section degrades
+	// to "no trace" rather than failing the whole restore.
+	var trace snapshotTrace
+	if err := dec.Decode(&trace); err != nil {
+		trace.Entries = nil
+	}
 	search.DefaultCache().Restore(body.Eval)
 	sched.RestoreCache(body.Candidates)
+	s.trace.Restore(trace.Entries)
 	return SnapshotInfo{
-		Eval:       len(body.Eval),
-		Candidates: len(body.Candidates),
-		SavedAt:    time.Unix(0, hdr.SavedAt),
+		Eval:         len(body.Eval),
+		Candidates:   len(body.Candidates),
+		TraceEntries: len(trace.Entries),
+		SavedAt:      time.Unix(0, hdr.SavedAt),
 	}, nil
 }
 

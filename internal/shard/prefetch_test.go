@@ -1,0 +1,132 @@
+package shard
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/search"
+	"repro/internal/service"
+	"repro/internal/service/client"
+)
+
+// stampedResult fabricates a Result carrying the scheme/predictor stamps the
+// cache verifies, standing in for a shard-computed record.
+func stampedResult(canonical string) *service.Result {
+	return &service.Result{
+		Canonical:     canonical,
+		SchemeVersion: search.FingerprintSchemeVersion,
+		PredictorID:   1,
+	}
+}
+
+// TestResultCacheSplitCounters pins the demand/prefetch attribution split:
+// hits are credited to the lane that stored the entry, prefetch-useful
+// counts distinct prefetched entries on first demand use, Contains never
+// skews the counters, and a late redundant speculation cannot overwrite a
+// demand-stored entry (or reset its attribution).
+func TestResultCacheSplitCounters(t *testing.T) {
+	c := NewResultCache(16)
+
+	c.Put("fp-demand", stampedResult("d"))
+	c.PutPrefetched("fp-spec", stampedResult("s"))
+
+	if !c.Contains("fp-spec") || c.Contains("fp-absent") {
+		t.Fatal("Contains misreports cache membership")
+	}
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Contains counted a hit or miss: %+v", st)
+	}
+
+	if _, ok := c.Get("fp-demand"); !ok {
+		t.Fatal("demand-stored entry missed")
+	}
+	for i := 0; i < 2; i++ {
+		if res, ok := c.Get("fp-spec"); !ok || res.Canonical != "s" {
+			t.Fatal("prefetched entry missed")
+		}
+	}
+	st := c.Stats()
+	if st.HitsDemand != 1 || st.HitsPrefetch != 2 || st.Hits != 3 {
+		t.Errorf("hit split = demand %d / prefetch %d (total %d), want 1 / 2 (3)",
+			st.HitsDemand, st.HitsPrefetch, st.Hits)
+	}
+	if st.PrefetchUseful != 1 {
+		t.Errorf("prefetch_useful = %d, want 1 (distinct entries, not hits)", st.PrefetchUseful)
+	}
+
+	// A redundant speculation arriving after demand stored (or used) the
+	// entry must not flip its attribution.
+	c.PutPrefetched("fp-demand", stampedResult("late"))
+	if res, ok := c.Get("fp-demand"); !ok || res.Canonical != "d" {
+		t.Fatal("late speculation overwrote a demand-stored entry")
+	}
+	if st := c.Stats(); st.HitsDemand != 2 || st.HitsPrefetch != 2 {
+		t.Errorf("post-overwrite split = demand %d / prefetch %d, want 2 / 2",
+			st.HitsDemand, st.HitsPrefetch)
+	}
+}
+
+// TestRouterPrefetchWarmsNeighbor drives the router's speculative lane end
+// to end: an accepted demand job predicts its nearest sweep neighbor,
+// pre-evaluates it on the owning shard at prefetch priority, and stores the
+// record in the result cache — so the neighbor's later demand submission is
+// served at the router, attributed to prefetch, byte-identical to the
+// shard's own answer.
+func TestRouterPrefetchWarmsNeighbor(t *testing.T) {
+	f := newFleet(t, 1)
+	f.router.Cache = NewResultCache(64)
+	f.router.Prefetch = true
+	f.router.PrefetchFanout = 1
+	ctx := context.Background()
+
+	first := service.Request{Model: "Llama2-30B", Config: "config3", Seq: 2048, FixedTP: 1}
+	j, err := f.client.Run(ctx, first)
+	if err != nil || j.State != service.StateDone {
+		t.Fatalf("demand run: %v / %s", err, j.State)
+	}
+
+	norm, err := first.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	neighbor := norm.SweepNeighbors()[0]
+	if neighbor.FixedTP != 2 {
+		t.Fatalf("nearest neighbor = TP %d, want 2", neighbor.FixedTP)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for !f.router.Cache.Contains(neighbor.Fingerprint()) {
+		if time.Now().After(deadline) {
+			t.Fatal("speculative evaluation never reached the result cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	before := f.router.Stats(ctx)
+	if before.Router.PrefetchIssued == 0 {
+		t.Errorf("prefetch_issued = 0 after a completed speculation")
+	}
+
+	warm, err := f.client.Run(ctx, neighbor)
+	if err != nil || warm.State != service.StateDone {
+		t.Fatalf("neighbor run: %v / %s", err, warm.State)
+	}
+	if !strings.HasPrefix(warm.ID, "cache/") {
+		t.Errorf("neighbor job %s not served from the router cache", warm.ID)
+	}
+	after := f.router.Stats(ctx)
+	if after.ResultCache.HitsPrefetch != 1 || after.ResultCache.PrefetchUseful != 1 {
+		t.Errorf("prefetch attribution = hits %d / useful %d, want 1 / 1",
+			after.ResultCache.HitsPrefetch, after.ResultCache.PrefetchUseful)
+	}
+
+	// Byte identity: the cached speculation matches the shard's own answer.
+	direct, err := client.New(f.servers[0].URL).Run(ctx, neighbor)
+	if err != nil || direct.State != service.StateDone {
+		t.Fatalf("direct shard run: %v / %s", err, direct.State)
+	}
+	if warm.Result.Canonical != direct.Result.Canonical {
+		t.Error("prefetched record differs from the shard's demand evaluation")
+	}
+}

@@ -32,22 +32,38 @@ type ResultCache struct {
 	cap   int
 	// predictorID is the fleet predictor identity the cached records were
 	// computed under; 0 until the first verified Put adopts one.
-	predictorID uint64
-	hits        uint64
-	misses      uint64
-	flushes     uint64
+	predictorID    uint64
+	hitsDemand     uint64
+	hitsPrefetch   uint64
+	prefetchUseful uint64
+	misses         uint64
+	flushes        uint64
 }
 
 type cachedResult struct {
 	Fingerprint string
 	Result      *service.Result
+	// Prefetched marks an entry the speculative lane stored ahead of demand;
+	// UsedByDemand flips on its first demand hit (the prefetch-useful signal).
+	Prefetched   bool
+	UsedByDemand bool
 }
 
-// ResultCacheStats is the cache's /v1/stats block.
+// ResultCacheStats is the cache's /v1/stats block. Hits stays the total for
+// dashboard compatibility; the demand/prefetch split attributes each hit to
+// the lane that stored the entry.
 type ResultCacheStats struct {
-	Hits   uint64 `json:"hits"`
-	Misses uint64 `json:"misses"`
-	Size   int    `json:"size"`
+	Hits uint64 `json:"hits"`
+	// HitsDemand counts hits on entries demand traffic stored.
+	HitsDemand uint64 `json:"hits_demand"`
+	// HitsPrefetch counts hits on entries the speculative lane stored — the
+	// cache-warming payoff signal.
+	HitsPrefetch uint64 `json:"hits_prefetch"`
+	// PrefetchUseful counts distinct prefetched entries demand has used at
+	// least once (HitsPrefetch counts every hit; this counts entries).
+	PrefetchUseful uint64 `json:"prefetch_useful"`
+	Misses         uint64 `json:"misses"`
+	Size           int    `json:"size"`
 	// Flushes counts wholesale invalidations on predictor-identity change.
 	Flushes uint64 `json:"flushes"`
 	// PredictorID is the identity the cached records are valid under.
@@ -80,15 +96,40 @@ func (c *ResultCache) Get(fp string) (*service.Result, bool) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	e, ok := c.cache.Get(ResultCacheKey(fp))
+	key := ResultCacheKey(fp)
+	e, ok := c.cache.Get(key)
 	if !ok || e.Fingerprint != fp ||
 		e.Result.SchemeVersion != search.FingerprintSchemeVersion ||
 		e.Result.PredictorID != c.predictorID {
 		c.misses++
 		return nil, false
 	}
-	c.hits++
+	if e.Prefetched {
+		c.hitsPrefetch++
+		if !e.UsedByDemand {
+			e.UsedByDemand = true
+			c.prefetchUseful++
+			c.cache.Put(key, e)
+		}
+	} else {
+		c.hitsDemand++
+	}
 	return e.Result, true
+}
+
+// Contains reports whether a verified entry for the fingerprint is cached,
+// without counting a hit or miss — the prefetch planner's "already warm"
+// check must not skew the demand hit rate. Safe on a nil or disabled cache.
+func (c *ResultCache) Contains(fp string) bool {
+	if c == nil || c.cache == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.cache.Get(ResultCacheKey(fp))
+	return ok && e.Fingerprint == fp &&
+		e.Result.SchemeVersion == search.FingerprintSchemeVersion &&
+		e.Result.PredictorID == c.predictorID
 }
 
 // GetByKey returns the cached entry under a hex shard key (the "cache/<key>"
@@ -111,6 +152,18 @@ func (c *ResultCache) GetByKey(key string) (string, *service.Result, bool) {
 // from the cache's current one flushes the cache and adopts the new
 // identity. Safe on a nil or disabled cache.
 func (c *ResultCache) Put(fp string, res *service.Result) {
+	c.put(fp, res, false)
+}
+
+// PutPrefetched retains a Result the speculative lane produced, tagging the
+// entry so later demand hits are attributed to prefetch. An entry already
+// present is left alone: demand attribution (and a used flag) must never be
+// reset by a redundant speculation arriving late.
+func (c *ResultCache) PutPrefetched(fp string, res *service.Result) {
+	c.put(fp, res, true)
+}
+
+func (c *ResultCache) put(fp string, res *service.Result, prefetched bool) {
 	if c == nil || c.cache == nil || res == nil {
 		return
 	}
@@ -128,7 +181,13 @@ func (c *ResultCache) Put(fp string, res *service.Result) {
 		}
 		c.predictorID = res.PredictorID
 	}
-	c.cache.Put(ResultCacheKey(fp), cachedResult{Fingerprint: fp, Result: res})
+	key := ResultCacheKey(fp)
+	if prefetched {
+		if _, ok := c.cache.Get(key); ok {
+			return
+		}
+	}
+	c.cache.Put(key, cachedResult{Fingerprint: fp, Result: res, Prefetched: prefetched})
 }
 
 // Stats snapshots the cache counters. Safe on a nil cache.
@@ -138,7 +197,15 @@ func (c *ResultCache) Stats() ResultCacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	st := ResultCacheStats{Hits: c.hits, Misses: c.misses, Flushes: c.flushes, PredictorID: c.predictorID}
+	st := ResultCacheStats{
+		Hits:           c.hitsDemand + c.hitsPrefetch,
+		HitsDemand:     c.hitsDemand,
+		HitsPrefetch:   c.hitsPrefetch,
+		PrefetchUseful: c.prefetchUseful,
+		Misses:         c.misses,
+		Flushes:        c.flushes,
+		PredictorID:    c.predictorID,
+	}
 	if c.cache != nil {
 		st.Size = c.cache.Stats().Size
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/prefetch"
 	"repro/internal/search"
 	"repro/internal/service"
 	"repro/internal/service/client"
@@ -61,10 +62,20 @@ type Router struct {
 	// jobs.Options); zero takes the store defaults. Set before serving.
 	SweepTTL     time.Duration
 	SweepHistory int
+	// Prefetch enables speculative cache warming: accepted demand
+	// submissions predict their sweep neighbors and pre-evaluate the top
+	// PrefetchFanout (default 3) through idle shard capacity (see
+	// prefetch.go). The trace records regardless, so /v1/trace and the
+	// locality model are warm when prefetch is switched on.
+	Prefetch       bool
+	PrefetchFanout int
 
 	start time.Time
 	mu    sync.Mutex
 	stats RouterCounters
+
+	trace        *prefetch.Trace[service.TracePoint]
+	prefetchBusy map[string]bool // fingerprints with an in-flight speculation; guarded by mu
 
 	sweepsOnce sync.Once
 	sweeps     *jobs.Store[service.SweepStatus]
@@ -98,6 +109,12 @@ type RouterCounters struct {
 	ShardsDrained uint64 `json:"shards_drained"`
 	// ShardsRemoved counts all removals, drained or not.
 	ShardsRemoved uint64 `json:"shards_removed"`
+	// PrefetchIssued counts speculative evaluations a shard's idle gate
+	// admitted; PrefetchCancelled counts those the shard later evicted for
+	// arriving demand work (issued − cancelled − in-flight completed and
+	// warmed a cache somewhere).
+	PrefetchIssued    uint64 `json:"prefetch_issued"`
+	PrefetchCancelled uint64 `json:"prefetch_cancelled"`
 }
 
 // RouterStats is the router's /v1/stats payload. The embedded service.Stats
@@ -121,7 +138,7 @@ type RouterStats struct {
 // NewRouter returns a router over the shard map (sweep legs re-dispatch up
 // to twice by default; set SweepRetries/LegTimeout before serving to tune).
 func NewRouter(m *Map) *Router {
-	return &Router{Map: m, SweepRetries: 2, start: time.Now()}
+	return &Router{Map: m, SweepRetries: 2, PrefetchFanout: 3, start: time.Now(), trace: newRouterTrace()}
 }
 
 func (r *Router) count(fn func(*RouterCounters)) {
@@ -200,6 +217,7 @@ func (r *Router) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/sweeps", r.handleSweepList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", r.handleSweepStatus)
 	mux.HandleFunc("GET /v1/stats", r.handleStats)
+	mux.HandleFunc("GET /v1/trace", r.handleTrace)
 	mux.HandleFunc("GET /v1/shards", r.handleShards)
 	mux.HandleFunc("POST /v1/shards", r.handleAddShard)
 	mux.HandleFunc("DELETE /v1/shards", r.handleRemoveShard)
@@ -307,13 +325,23 @@ func (r *Router) handleSubmit(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	fp := norm.Fingerprint()
+	// Every demand arrival — cache-served or routed — feeds the locality
+	// trace; speculative submissions never do.
+	r.observeTrace(norm, fp)
 	// Completed-result cache: a fingerprint the fleet already answered is
-	// served at this tier — the submission never crosses to a shard.
-	if j, ok := r.cachedJob(norm.Fingerprint()); ok {
+	// served at this tier — the submission never crosses to a shard. A hit
+	// still predicts: the requester is walking a sweep trajectory whether or
+	// not this step was warm.
+	if j, ok := r.cachedJob(fp); ok {
+		r.maybePrefetch(norm, fp)
 		writeJSON(w, http.StatusOK, j)
 		return
 	}
 	j, _, coalesced, err := r.submitRouted(req.Context(), jr, requestDeadline(norm, time.Now()))
+	if err == nil {
+		r.maybePrefetch(norm, fp)
+	}
 	var shed *service.ShedError
 	switch {
 	case errors.Is(err, ErrNoShards):
@@ -647,6 +675,13 @@ func (r *Router) Stats(ctx context.Context) RouterStats {
 		agg.QueueInteractive += ss.QueueInteractive
 		agg.QueueSweepLeg += ss.QueueSweepLeg
 		agg.QueueBackground += ss.QueueBackground
+		agg.QueuePrefetch += ss.QueuePrefetch
+		agg.HitsDemand += ss.HitsDemand
+		agg.HitsPrefetch += ss.HitsPrefetch
+		agg.PrefetchIssued += ss.PrefetchIssued
+		agg.PrefetchCancelled += ss.PrefetchCancelled
+		agg.PrefetchUseful += ss.PrefetchUseful
+		agg.TraceLen += ss.TraceLen
 		agg.JobsPending += ss.JobsPending
 		agg.JobsRunning += ss.JobsRunning
 		agg.SweepsRunning += ss.SweepsRunning
